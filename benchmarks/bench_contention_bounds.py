@@ -1,0 +1,67 @@
+"""E3 — Lemma 2 / Corollary 3: the contention envelope of p_suc.
+
+Paper claim: with every transmit probability ≤ 1/2,
+``C/e^{2C} ≤ p_suc ≤ 2C/e^C`` for per-slot contention C; consequently
+p_suc = Θ(C) for C < 1, Θ(1) at C = Θ(1), and exponentially small for
+large C.
+
+Measured: Monte-Carlo p_suc for C from 0.05 to 8 (equal players) lands
+inside the envelope at every point, and the exact product-form p_suc
+does too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import (
+    lemma2_lower,
+    lemma2_upper,
+    success_probability_exact,
+)
+from repro.analysis.contention import simulate_success_probability
+from repro.analysis.tables import format_table
+
+C_VALUES = [0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0]
+N_PLAYERS = 64
+N_SLOTS = 200_000
+
+
+def test_e3_lemma2_envelope(benchmark, emit):
+    rng = np.random.default_rng(0)
+    rows = []
+    all_within = True
+    for c in C_VALUES:
+        mc = simulate_success_probability(c, N_PLAYERS, N_SLOTS, rng)
+        exact = success_probability_exact([c / N_PLAYERS] * N_PLAYERS)
+        lo, hi = float(lemma2_lower(c)), float(lemma2_upper(c))
+        within = lo - 0.01 <= mc <= hi + 0.01
+        all_within &= within
+        rows.append([c, lo, exact, mc, hi, within])
+
+    emit(
+        "E3_contention_bounds",
+        format_table(
+            ["C", "C/e^2C (lower)", "exact", "monte-carlo", "2C/e^C (upper)", "within"],
+            rows,
+            title=(
+                "E3 / Lemma 2 — per-slot success probability vs. contention\n"
+                f"paper: C/e^(2C) <= p_suc <= 2C/e^C; measured with "
+                f"{N_PLAYERS} players x {N_SLOTS} slots per point"
+            ),
+        ),
+    )
+    assert all_within
+
+    # Corollary 3 shape checks
+    small = [r for r in rows if r[0] < 1]
+    for c, lo, exact, mc, hi, _ in small:
+        assert 0.25 * c <= mc <= c  # Θ(C) regime
+    big = rows[-1]
+    assert big[3] < 0.01  # C=8: exponentially small
+
+    benchmark(
+        lambda: simulate_success_probability(
+            1.0, N_PLAYERS, 50_000, np.random.default_rng(1)
+        )
+    )

@@ -1,0 +1,83 @@
+"""P1 — engine and fast-path performance baselines.
+
+Not a paper experiment: guards the simulator's own performance so that
+experiment-suite runtimes stay predictable.  Benchmarks the slot
+engine's throughput on the three protocol families plus the vectorized
+fast paths, and records slots/second figures in the archived table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines import beb_factory
+from repro.core.aligned import aligned_factory
+from repro.core.punctual import punctual_factory
+from repro.fastpath import simulate_uniform_fast
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance, single_class_instance
+
+ALIGNED = AlignedParams(lam=1, tau=4, min_level=9)
+PUNCTUAL = PunctualParams(
+    aligned=AlignedParams(lam=1, tau=2, min_level=10),
+    lam=2,
+    pullback_exp=1,
+    slingshot_exp=2,
+)
+
+
+def _throughput(fn) -> tuple[float, int]:
+    t0 = time.perf_counter()
+    res = fn()
+    dt = time.perf_counter() - t0
+    return dt, res.slots_simulated
+
+
+def test_p1_engine_throughput(benchmark, emit):
+    rows = []
+
+    aligned_inst = single_class_instance(16, level=10)
+    dt, slots = _throughput(
+        lambda: simulate(aligned_inst, aligned_factory(ALIGNED), seed=0)
+    )
+    rows.append(["engine / ALIGNED (16 jobs, w=1024)", slots, slots / dt])
+
+    punctual_inst = batch_instance(16, window=8192)
+    dt, slots = _throughput(
+        lambda: simulate(punctual_inst, punctual_factory(PUNCTUAL), seed=0)
+    )
+    rows.append(["engine / PUNCTUAL (16 jobs, w=8192)", slots, slots / dt])
+
+    beb_inst = batch_instance(64, window=8192)
+    dt, slots = _throughput(
+        lambda: simulate(beb_inst, beb_factory(), seed=0)
+    )
+    rows.append(["engine / BEB (64 jobs, w=8192)", slots, slots / dt])
+
+    big = batch_instance(8192, window=65536)
+    t0 = time.perf_counter()
+    simulate_uniform_fast(big, np.random.default_rng(0))
+    dt = time.perf_counter() - t0
+    rows.append(["fastpath / UNIFORM (8192 jobs)", 65536, 65536 / dt])
+
+    emit(
+        "P1_engine_perf",
+        format_table(
+            ["kernel", "slots", "slots/second"],
+            rows,
+            float_fmt="{:,.0f}",
+            title="P1 — simulator throughput baselines (informational)",
+        ),
+    )
+
+    # sanity floors: an order of magnitude below today's numbers
+    assert rows[0][2] > 3_000, "ALIGNED engine unexpectedly slow"
+    assert rows[2][2] > 10_000, "BEB engine unexpectedly slow"
+
+    benchmark(
+        lambda: simulate(aligned_inst, aligned_factory(ALIGNED), seed=1)
+    )

@@ -1,0 +1,90 @@
+"""A7 — validating the capacity planner against simulation.
+
+``repro.experiments.max_feasible_gamma`` turns Lemma 12's "sufficiently
+small γ" into a number by summing worst-case schedule demands.  A
+planner that over-promises would mislead every user of the library, so
+this ablation checks its calibration across parameter sets: simulated
+delivery at γ*/2 must be essentially perfect, and the planner must be
+*conservative* — the measured delivery cliff sits at or above γ*, never
+below it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.aligned import aligned_factory
+from repro.experiments import max_feasible_gamma
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.workloads import aligned_random_instance
+
+TOP_LEVEL = 12
+SEEDS = 2
+
+CONFIGS = [
+    AlignedParams(lam=1, tau=4, min_level=9),
+    AlignedParams(lam=1, tau=2, min_level=9),
+    AlignedParams(lam=2, tau=4, min_level=10),
+]
+
+
+def delivery(params: AlignedParams, gamma: float) -> float:
+    levels = list(range(params.min_level, TOP_LEVEL + 1))
+    ok = total = 0
+    for seed in range(SEEDS):
+        rng = np.random.default_rng(seed)
+        inst = aligned_random_instance(rng, TOP_LEVEL + 1, levels, gamma=gamma)
+        if len(inst) == 0:
+            continue
+        res = simulate(inst, aligned_factory(params), seed=seed)
+        ok += res.n_succeeded
+        total += len(res)
+    return ok / total if total else 1.0
+
+
+def test_a7_planner_accuracy(benchmark, emit):
+    rows = []
+    safe_ok = True
+    for params in CONFIGS:
+        g_star = max_feasible_gamma(TOP_LEVEL, params)
+        at_half = delivery(params, g_star / 2)
+        at_star = delivery(params, g_star)
+        at_4x = delivery(params, min(4 * g_star, 0.5))
+        rows.append(
+            [
+                f"λ={params.lam}, τ={params.tau}, min={params.min_level}",
+                g_star,
+                at_half,
+                at_star,
+                at_4x,
+            ]
+        )
+        safe_ok &= at_half >= 0.99 and at_star >= 0.95
+
+    emit(
+        "A7_planner_accuracy",
+        format_table(
+            [
+                "configuration",
+                "planner γ*",
+                "delivery @ γ*/2",
+                "delivery @ γ*",
+                "delivery @ 4γ*",
+            ],
+            rows,
+            title=(
+                "A7 — capacity planner vs simulation (aligned workloads up "
+                f"to 2^{TOP_LEVEL}, {SEEDS} seeds/cell)\n"
+                "the planner must be conservative: in-budget points "
+                "deliver; over-budget points may or may not"
+            ),
+        ),
+    )
+
+    assert safe_ok, "the planner over-promised somewhere"
+    assert all(r[1] > 0 for r in rows), "every config should have γ* > 0"
+
+    params = CONFIGS[0]
+    benchmark(lambda: max_feasible_gamma(TOP_LEVEL, params))

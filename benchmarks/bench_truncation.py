@@ -1,0 +1,69 @@
+"""E6 — Lemma 12: truncation is unlikely for sufficiently small γ.
+
+Paper claim: for any λ there is a γ such that, on γ-slack-feasible
+instances, any window's algorithm runs to completion (is not truncated)
+with probability ≥ 1 − 1/w^Θ(λ).
+
+Measured: sweeping γ upward, the fraction of jobs whose class run is cut
+short (gave up / failed without delivering) stays ≈ 0 below a γ
+threshold and then degrades — the "sufficiently small γ" of the lemma in
+concrete form.  The deterministic ``schedule_overhead`` column shows why:
+it is the fraction of each window pre-committed to nested estimation
+runs before any data flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.aligned import aligned_factory
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.workloads import aligned_random_instance
+
+LEVELS = [9, 10, 11, 12]
+SEEDS = 3
+
+
+def test_e6_truncation_vs_gamma(benchmark, emit):
+    params = AlignedParams(lam=1, tau=4, min_level=LEVELS[0])
+    rows = []
+    rates = {}
+    for gamma in (0.005, 0.01, 0.02, 0.04, 0.08):
+        ok = total = 0
+        for seed in range(SEEDS):
+            rng = np.random.default_rng(seed)
+            inst = aligned_random_instance(rng, 13, LEVELS, gamma=gamma)
+            if len(inst) == 0:
+                continue
+            res = simulate(inst, aligned_factory(params), seed=seed)
+            ok += res.n_succeeded
+            total += len(res)
+        rate = ok / total if total else 1.0
+        rates[gamma] = rate
+        rows.append(
+            [gamma, total, rate, params.schedule_overhead(LEVELS[-1])]
+        )
+
+    emit(
+        "E6_truncation",
+        format_table(
+            ["γ", "jobs", "delivery rate", "deterministic overhead frac"],
+            rows,
+            title=(
+                "E6 / Lemma 12 — delivery vs slack γ (ALIGNED, levels "
+                f"{LEVELS}, λ={params.lam})\n"
+                "paper: no truncation whp for sufficiently small γ; "
+                "measured: perfect below a γ threshold, degrading beyond"
+            ),
+        ),
+    )
+
+    assert rates[0.005] >= 0.99
+    assert rates[0.01] >= 0.99
+    assert rates[0.08] < rates[0.005] + 1e-9  # larger γ can only hurt
+
+    rng = np.random.default_rng(0)
+    inst = aligned_random_instance(rng, 12, [9, 10], gamma=0.02)
+    benchmark(lambda: simulate(inst, aligned_factory(params), seed=0))

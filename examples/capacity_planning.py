@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Capacity planning: how much slack does a configuration really need?
+
+The paper's guarantees hold "for sufficiently small γ" — a deployment
+needs numbers.  This example uses the closed-form planners in
+``repro.experiments`` to answer, for concrete parameter choices:
+
+1. what is the largest workable slack γ* for an ALIGNED configuration
+   (λ, τ, min_level) at a given top window size, and how does that
+   prediction compare with simulation at γ*/2 (comfortably in-regime)
+   and 4γ* (out of regime)?
+2. which path — follow-the-leader or anarchist — will PUNCTUAL take for
+   each window size, and what are its fixed overheads?
+
+It finishes with an ASCII view of the channel during an in-regime run,
+showing the estimation bursts and broadcast trains of the pecking order.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AlignedParams, PunctualParams, aligned_factory, simulate
+from repro.analysis.tables import format_table
+from repro.analysis.viz import channel_timeline, utilization_profile
+from repro.experiments import max_feasible_gamma, punctual_overheads
+from repro.workloads import aligned_random_instance
+
+
+def aligned_planning() -> float:
+    params = AlignedParams(lam=1, tau=4, min_level=9)
+    top_level = 12
+    gamma_star = max_feasible_gamma(top_level, params)
+    print(
+        f"ALIGNED (λ={params.lam}, τ={params.tau}, "
+        f"min_level={params.min_level}, windows up to 2^{top_level}):"
+    )
+    print(f"  planner's max workable slack γ* = {gamma_star:.4f}")
+
+    rows = []
+    for label, gamma in (("γ*/2", gamma_star / 2), ("4γ*", 4 * gamma_star)):
+        ok = total = 0
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            inst = aligned_random_instance(
+                rng, top_level + 1, [9, 10, 11, 12], gamma=gamma
+            )
+            res = simulate(inst, aligned_factory(params), seed=seed)
+            ok += res.n_succeeded
+            total += len(res)
+        rows.append([label, gamma, ok / total if total else 1.0])
+    print(
+        format_table(
+            ["regime", "γ", "measured delivery"],
+            rows,
+            title="  planner vs simulation (3 seeds each)",
+        )
+    )
+    return gamma_star
+
+
+def punctual_planning() -> None:
+    params = PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+    rows = []
+    for w in (2048, 4096, 8192, 16384, 32768, 65536):
+        b = punctual_overheads(w, params)
+        rows.append(
+            [
+                w,
+                b.window,
+                b.pullback_slots,
+                b.rounds_available,
+                b.virtual_level if b.virtual_level is not None else "—",
+                "follow" if b.virtual_level is not None else "anarchist",
+                f"{b.anarchist_attempts:.1f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "window",
+                "effective",
+                "pullback slots",
+                "rounds left",
+                "virtual level",
+                "expected path",
+                "anarchist attempts",
+            ],
+            rows,
+            title="PUNCTUAL fixed costs and path prediction per window size",
+        )
+    )
+
+
+def channel_view(gamma: float) -> None:
+    params = AlignedParams(lam=1, tau=4, min_level=9)
+    rng = np.random.default_rng(0)
+    inst = aligned_random_instance(rng, 12, [9, 10, 11], gamma=gamma)
+    res = simulate(inst, aligned_factory(params), seed=0, trace=True)
+    print()
+    print(
+        f"channel during an in-regime ALIGNED run "
+        f"({res.n_succeeded}/{len(res)} delivered):"
+    )
+    print(channel_timeline(res.trace, width=96))
+    print()
+    print(utilization_profile(res.trace, buckets=6))
+
+
+if __name__ == "__main__":
+    gamma_star = aligned_planning()
+    punctual_planning()
+    channel_view(gamma_star / 2)

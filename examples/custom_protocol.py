@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Tutorial: writing your own contention-resolution protocol.
+
+The library's `Protocol` interface is three hooks — `on_begin`,
+`on_act`, `on_observe` — driven one slot at a time by the engine.  This
+example builds a small original protocol, LISTEN-FIRST, and races it
+against the built-ins:
+
+LISTEN-FIRST idea: spend the first fraction of the window purely
+listening, estimate the contenders from the observed collision rate
+(collisions ≈ what you get when > 1 of n players hit a slot), then
+transmit with probability tuned to the estimate for the rest of the
+window.  It is a poor man's version of the paper's estimation protocol —
+no coordination, just channel sensing — and the race shows how far that
+gets you (fine at moderate load, beaten by ALIGNED's estimated batch
+schedule as contention grows).
+
+Run:  python examples/custom_protocol.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import AlignedParams, aligned_factory, simulate, uniform_factory
+from repro.analysis.tables import format_table
+from repro.baselines import beb_factory
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.messages import DataMessage, Message
+from repro.params import cap_probability
+from repro.sim.job import Job
+from repro.sim.protocolbase import Protocol, ProtocolContext
+from repro.workloads import single_class_instance
+
+
+class ListenFirst(Protocol):
+    """Sense the channel, then transmit at ~1/estimate.
+
+    Phase 1 (first ``listen_frac`` of the window): count busy slots.  If
+    a fraction ``b`` of slots are busy and each of n contenders
+    transmits at some unknown rate q, then near the throughput optimum
+    (q ≈ 1/n) busy ≈ 1 − e^{-1} per active protocol; we take a cruder
+    route and size our own rate so that total contention would be ≈ 1 if
+    everyone reasons like us: p = (1 − b) / max(busy_count, 1) scaled by
+    the remaining window.  Deliberately heuristic — this is a tutorial,
+    not a theorem.
+    """
+
+    def __init__(self, ctx: ProtocolContext, listen_frac: float = 0.25) -> None:
+        super().__init__(ctx)
+        self.listen_slots = max(1, int(ctx.window * listen_frac))
+        self.busy = 0
+        self.p = 0.0
+        self.last_p = 0.0
+
+    def on_act(self, slot: int) -> Optional[Message]:
+        age = self.local_age(slot)
+        if age < self.listen_slots:
+            self.last_p = 0.0
+            return None  # phase 1: listen
+        if age == self.listen_slots:
+            # phase 2 begins: budget ~4 expected attempts over the rest
+            # of the window, backed off by the observed busy fraction
+            # (the busier the channel sounded, the meeker we transmit).
+            remaining = max(self.ctx.window - self.listen_slots, 1)
+            busy_frac = self.busy / self.listen_slots
+            self.p = cap_probability((4.0 / remaining) * (1.0 - busy_frac))
+        self.last_p = self.p
+        if self.ctx.rng.random() < self.p:
+            return DataMessage(self.ctx.job_id)
+        return None
+
+    def on_observe(self, slot: int, obs: Observation) -> None:
+        if self.local_age(slot) < self.listen_slots and obs.feedback.is_busy:
+            self.busy += 1
+
+
+def listen_first_factory(listen_frac: float = 0.25):
+    def make(job: Job, rng: np.random.Generator) -> ListenFirst:
+        return ListenFirst(ProtocolContext.for_job(job, rng), listen_frac)
+
+    return make
+
+
+def main() -> None:
+    rows = []
+    aligned_params = AlignedParams(lam=1, tau=4, min_level=9)
+    for n in (4, 16, 48):
+        inst = single_class_instance(n, level=9)  # window = 512
+        contenders = {
+            "LISTEN-FIRST (this file)": listen_first_factory(),
+            "UNIFORM": uniform_factory(),
+            "BEB": beb_factory(),
+            "ALIGNED": aligned_factory(aligned_params),
+        }
+        for name, factory in contenders.items():
+            ok = total = 0
+            for seed in range(10):
+                res = simulate(inst, factory, seed=seed)
+                ok += res.n_succeeded
+                total += len(res)
+            rows.append([n, name, ok / total])
+
+    print(
+        format_table(
+            ["contenders n", "protocol", "delivery rate"],
+            rows,
+            title=(
+                "LISTEN-FIRST vs built-ins, one 512-slot window, "
+                "10 seeds/point\n"
+                "(sensing alone helps at moderate load; coordinated "
+                "estimation wins at high load)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""One-command miniature reproduction of the paper's claims.
+
+Runs a scaled-down version of every headline experiment — small enough
+to finish in about a minute — and prints a ✓/✗ verdict per claim using
+the executable lemma checks in ``repro.analysis.lemmas``.  The full
+experiment suite (with archived tables and shape assertions) lives in
+``benchmarks/``; this script is the executive summary.
+
+Run:  python examples/full_reproduction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AlignedParams,
+    PunctualParams,
+    aligned_factory,
+    batch_instance,
+    punctual_factory,
+    simulate,
+    single_class_instance,
+)
+from repro.analysis.contention import simulate_success_probability
+from repro.analysis.lemmas import (
+    check_lemma2,
+    check_lemma4,
+    check_lemma5,
+    check_lemma8,
+    check_theorem14,
+)
+from repro.channel.jamming import StochasticJammer
+from repro.fastpath import (
+    simulate_class_run_fast,
+    simulate_estimation_fast,
+    simulate_uniform_fast,
+)
+from repro.workloads import harmonic_starvation_instance
+
+
+def lemma2() -> None:
+    rng = np.random.default_rng(0)
+    cs = [0.25, 1.0, 3.0]
+    rates = [
+        simulate_success_probability(c, n_players=64, n_slots=60_000, rng=rng)
+        for c in cs
+    ]
+    print(check_lemma2(cs, rates))
+
+
+def lemma4() -> None:
+    inst = single_class_instance(512, level=12)  # γ = 1/8 < 1/6
+    res = simulate_uniform_fast(inst, np.random.default_rng(1))
+    print(check_lemma4(len(inst), res.n_succeeded))
+
+
+def lemma5() -> None:
+    ns = [128, 512, 2048]
+    rates = []
+    for n in ns:
+        inst = harmonic_starvation_instance(n, 0.5)
+        order = np.argsort([j.window for j in inst.by_release])[:8]
+        wins = np.zeros(n)
+        trials = 120
+        for s in range(trials):
+            wins += simulate_uniform_fast(inst, np.random.default_rng(s)).success
+        rates.append(float(wins[order].mean() / trials))
+    print(check_lemma5(ns, rates))
+
+
+def lemma8() -> None:
+    params = AlignedParams(lam=2, tau=4, min_level=2)
+    clean = simulate_estimation_fast(
+        32, 10, params, np.random.default_rng(2), n_trials=200
+    )
+    jammed = simulate_estimation_fast(
+        32, 10, params, np.random.default_rng(3), n_trials=200, p_jam=0.5
+    )
+    print(check_lemma8(list(clean), n_hat=32, tau=4), "(clean)")
+    print(
+        check_lemma8(list(jammed), n_hat=32, tau=4, min_in_band=0.8),
+        "(p_jam = 0.5)",
+    )
+
+
+def theorem14() -> None:
+    params = AlignedParams(lam=1, tau=4, min_level=2)
+    ok = total = 0
+    for s in range(120):
+        r = simulate_class_run_fast(20, 10, params, np.random.default_rng(s))
+        ok += r.n_succeeded
+        total += r.n_jobs
+    print(check_theorem14(ok, total, window=1024), "(ALIGNED class runs)")
+
+
+def punctual_main_claim() -> None:
+    pp = PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+    ok = total = 0
+    for s in range(30):  # enough trials for the Wilson CI to certify
+        res = simulate(batch_instance(8, window=8192), punctual_factory(pp), seed=s)
+        ok += res.n_succeeded
+        total += len(res)
+    print(check_theorem14(ok, total, window=8192), "(PUNCTUAL, general windows)")
+
+
+def jamming_boundary() -> None:
+    # λ = 3 per the drain condition (3/4)^λ <= 1/2 (ablation A2); the
+    # schedule then needs a class-11 window to fit.
+    params = AlignedParams(lam=3, tau=4, min_level=11)
+    inst = single_class_instance(10, level=11)
+    ok = total = 0
+    for s in range(10):
+        res = simulate(
+            inst,
+            aligned_factory(params),
+            jammer=StochasticJammer(0.5),
+            seed=s,
+        )
+        ok += res.n_succeeded
+        total += len(res)
+    print(check_theorem14(ok, total, window=2048), "(ALIGNED at p_jam = 1/2, λ=3)")
+
+
+if __name__ == "__main__":
+    print("Miniature reproduction — one check per headline claim\n")
+    lemma2()
+    lemma4()
+    lemma5()
+    lemma8()
+    theorem14()
+    punctual_main_claim()
+    jamming_boundary()
+    print("\n(Full tables and shape assertions: pytest benchmarks/ --benchmark-only)")

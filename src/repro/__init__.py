@@ -1,0 +1,160 @@
+"""repro — a reproduction of *Contention Resolution with Message Deadlines*.
+
+Agrawal, Bender, Fineman, Gilbert, Young — SPAA 2020
+(doi:10.1145/3350755.3400239).
+
+Unit-length messages arrive over time on a shared multiple-access
+channel, each with a delivery deadline.  For γ-slack-feasible inputs the
+paper's protocols deliver every message within its window with high
+probability in the window size.  This package implements the whole stack
+from scratch:
+
+* :mod:`repro.channel` — the slotted channel with collision detection,
+  trinary feedback, and jamming adversaries;
+* :mod:`repro.sim` — jobs, instances, γ-slack feasibility, the slot
+  engine, traces, and metrics;
+* :mod:`repro.core` — the paper's protocols: **UNIFORM** (Section 2),
+  **ALIGNED** (Section 3: pecking order, size estimation, batch
+  broadcast), **PUNCTUAL** (Section 4: rounds, slingshot leader
+  election, follow-the-leader, anarchists);
+* :mod:`repro.baselines` — binary exponential backoff, sawtooth, slotted
+  ALOHA, and the centralized-EDF genie;
+* :mod:`repro.workloads` — aligned/general/adversarial/realistic
+  instance generators;
+* :mod:`repro.fastpath` — vectorized numpy equivalents of the
+  statistically heavy inner loops;
+* :mod:`repro.analysis` — the paper's closed-form bounds, contention
+  analyses, statistics, and plain-text tables.
+
+Quick start::
+
+    from repro import (
+        AlignedParams, aligned_factory, simulate, single_class_instance,
+    )
+    inst = single_class_instance(n=8, level=8)
+    result = simulate(inst, aligned_factory(AlignedParams.simulation()), seed=0)
+    print(result.summary())
+"""
+
+from repro.baselines import (
+    aloha_factory,
+    beb_factory,
+    edf_factory,
+    edf_schedule,
+    sawtooth_factory,
+    window_scaled_aloha_factory,
+)
+from repro.channel import (
+    Feedback,
+    MultipleAccessChannel,
+    NoJammer,
+    Observation,
+    PeriodicJammer,
+    ReactiveJammer,
+    StochasticJammer,
+)
+from repro.core import (
+    AlignedProtocol,
+    PunctualProtocol,
+    TrimmedAlignedProtocol,
+    UniformProtocol,
+    aligned_factory,
+    punctual_factory,
+    trimmed_aligned_factory,
+    trimmed_instance,
+    trimmed_window,
+    uniform_factory,
+)
+from repro.errors import (
+    InvalidInstanceError,
+    InvalidParameterError,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+)
+from repro.params import AlignedParams, PunctualParams, UniformParams
+from repro.sim import (
+    Instance,
+    Job,
+    JobStatus,
+    RngFactory,
+    SimulationResult,
+    is_slack_feasible,
+    peak_density,
+    simulate,
+    slack_of,
+)
+from repro.sim.validate import Certificate, Finding, Severity, certify
+from repro.workloads import (
+    aligned_random_instance,
+    batch_instance,
+    harmonic_starvation_instance,
+    poisson_instance,
+    sensor_network_instance,
+    single_class_instance,
+    uniform_random_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # params
+    "AlignedParams",
+    "PunctualParams",
+    "UniformParams",
+    # protocols
+    "AlignedProtocol",
+    "PunctualProtocol",
+    "TrimmedAlignedProtocol",
+    "UniformProtocol",
+    "aligned_factory",
+    "punctual_factory",
+    "trimmed_aligned_factory",
+    "uniform_factory",
+    "trimmed_instance",
+    "trimmed_window",
+    # baselines
+    "aloha_factory",
+    "beb_factory",
+    "edf_factory",
+    "edf_schedule",
+    "sawtooth_factory",
+    "window_scaled_aloha_factory",
+    # channel
+    "Feedback",
+    "MultipleAccessChannel",
+    "NoJammer",
+    "Observation",
+    "PeriodicJammer",
+    "ReactiveJammer",
+    "StochasticJammer",
+    # sim
+    "Instance",
+    "Job",
+    "JobStatus",
+    "RngFactory",
+    "SimulationResult",
+    "is_slack_feasible",
+    "peak_density",
+    "simulate",
+    "slack_of",
+    "Certificate",
+    "Finding",
+    "Severity",
+    "certify",
+    # workloads
+    "aligned_random_instance",
+    "batch_instance",
+    "harmonic_starvation_instance",
+    "poisson_instance",
+    "sensor_network_instance",
+    "single_class_instance",
+    "uniform_random_instance",
+    # errors
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidParameterError",
+    "ProtocolViolationError",
+    "SimulationError",
+]

@@ -1,0 +1,86 @@
+"""Analysis toolkit: paper bounds, contention curves, statistics, tables."""
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    contention,
+    lemma1_lower,
+    lemma1_upper,
+    lemma2_lower,
+    lemma2_upper,
+    success_probability_exact,
+)
+from repro.analysis.contention import (
+    ContentionBucket,
+    bucket_trace_by_contention,
+    lemma2_envelope_check,
+    simulate_success_probability,
+)
+from repro.analysis.stats import (
+    ProportionEstimate,
+    bootstrap_mean_diff,
+    estimate_proportion,
+    failure_exponent,
+    wilson_interval,
+)
+from repro.analysis.capture import ScheduleCapture, StageCapture, StageTransition
+from repro.analysis.lemmas import (
+    LemmaCheck,
+    check_lemma2,
+    check_lemma4,
+    check_lemma5,
+    check_lemma8,
+    check_theorem14,
+)
+from repro.analysis.export import (
+    result_summary_dict,
+    result_to_records,
+    trace_to_records,
+    write_csv,
+    write_json,
+)
+from repro.analysis.tables import format_table, render_schedule
+from repro.analysis.viz import (
+    channel_timeline,
+    contention_sparkline,
+    utilization_profile,
+)
+
+__all__ = [
+    "ScheduleCapture",
+    "StageCapture",
+    "StageTransition",
+    "LemmaCheck",
+    "check_lemma2",
+    "check_lemma4",
+    "check_lemma5",
+    "check_lemma8",
+    "check_theorem14",
+    "channel_timeline",
+    "contention_sparkline",
+    "utilization_profile",
+    "result_summary_dict",
+    "result_to_records",
+    "trace_to_records",
+    "write_csv",
+    "write_json",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "contention",
+    "lemma1_lower",
+    "lemma1_upper",
+    "lemma2_lower",
+    "lemma2_upper",
+    "success_probability_exact",
+    "ContentionBucket",
+    "bucket_trace_by_contention",
+    "lemma2_envelope_check",
+    "simulate_success_probability",
+    "ProportionEstimate",
+    "bootstrap_mean_diff",
+    "estimate_proportion",
+    "failure_exponent",
+    "wilson_interval",
+    "format_table",
+    "render_schedule",
+]

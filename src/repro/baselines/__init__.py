@@ -1,0 +1,38 @@
+"""Baseline strategies: BEB, sawtooth, slotted ALOHA, centralized EDF."""
+
+from repro.baselines.aloha import (
+    SlottedAloha,
+    aloha_factory,
+    window_scaled_aloha_factory,
+)
+from repro.baselines.beb import BinaryExponentialBackoff, beb_factory
+from repro.baselines.edf import OracleEdfProtocol, edf_factory, edf_schedule
+from repro.baselines.sawtooth import SawtoothBackoff, sawtooth_factory
+from repro.baselines.urgency import UrgencyAloha, urgency_aloha_factory
+from repro.baselines.windowed import (
+    WindowedBackoff,
+    fibonacci_backoff_factory,
+    fixed_window_factory,
+    linear_backoff_factory,
+    polynomial_backoff_factory,
+)
+
+__all__ = [
+    "UrgencyAloha",
+    "urgency_aloha_factory",
+    "WindowedBackoff",
+    "fixed_window_factory",
+    "linear_backoff_factory",
+    "polynomial_backoff_factory",
+    "fibonacci_backoff_factory",
+    "SlottedAloha",
+    "aloha_factory",
+    "window_scaled_aloha_factory",
+    "BinaryExponentialBackoff",
+    "beb_factory",
+    "OracleEdfProtocol",
+    "edf_factory",
+    "edf_schedule",
+    "SawtoothBackoff",
+    "sawtooth_factory",
+]

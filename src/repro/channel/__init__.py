@@ -1,0 +1,56 @@
+"""Multiple-access channel substrate: feedback, messages, jamming, resolution.
+
+This package implements the communication model of Section 1.1 of
+*Contention Resolution with Message Deadlines* (SPAA 2020): synchronized
+slots, collisions, trinary feedback with collision detection, and the
+stochastic jamming adversary of Section 3.
+"""
+
+from repro.channel.channel import MultipleAccessChannel, SlotOutcome, resolve_slot
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.jamming import (
+    Jammer,
+    NoJammer,
+    PeriodicJammer,
+    ReactiveJammer,
+    StochasticJammer,
+)
+from repro.channel.masking import (
+    FeedbackMaskingProtocol,
+    FeedbackMode,
+    mask_observation,
+    masked_factory,
+)
+from repro.channel.messages import (
+    ControlMessage,
+    DataMessage,
+    EstimateReport,
+    LeaderClaim,
+    Message,
+    StartMessage,
+    TimekeeperBeacon,
+)
+
+__all__ = [
+    "FeedbackMaskingProtocol",
+    "FeedbackMode",
+    "mask_observation",
+    "masked_factory",
+    "MultipleAccessChannel",
+    "SlotOutcome",
+    "resolve_slot",
+    "Feedback",
+    "Observation",
+    "Jammer",
+    "NoJammer",
+    "StochasticJammer",
+    "ReactiveJammer",
+    "PeriodicJammer",
+    "Message",
+    "DataMessage",
+    "ControlMessage",
+    "StartMessage",
+    "LeaderClaim",
+    "TimekeeperBeacon",
+    "EstimateReport",
+]

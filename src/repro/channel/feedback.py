@@ -1,0 +1,101 @@
+"""Trinary channel feedback, as defined in Section 1.1 of the paper.
+
+Players listening on the multiple-access channel can distinguish between
+*silence*, a *successful* broadcast (in which case they receive the message
+content), and *noise* (a collision of two or more transmissions, or jamming).
+
+The :class:`Feedback` enum encodes the three channel states, and
+:class:`Observation` bundles one slot's feedback with the delivered message
+(if any) plus transmitter-local information (whether *this* job transmitted
+and whether its own transmission succeeded).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channel.messages import Message
+
+__all__ = ["Feedback", "Observation"]
+
+
+class Feedback(enum.Enum):
+    """The trinary state of the channel in a single slot.
+
+    ``SILENCE``
+        No player transmitted (and the jammer did not inject noise).
+    ``SUCCESS``
+        Exactly one player transmitted and was not jammed; every listener
+        receives the message content.
+    ``NOISE``
+        Two or more players transmitted (a collision), or the slot was
+        jammed.  Listeners cannot tell these causes apart, exactly as in
+        the paper's jamming model.
+    """
+
+    SILENCE = "silence"
+    SUCCESS = "success"
+    NOISE = "noise"
+
+    @property
+    def is_busy(self) -> bool:
+        """True if the slot carried energy (a message or noise).
+
+        PUNCTUAL's synchronization rule keys off "two consecutive slots
+        with messages or collisions"; this predicate is that test for a
+        single slot.
+        """
+        return self is not Feedback.SILENCE
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """Everything one job learns from one slot.
+
+    Attributes
+    ----------
+    feedback:
+        The trinary channel state every listener perceives.
+    message:
+        The delivered message if ``feedback`` is ``SUCCESS``, else ``None``.
+    transmitted:
+        Whether *this* job transmitted during the slot.
+    own_success:
+        Whether this job's own transmission was the successful one.  Only
+        meaningful when ``transmitted`` is True; a transmitter always learns
+        the fate of its transmission (collision detection).
+    """
+
+    feedback: Feedback
+    message: Optional[Message] = None
+    transmitted: bool = False
+    own_success: bool = False
+
+    def __post_init__(self) -> None:
+        if self.feedback is Feedback.SUCCESS and self.message is None:
+            raise ValueError("SUCCESS observation must carry a message")
+        if self.feedback is not Feedback.SUCCESS and self.message is not None:
+            raise ValueError("non-SUCCESS observation cannot carry a message")
+        if self.own_success and not self.transmitted:
+            raise ValueError("own_success requires transmitted")
+        if self.own_success and self.feedback is not Feedback.SUCCESS:
+            raise ValueError("own_success requires SUCCESS feedback")
+
+    @staticmethod
+    def silence(transmitted: bool = False) -> "Observation":
+        """An observation of an empty slot."""
+        return Observation(Feedback.SILENCE, None, transmitted, False)
+
+    @staticmethod
+    def noise(transmitted: bool = False) -> "Observation":
+        """An observation of a collided or jammed slot."""
+        return Observation(Feedback.NOISE, None, transmitted, False)
+
+    @staticmethod
+    def success(
+        message: Message, transmitted: bool = False, own: bool = False
+    ) -> "Observation":
+        """An observation of a successful broadcast carrying ``message``."""
+        return Observation(Feedback.SUCCESS, message, transmitted, own)

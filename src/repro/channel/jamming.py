@@ -1,0 +1,170 @@
+"""Jamming adversaries for the multiple-access channel.
+
+Section 3 of the paper ("Jamming") defines a stochastic adversary that may
+inspect each slot — including the content of any message about to be
+broadcast — and decide whether to jam it; a jamming attempt succeeds with a
+constant probability ``p_jam``.  The analysis tolerates ``p_jam <= 1/2``.
+
+:class:`Jammer` is the abstract interface the channel consults once per
+slot.  :class:`StochasticJammer` is the paper's adversary (jam every slot
+that contains a would-be success).  :class:`ReactiveJammer` and
+:class:`PeriodicJammer` are extensions used by the robustness benchmarks:
+the former jams only slots carrying a message matching a predicate, the
+latter jams on a fixed schedule regardless of content.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.messages import Message
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Jammer",
+    "NoJammer",
+    "StochasticJammer",
+    "ReactiveJammer",
+    "PeriodicJammer",
+]
+
+
+class Jammer(abc.ABC):
+    """Decides, slot by slot, whether to corrupt the channel.
+
+    The channel calls :meth:`attempt` exactly once per slot, *after* it
+    knows what the slot would contain absent jamming.  The jammer sees the
+    slot index, the number of transmitters, and the message that would be
+    delivered (``None`` unless exactly one player transmitted).  Returning
+    True turns the slot into noise.
+    """
+
+    @abc.abstractmethod
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        """Return True to jam the slot (its feedback becomes NOISE)."""
+
+
+class NoJammer(Jammer):
+    """The benign channel: never jams."""
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NoJammer()"
+
+
+class StochasticJammer(Jammer):
+    """The paper's adversary: tries to jam would-be successes.
+
+    The adversary is allowed to jam any slot, but jamming a slot that is
+    already silent or already a collision changes nothing, so the
+    worst-case strategy the paper analyses — and the one implemented here —
+    targets exactly the slots that would otherwise carry a successful
+    broadcast.  Each attempt succeeds independently with probability
+    ``p_jam``.
+
+    Parameters
+    ----------
+    p_jam:
+        Success probability of each jamming attempt, in ``[0, 1]``.  The
+        paper's guarantees require ``p_jam <= 1/2``; larger values are
+        legal here so benchmarks can chart the breakdown point.
+    jam_silence:
+        If True, the adversary also injects noise into silent slots with
+        probability ``p_jam``.  This models a cruder noise source and is
+        off by default (it cannot hurt the protocols more than jamming
+        successes, but it perturbs PUNCTUAL's synchronization heuristic and
+        is exercised by robustness tests).
+    """
+
+    def __init__(self, p_jam: float, *, jam_silence: bool = False) -> None:
+        if not 0.0 <= p_jam <= 1.0:
+            raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+        self.p_jam = float(p_jam)
+        self.jam_silence = bool(jam_silence)
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        if n_transmitters == 1:
+            return bool(rng.random() < self.p_jam)
+        if n_transmitters == 0 and self.jam_silence:
+            return bool(rng.random() < self.p_jam)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"StochasticJammer(p_jam={self.p_jam}, jam_silence={self.jam_silence})"
+
+
+class ReactiveJammer(Jammer):
+    """Jams only slots whose would-be message matches a predicate.
+
+    The paper notes the adversary "can even look at the contents of the
+    message itself"; this jammer makes that capability concrete.  For
+    example, ``ReactiveJammer(lambda m: isinstance(m, LeaderClaim), 0.5)``
+    attacks only leader election.
+    """
+
+    def __init__(
+        self, predicate: Callable[[Message], bool], p_jam: float
+    ) -> None:
+        if not 0.0 <= p_jam <= 1.0:
+            raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+        self.predicate = predicate
+        self.p_jam = float(p_jam)
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        if message is None or not self.predicate(message):
+            return False
+        return bool(rng.random() < self.p_jam)
+
+
+class PeriodicJammer(Jammer):
+    """Deterministically jams a fixed pattern of slots.
+
+    Every slot whose index falls in ``offsets`` modulo ``period`` is
+    corrupted (turned to noise), regardless of content.  Useful for tests
+    that need fully reproducible interference.
+    """
+
+    def __init__(self, period: int, offsets: Sequence[int]) -> None:
+        if period <= 0:
+            raise InvalidParameterError(f"period must be positive, got {period}")
+        offs = sorted(set(int(o) % period for o in offsets))
+        self.period = int(period)
+        self.offsets = frozenset(offs)
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        return (slot % self.period) in self.offsets

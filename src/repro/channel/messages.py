@@ -1,0 +1,108 @@
+"""Message types exchanged on the multiple-access channel.
+
+The paper distinguishes the *data message* each job must deliver from
+*control messages* that protocols may transmit to coordinate (Section 1.1).
+PUNCTUAL additionally uses three specific control messages: ``start``
+messages for round synchronization, leader-claim messages in the
+leader-election slot, and timekeeper beacons broadcast by the current leader
+(Figure 2).  Each gets its own dataclass so that protocol logic can
+pattern-match on type rather than inspect string payloads.
+
+All message classes are frozen: a message on the channel is immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Message",
+    "DataMessage",
+    "ControlMessage",
+    "StartMessage",
+    "LeaderClaim",
+    "TimekeeperBeacon",
+    "EstimateReport",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class for anything transmitted in one slot.
+
+    Attributes
+    ----------
+    sender:
+        The simulator-level identity of the transmitting job.  Jobs in the
+        model have no IDs; this field exists purely for bookkeeping and
+        assertions in the simulator and is never read by protocol logic
+        except to recognise *its own* successful transmission, which the
+        model does allow (a transmitter knows whether it succeeded).
+    """
+
+    sender: int
+
+
+@dataclass(frozen=True, slots=True)
+class DataMessage(Message):
+    """The unit-length payload a job must deliver within its window."""
+
+
+@dataclass(frozen=True, slots=True)
+class ControlMessage(Message):
+    """A generic coordination message (e.g. estimation-protocol pings)."""
+
+
+@dataclass(frozen=True, slots=True)
+class StartMessage(ControlMessage):
+    """PUNCTUAL ``start`` message opening a round (first two slots)."""
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderClaim(ControlMessage):
+    """"I am the leader with deadline ``deadline``" (SLINGSHOT pullback).
+
+    ``deadline`` is the claimant's *remaining* window length expressed in
+    the shared round timeline, which is all jobs need to compare deadlines;
+    the absolute slot index is not known to jobs (no global clock).
+    """
+
+    deadline: int
+
+
+@dataclass(frozen=True, slots=True)
+class TimekeeperBeacon(ControlMessage):
+    """A leader's timekeeper-slot broadcast (BECOME-LEADER).
+
+    Attributes
+    ----------
+    global_time:
+        The leader's announced clock: the slot index in the leader's own
+        timeline.  Followers trim their windows against this clock.
+    deadline:
+        The leader's deadline on the same timeline, so arriving jobs can
+        decide whether this leader outlives them.
+    abdicating:
+        True in the last timekeeper slot of the leader's window, where it
+        also delivers its data payload.
+    payload:
+        The leader's own data message, piggybacked when abdicating or when
+        a deposed leader hands over.
+    """
+
+    global_time: int
+    deadline: int
+    abdicating: bool = False
+    payload: Optional[DataMessage] = None
+
+
+@dataclass(frozen=True, slots=True)
+class EstimateReport(ControlMessage):
+    """A ping transmitted during the size-estimation protocol.
+
+    ``phase`` records which estimation phase the ping belongs to; listeners
+    use their own phase counters, so this field is diagnostic only.
+    """
+
+    phase: int

@@ -1,0 +1,375 @@
+"""Command-line interface: run workloads and protocols from the shell.
+
+Usage (also ``python -m repro ...``)::
+
+    repro simulate --workload batch --n 12 --window 4096 --protocol punctual
+    repro compare  --workload sensors --seeds 3
+    repro feasibility --workload harmonic --n 256 --gamma 0.5
+    repro schedule --small-level 9
+
+Subcommands
+-----------
+``simulate``
+    One workload, one protocol, one seed; prints the result summary.
+``compare``
+    One workload, every protocol; prints a miss-rate table.
+``feasibility``
+    Builds a workload and reports its peak density / slack certificate.
+``schedule``
+    Regenerates a Figure-1-style pecking-order schedule as ASCII art.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines import (
+    beb_factory,
+    edf_factory,
+    sawtooth_factory,
+    urgency_aloha_factory,
+    window_scaled_aloha_factory,
+)
+from repro.channel.jamming import NoJammer, StochasticJammer
+from repro.core.aligned import aligned_factory
+from repro.core.global_trim import trimmed_aligned_factory
+from repro.core.punctual import punctual_factory
+from repro.core.uniform import uniform_factory
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.engine import simulate
+from repro.sim.feasibility import peak_density
+from repro.sim.instance import Instance
+from repro.workloads import (
+    aligned_random_instance,
+    batch_instance,
+    harmonic_starvation_instance,
+    sensor_network_instance,
+    single_class_instance,
+    staircase_instance,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_workload(args: argparse.Namespace) -> Instance:
+    rng = np.random.default_rng(args.workload_seed)
+    name = args.workload
+    if name == "batch":
+        return batch_instance(args.n, window=args.window)
+    if name == "single-class":
+        return single_class_instance(args.n, level=args.level)
+    if name == "aligned-random":
+        levels = list(range(args.level, args.level + 3))
+        return aligned_random_instance(
+            rng, args.level + 4, levels, gamma=args.gamma
+        )
+    if name == "harmonic":
+        return harmonic_starvation_instance(args.n, args.gamma)
+    if name == "staircase":
+        return staircase_instance(
+            n_steps=5, jobs_per_step=max(args.n // 5, 1),
+            step=args.window // 4, window=args.window,
+        )
+    if name == "sensors":
+        return sensor_network_instance(
+            rng, n_sensors=args.n, period=2 * args.window,
+            relative_deadline=args.window, n_periods=3,
+        )
+    raise SystemExit(f"unknown workload: {name}")
+
+
+def _aligned_params(args: argparse.Namespace) -> AlignedParams:
+    return AlignedParams(lam=args.lam, tau=4, min_level=args.min_level)
+
+
+def _punctual_params(args: argparse.Namespace) -> PunctualParams:
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=args.min_level),
+        lam=max(args.lam, 2),
+        pullback_exp=args.pullback_exp,
+        slingshot_exp=args.slingshot_exp,
+    )
+
+
+def _protocol_factories(args, instance: Instance) -> Dict[str, Callable]:
+    factories: Dict[str, Callable] = {
+        "punctual": punctual_factory(_punctual_params(args)),
+        "uniform": uniform_factory(),
+        "beb": beb_factory(),
+        "sawtooth": sawtooth_factory(),
+        "aloha": window_scaled_aloha_factory(8.0),
+        "urgency": urgency_aloha_factory(2.0),
+        "trimmed": trimmed_aligned_factory(_aligned_params(args)),
+        "edf": edf_factory(instance),
+    }
+    if instance.is_aligned:
+        factories["aligned"] = aligned_factory(_aligned_params(args))
+    return factories
+
+
+def _jammer(args):
+    return StochasticJammer(args.jam) if args.jam > 0 else NoJammer()
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    instance = _build_workload(args)
+    factories = _protocol_factories(args, instance)
+    if args.protocol not in factories:
+        raise SystemExit(
+            f"protocol {args.protocol!r} unavailable for this workload "
+            f"(choices: {sorted(factories)})"
+        )
+    result = simulate(
+        instance,
+        factories[args.protocol],
+        jammer=_jammer(args),
+        seed=args.seed,
+        trace=args.trace or bool(args.export_trace),
+    )
+    print(result.summary())
+    if args.trace and result.trace is not None:
+        print(f"utilization: {result.trace.utilization():.3f}")
+        print(f"collisions:  {result.trace.collision_rate():.3f}")
+    if args.export:
+        from repro.analysis.export import result_to_records, write_csv
+
+        write_csv(result_to_records(result), args.export)
+        print(f"wrote per-job outcomes to {args.export}")
+    if args.export_trace and result.trace is not None:
+        from repro.analysis.export import trace_to_records, write_csv
+
+        write_csv(trace_to_records(result.trace), args.export_trace)
+        print(f"wrote per-slot trace to {args.export_trace}")
+    return 0 if result.success_rate >= args.require_success else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep one workload parameter and print the success curve."""
+    from repro.experiments import Sweep
+
+    values = []
+    for token in args.values.split(","):
+        token = token.strip()
+        values.append(float(token) if "." in token else int(token))
+
+    def build(**params):
+        ns = argparse.Namespace(**vars(args))
+        setattr(ns, args.param.replace("-", "_"), params[args.param])
+        return _build_workload(ns)
+
+    def protocol(instance):
+        return _protocol_factories(args, instance)[args.protocol]
+
+    sweep = Sweep(
+        build=build,
+        protocol=protocol,
+        seeds=args.seeds,
+        jammer=_jammer(args) if args.jam > 0 else None,
+    )
+    points = sweep.run({args.param: values})
+    print(
+        Sweep.table(
+            points,
+            title=(
+                f"{args.protocol} on {args.workload}, sweeping "
+                f"{args.param} over {values} ({args.seeds} seeds/point)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    instance = _build_workload(args)
+    factories = _protocol_factories(args, instance)
+    rows = []
+    for name in sorted(factories):
+        ok = total = 0
+        for s in range(args.seeds):
+            res = simulate(
+                instance, factories[name], jammer=_jammer(args), seed=s
+            )
+            ok += res.n_succeeded
+            total += len(res)
+        rows.append([name, 1.0 - ok / total, total])
+    print(
+        format_table(
+            ["protocol", "miss rate", "jobs x seeds"],
+            rows,
+            title=f"workload: {instance.summary()}",
+        )
+    )
+    return 0
+
+
+def cmd_feasibility(args: argparse.Namespace) -> int:
+    from repro.sim.validate import certify
+
+    instance = _build_workload(args)
+    report = peak_density(instance)
+    print(instance.summary())
+    print(str(report))
+    print(f"tightest feasible γ: {report.density:.6f}")
+    feasible = report.density <= args.gamma + 1e-12
+    print(f"γ-slack feasible at γ={args.gamma}: {'yes' if feasible else 'NO'}")
+    cert = certify(
+        instance,
+        gamma=args.gamma,
+        aligned=_aligned_params(args) if instance.is_aligned else None,
+        punctual=_punctual_params(args),
+    )
+    print()
+    print(cert.render())
+    return 0 if feasible and cert.ok else 1
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.analysis.capture import ScheduleCapture
+    from repro.analysis.tables import render_schedule
+    from repro.sim.job import Job
+
+    lvl = args.small_level
+    jobs = []
+    jid = 0
+    for k in range(4):
+        for _ in range(2):
+            jobs.append(Job(jid, k << lvl, (k + 1) << lvl)); jid += 1
+    for k in range(2):
+        for _ in range(3):
+            jobs.append(Job(jid, k << (lvl + 1), (k + 1) << (lvl + 1))); jid += 1
+    for _ in range(3):
+        jobs.append(Job(jid, 0, 4 << lvl)); jid += 1
+    instance = Instance(jobs)
+    capture = ScheduleCapture(AlignedParams(lam=1, tau=4, min_level=lvl))
+    result = simulate(instance, capture.factory(), seed=args.seed)
+    active, kinds = capture.timeline(instance.horizon)
+    print(f"delivered {result.n_succeeded}/{len(result)}")
+    print(
+        render_schedule(
+            active[: args.width],
+            kinds[: args.width],
+            [lvl, lvl + 1, lvl + 2],
+            max_width=args.width,
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Assemble archived experiment tables into one markdown report."""
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    if not results.is_dir():
+        print(f"no results directory at {results} — run the benchmarks first:")
+        print("  pytest benchmarks/ --benchmark-only")
+        return 1
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(f"no experiment artefacts in {results}")
+        return 1
+    sections = ["# Experiment report", ""]
+    for f in files:
+        sections.append(f"## {f.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(f.read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    text = "\n".join(sections)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(files)} experiments)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Contention resolution with message deadlines (SPAA 2020)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_common(sp):
+        sp.add_argument("--workload", default="batch",
+                        choices=["batch", "single-class", "aligned-random",
+                                 "harmonic", "staircase", "sensors"])
+        sp.add_argument("--n", type=int, default=8)
+        sp.add_argument("--window", type=int, default=4096)
+        sp.add_argument("--level", type=int, default=9)
+        sp.add_argument("--gamma", type=float, default=0.02)
+        sp.add_argument("--workload-seed", type=int, default=0)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--jam", type=float, default=0.0,
+                        help="stochastic jamming probability")
+        sp.add_argument("--lam", type=int, default=1)
+        sp.add_argument("--min-level", type=int, default=9)
+        sp.add_argument("--pullback-exp", type=int, default=1)
+        sp.add_argument("--slingshot-exp", type=int, default=2)
+
+    sim = sub.add_parser("simulate", help="run one protocol on one workload")
+    add_common(sim)
+    sim.add_argument("--protocol", default="punctual",
+                     choices=["punctual", "aligned", "trimmed", "uniform",
+                              "beb", "sawtooth", "aloha", "urgency", "edf"])
+    sim.add_argument("--trace", action="store_true")
+    sim.add_argument("--require-success", type=float, default=0.0,
+                     help="exit nonzero if the success rate is below this")
+    sim.add_argument("--export", default="",
+                     help="write per-job outcomes to this CSV")
+    sim.add_argument("--export-trace", default="",
+                     help="write the per-slot trace to this CSV")
+    sim.set_defaults(func=cmd_simulate)
+
+    swp = sub.add_parser(
+        "sweep", help="sweep one workload parameter for one protocol"
+    )
+    add_common(swp)
+    swp.add_argument("--protocol", default="punctual",
+                     choices=["punctual", "aligned", "trimmed", "uniform",
+                              "beb", "sawtooth", "aloha", "urgency", "edf"])
+    swp.add_argument("--param", default="n",
+                     choices=["n", "window", "gamma", "level"])
+    swp.add_argument("--values", required=True,
+                     help="comma-separated values, e.g. 4,8,16")
+    swp.add_argument("--seeds", type=int, default=3)
+    swp.set_defaults(func=cmd_sweep)
+
+    cmp_ = sub.add_parser("compare", help="run every protocol on one workload")
+    add_common(cmp_)
+    cmp_.add_argument("--seeds", type=int, default=3)
+    cmp_.set_defaults(func=cmd_compare)
+
+    feas = sub.add_parser("feasibility", help="report a workload's slack")
+    add_common(feas)
+    feas.set_defaults(func=cmd_feasibility)
+
+    sched = sub.add_parser("schedule", help="render a Figure-1 schedule")
+    sched.add_argument("--small-level", type=int, default=9)
+    sched.add_argument("--width", type=int, default=160)
+    sched.add_argument("--seed", type=int, default=0)
+    sched.set_defaults(func=cmd_schedule)
+
+    rep = sub.add_parser(
+        "report", help="assemble benchmark artefacts into one markdown file"
+    )
+    rep.add_argument("--results-dir", default="benchmarks/results")
+    rep.add_argument("--output", default="", help="write here instead of stdout")
+    rep.set_defaults(func=cmd_report)
+    return p
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

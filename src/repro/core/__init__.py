@@ -1,0 +1,64 @@
+"""The paper's protocols: UNIFORM, ALIGNED, PUNCTUAL, and their pieces."""
+
+from repro.core.aligned import AlignedMachine, AlignedProtocol, aligned_factory
+from repro.core.broadcast import (
+    BroadcastSchedule,
+    SubphasePosition,
+    broadcast_length,
+    total_active_steps,
+)
+from repro.core.estimation import (
+    EstimationTally,
+    estimation_length,
+    phase_of_step,
+    phase_probability,
+    resolve_estimate,
+)
+from repro.core.global_trim import TrimmedAlignedProtocol, trimmed_aligned_factory
+from repro.core.leader import LeaderTracker, LeaderView
+from repro.core.punctual import PunctualProtocol, Stage, punctual_factory
+from repro.core.rounds import ROUND_LENGTH, RoundSynchronizer, SlotRole
+from repro.core.schedule import (
+    BroadcastStep,
+    ClassRun,
+    EstimationStep,
+    PeckingOrderView,
+    StepKind,
+)
+from repro.core.trimming import trimmed_instance, trimmed_job, trimmed_window
+from repro.core.uniform import UniformProtocol, uniform_factory
+
+__all__ = [
+    "AlignedMachine",
+    "AlignedProtocol",
+    "aligned_factory",
+    "BroadcastSchedule",
+    "SubphasePosition",
+    "broadcast_length",
+    "total_active_steps",
+    "EstimationTally",
+    "estimation_length",
+    "phase_of_step",
+    "phase_probability",
+    "resolve_estimate",
+    "LeaderTracker",
+    "LeaderView",
+    "PunctualProtocol",
+    "Stage",
+    "punctual_factory",
+    "ROUND_LENGTH",
+    "RoundSynchronizer",
+    "SlotRole",
+    "BroadcastStep",
+    "ClassRun",
+    "EstimationStep",
+    "PeckingOrderView",
+    "StepKind",
+    "trimmed_instance",
+    "trimmed_job",
+    "trimmed_window",
+    "TrimmedAlignedProtocol",
+    "trimmed_aligned_factory",
+    "UniformProtocol",
+    "uniform_factory",
+]

@@ -1,0 +1,182 @@
+"""The ALIGNED protocol (Section 3) for power-of-2-aligned windows.
+
+Each job runs three nested layers:
+
+1. a :class:`~repro.core.schedule.PeckingOrderView` deciding which class
+   is active each slot (Lemma 7 agreement);
+2. when its own class is active, the class algorithm: the size-estimation
+   protocol (ping with probability ``1/2^i`` in phase i) followed by the
+   batch broadcast protocol (one uniformly random slot per subphase);
+3. termination: succeed on own delivery, give up if the class run
+   completes without one or is truncated by the window end (the engine
+   enforces the latter).
+
+:class:`AlignedMachine` contains all the logic against an abstract slot
+index so PUNCTUAL can re-run it in round-indexed *virtual* time on the
+aligned slots; :class:`AlignedProtocol` adapts it to the real slot engine
+one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataMessage, EstimateReport, Message
+from repro.core.schedule import BroadcastStep, EstimationStep, PeckingOrderView
+from repro.errors import InvalidInstanceError
+from repro.params import AlignedParams
+from repro.sim.job import Job, is_power_of_two, window_class
+from repro.sim.protocolbase import Protocol, ProtocolContext
+
+__all__ = ["AlignedMachine", "AlignedProtocol", "aligned_factory"]
+
+
+class AlignedMachine:
+    """Per-job ALIGNED state machine over an abstract slot timeline.
+
+    Parameters
+    ----------
+    job_id:
+        Identity stamped on outgoing messages.
+    level:
+        The job's class ℓ (window size ``2^ℓ`` in machine slots).
+    params:
+        λ, τ and the schedule's ``min_level``.
+    rng:
+        The job's private random stream.
+
+    The machine must be driven for *every* consecutive slot from its
+    ``begin`` slot until it reports :attr:`finished` (or its window ends):
+    ``act(v)`` then ``observe(v, obs)``.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        level: int,
+        params: AlignedParams,
+        rng: np.random.Generator,
+    ) -> None:
+        self.job_id = job_id
+        self.level = level
+        self.params = params
+        self.rng = rng
+        self.view: Optional[PeckingOrderView] = None
+        self.succeeded = False
+        self.gave_up = False
+        self.last_p = 0.0
+        self._my_subphase_slot: int = -1  # drawn at each subphase start
+        self._transmitting = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, v: int) -> None:
+        """Start at machine slot ``v`` (must be a multiple of ``2^level``)."""
+        self.view = PeckingOrderView(self.params, self.level, v)
+
+    @property
+    def finished(self) -> bool:
+        """True once the job has succeeded or given up."""
+        return self.succeeded or self.gave_up
+
+    # -- slot protocol ---------------------------------------------------------
+
+    def act(self, v: int) -> Optional[Message]:
+        """Decide this machine-slot's action; sets :attr:`last_p`."""
+        assert self.view is not None, "act() before begin()"
+        active = self.view.on_slot_start(v)
+        self.last_p = 0.0
+        self._transmitting = False
+        if self.finished:
+            return None
+        my_run = self.view.run_of(self.level)
+        if active is None or my_run.done:
+            # All tracked classes done but I never delivered: the class
+            # algorithm ran to completion without me — give up (the
+            # paper's jobs only terminate on success or truncation, and a
+            # completed run leaves no further steps to take).
+            if my_run.done and not self.succeeded:
+                self.gave_up = True
+            return None
+        if active != self.level:
+            return None  # a smaller class holds the channel; wait.
+
+        step = my_run.next_step()
+        if isinstance(step, EstimationStep):
+            p = 1.0 / (1 << step.phase)
+            self.last_p = p
+            if self.rng.random() < p:
+                self._transmitting = True
+                return EstimateReport(self.job_id, step.phase)
+            return None
+        assert isinstance(step, BroadcastStep)
+        pos = step.position
+        if pos.subphase_start:
+            self._my_subphase_slot = int(self.rng.integers(pos.length))
+        self.last_p = 1.0 / pos.length
+        if pos.offset == self._my_subphase_slot:
+            self._transmitting = True
+            return DataMessage(self.job_id)
+        return None
+
+    def observe(self, v: int, obs: Observation) -> None:
+        """Feed the slot's channel outcome; advances the shared view."""
+        assert self.view is not None, "observe() before begin()"
+        if obs.own_success and isinstance(obs.message, DataMessage):
+            self.succeeded = True
+        self.view.on_slot_end(v, obs.feedback.name == "SUCCESS")
+
+
+class AlignedProtocol(Protocol):
+    """ALIGNED adapted to the real-time slot engine.
+
+    The aligned special case grants a shared slot index (alignment itself
+    synchronizes jobs), so this protocol legitimately uses the absolute
+    slot ``t``.
+    """
+
+    def __init__(self, ctx: ProtocolContext, params: AlignedParams) -> None:
+        super().__init__(ctx)
+        if not is_power_of_two(ctx.window):
+            raise InvalidInstanceError(
+                f"ALIGNED requires power-of-two windows, got {ctx.window}"
+            )
+        self.params = params
+        self.machine = AlignedMachine(
+            ctx.job_id, window_class(ctx.window), params, ctx.rng
+        )
+        self.last_p = 0.0
+
+    def on_begin(self, slot: int) -> None:
+        if slot % self.ctx.window != 0:
+            raise InvalidInstanceError(
+                f"job {self.ctx.job_id} released at {slot}, not aligned to "
+                f"window {self.ctx.window}"
+            )
+        self.machine.begin(slot)
+
+    def on_act(self, slot: int) -> Optional[Message]:
+        msg = self.machine.act(slot)
+        self.last_p = self.machine.last_p
+        return msg
+
+    def on_observe(self, slot: int, obs: Observation) -> None:
+        self.machine.observe(slot, obs)
+        if self.machine.gave_up:
+            self.gave_up = True
+
+    @property
+    def done(self) -> bool:
+        return self.succeeded or self.gave_up
+
+
+def aligned_factory(params: AlignedParams):
+    """A :data:`~repro.sim.engine.ProtocolFactory` running ALIGNED."""
+
+    def make(job: Job, rng: np.random.Generator) -> AlignedProtocol:
+        return AlignedProtocol(ProtocolContext.for_job(job, rng), params)
+
+    return make

@@ -1,0 +1,102 @@
+"""TRIMMED-ALIGNED: the global-clock variant of Section 4's intro.
+
+Before introducing PUNCTUAL, the paper observes:
+
+    "if all jobs had access to a global clock — that is, all jobs agreed
+    on the index of the current slot — then each job could trim its own
+    window without any help.  Then, the algorithm from Section 3 could
+    be used."
+
+This module implements exactly that middle point: arbitrary windows,
+but a shared slot index.  Each job trims its window to the largest
+power-of-2-aligned sub-window (Lemma 15: at least a quarter of the
+original, and 4γ-slack feasibility becomes γ-slack feasibility) and runs
+the unmodified ALIGNED machine inside it.
+
+It slots between ALIGNED (needs aligned inputs) and PUNCTUAL (needs
+nothing): same guarantees as ALIGNED at a 4x slack cost, none of
+PUNCTUAL's round/leader machinery — and it quantifies, in the comparison
+benches, exactly what the *absence* of a global clock costs (PUNCTUAL's
+extra 10x round dilution and leader-election overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import Message
+from repro.core.aligned import AlignedMachine
+from repro.core.trimming import trimmed_window
+from repro.params import AlignedParams
+from repro.sim.job import Job, window_class
+from repro.sim.protocolbase import Protocol, ProtocolContext
+
+__all__ = ["TrimmedAlignedProtocol", "trimmed_aligned_factory"]
+
+
+class TrimmedAlignedProtocol(Protocol):
+    """Trim to an aligned window (global clock), then run ALIGNED inside.
+
+    The job idles (pure listening) outside its trimmed window; inside it,
+    the embedded :class:`AlignedMachine` is stepped one-to-one with real
+    slots.  If the trimmed window's class falls below the schedule's
+    ``min_level`` the job cannot participate (its window is too small for
+    the configured pecking order) and gives up immediately — feasible
+    instances in the protocol's regime never trigger this.
+    """
+
+    def __init__(self, ctx: ProtocolContext, params: AlignedParams) -> None:
+        super().__init__(ctx)
+        self.params = params
+        self.machine: Optional[AlignedMachine] = None
+        self.trim: Optional[tuple[int, int]] = None
+        self.last_p = 0.0
+        self._stepped = False
+
+    def on_begin(self, slot: int) -> None:
+        lo, hi = trimmed_window(slot, slot + self.ctx.window)
+        level = window_class(hi - lo)
+        if level < self.params.min_level:
+            self.gave_up = True
+            return
+        self.trim = (lo, hi)
+        self.machine = AlignedMachine(
+            self.ctx.job_id, level, self.params, self.ctx.rng
+        )
+        self.machine.begin(lo)
+
+    def on_act(self, slot: int) -> Optional[Message]:
+        self.last_p = 0.0
+        if self.machine is None or self.trim is None:
+            return None
+        lo, hi = self.trim
+        if not lo <= slot < hi or self.machine.finished:
+            return None
+        msg = self.machine.act(slot)
+        self.last_p = self.machine.last_p
+        self._stepped = True
+        return msg
+
+    def on_observe(self, slot: int, obs: Observation) -> None:
+        if self.machine is None or self.trim is None:
+            return
+        if self._stepped:
+            self.machine.observe(slot, obs)
+            self._stepped = False
+            if self.machine.gave_up:
+                self.gave_up = True
+        if slot >= self.trim[1] - 1 and not self.succeeded:
+            # trimmed window over without delivery
+            self.gave_up = True
+
+
+def trimmed_aligned_factory(params: AlignedParams):
+    """A :data:`~repro.sim.engine.ProtocolFactory` for TRIMMED-ALIGNED."""
+
+    def make(job: Job, rng: np.random.Generator) -> TrimmedAlignedProtocol:
+        return TrimmedAlignedProtocol(ProtocolContext.for_job(job, rng), params)
+
+    return make

@@ -1,0 +1,106 @@
+"""Passive leader tracking for PUNCTUAL (Section 4).
+
+Every job, whatever its stage, digests timekeeper beacons and successful
+leader-election claims into one shared picture: *is there a leader, when
+is its deadline, and what is the global (virtual) time?*  Because the
+picture is a deterministic function of channel feedback, all synchronized
+jobs hold the same picture — the general-case analogue of the Lemma 7
+agreement argument.
+
+Deadlines travel on the channel as **remaining rounds** (jobs have no
+global clock, but all agree on round boundaries, so "my deadline is R
+rounds from this one" is unambiguous).  Each tracker converts them to its
+own local round counter on receipt.
+
+Resolution rules the paper leaves implicit (documented in DESIGN.md):
+
+* a *silent* timekeeper slot means "no leader" (a live leader transmits
+  in every timekeeper slot; silence is proof of absence), while a *noisy*
+  one is uninformative (jamming) and leaves the picture unchanged;
+* an abdicating beacon clears the leader only if it comes from the
+  tracked leader (matched by deadline) — a deposed leader's handover
+  beacon is also marked abdicating but must not clear the *new* leader,
+  which the tracker already adopted when it heard the winning claim;
+* a successful claim replaces the tracked leader iff its deadline is
+  strictly later (a job only contends when it outlives the incumbent, so
+  ties mean no deposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.messages import LeaderClaim, TimekeeperBeacon
+from repro.core.rounds import SlotRole
+
+__all__ = ["LeaderView", "LeaderTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderView:
+    """A snapshot of the tracked leader state.
+
+    ``deadline_round`` is in the *owner's* local round counter: the last
+    round whose timekeeper slot the leader will still attend.
+    ``vtime_offset`` maps local rounds to the leader's announced global
+    time (``virtual = local + offset``); None until a beacon is heard.
+    """
+
+    deadline_round: int
+    vtime_offset: Optional[int]
+
+
+class LeaderTracker:
+    """Digests per-slot observations into the current :class:`LeaderView`."""
+
+    def __init__(self) -> None:
+        self._leader: Optional[LeaderView] = None
+        self._vtime: Optional[int] = None
+
+    def current(self, local_round: int) -> Optional[LeaderView]:
+        """The tracked leader, if any is still alive at ``local_round``."""
+        if self._leader is not None and self._leader.deadline_round < local_round:
+            # expired without an observed abdication (e.g. we were not yet
+            # listening when it abdicated)
+            self._leader = None
+        return self._leader
+
+    @property
+    def vtime_offset(self) -> Optional[int]:
+        """Last known local-to-global round offset (survives leader loss).
+
+        Kept after abdication so a newly elected leader that heard the old
+        beacons can continue the same global timeline.
+        """
+        return self._vtime
+
+    def observe(self, local_round: int, role: SlotRole, obs: Observation) -> None:
+        """Feed one slot's feedback (with its round index and role)."""
+        if role is SlotRole.TIMEKEEPER:
+            if obs.feedback is Feedback.SILENCE:
+                self._leader = None
+            elif obs.feedback is Feedback.SUCCESS and isinstance(
+                obs.message, TimekeeperBeacon
+            ):
+                beacon = obs.message
+                deadline = local_round + beacon.deadline
+                self._vtime = beacon.global_time - local_round
+                if beacon.abdicating:
+                    cur = self._leader
+                    if cur is not None and cur.deadline_round == deadline:
+                        self._leader = None
+                    # else: handover beacon of a deposed leader; the new
+                    # leader (adopted at claim time) stays tracked.
+                else:
+                    self._leader = LeaderView(deadline, self._vtime)
+            # NOISE: uninformative, keep the picture.
+        elif role is SlotRole.ELECTION:
+            if obs.feedback is Feedback.SUCCESS and isinstance(
+                obs.message, LeaderClaim
+            ):
+                claim_deadline = local_round + obs.message.deadline
+                cur = self._leader
+                if cur is None or claim_deadline > cur.deadline_round:
+                    self._leader = LeaderView(claim_deadline, self.vtime_offset)

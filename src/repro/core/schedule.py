@@ -1,0 +1,248 @@
+"""Pecking-order scheduling of active steps (Section 3).
+
+At any slot exactly one job class is **active**; all live jobs agree on
+which (Lemma 7).  The agreement is achieved with no communication beyond
+the channel itself:
+
+* window boundaries are implicit synchronization points — at any slot
+  that is a multiple of ``2^ℓ``, class ℓ's previous run is over
+  (truncated if incomplete) and a fresh run begins;
+* every live job simulates every class smaller than its own by counting
+  that class's active steps and watching the channel during its
+  estimation, so it learns the class's estimate and hence exactly how
+  many more active steps the class needs (Lemma 6);
+* the active class at any slot is simply the smallest class whose
+  current run is unfinished.
+
+:class:`ClassRun` tracks one class's current run (estimation tally, then
+broadcast schedule).  :class:`PeckingOrderView` tracks a contiguous range
+of classes and answers "who is active now?".  Each job owns a private
+view; because a view is a deterministic function of (slot index, channel
+feedback) and all live jobs see the same feedback, all views agree — the
+property test for Lemma 7 checks exactly this.
+
+A job of class ℓ released at ``r`` needs no pre-``r`` history: ``r`` is a
+multiple of ``2^ℓ`` and hence of every smaller class's size, so *all*
+classes ≤ ℓ start fresh runs at ``r``.  Larger classes never pre-empt
+smaller ones, so the job need not track them at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.broadcast import BroadcastSchedule, SubphasePosition, total_active_steps
+from repro.core.estimation import EstimationTally
+from repro.errors import InvalidParameterError, ProtocolViolationError
+from repro.params import AlignedParams
+
+__all__ = ["StepKind", "EstimationStep", "BroadcastStep", "ClassRun", "PeckingOrderView"]
+
+
+class StepKind(enum.Enum):
+    """What kind of active step a class is about to take."""
+
+    ESTIMATION = "estimation"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True, slots=True)
+class EstimationStep:
+    """An upcoming estimation step: transmit a ping w.p. ``1/2^phase``."""
+
+    kind: StepKind
+    phase: int  # 1-indexed
+
+
+@dataclass(frozen=True, slots=True)
+class BroadcastStep:
+    """An upcoming broadcast step at a given subphase position."""
+
+    kind: StepKind
+    position: SubphasePosition
+
+
+Step = Union[EstimationStep, BroadcastStep]
+
+
+class ClassRun:
+    """The state of one class's current (estimation + broadcast) run.
+
+    Level 0 is special-cased as a single broadcast step of length 1
+    (window size 1 leaves no room for coordination; a lone job just
+    transmits).  Feasible instances with γ < 1 never contain class-0
+    jobs, but the run must still be well-defined for schedule accounting.
+    """
+
+    def __init__(self, level: int, params: AlignedParams) -> None:
+        if level < 0:
+            raise InvalidParameterError(f"level must be >= 0, got {level}")
+        self.level = level
+        self.params = params
+        self.steps_taken = 0
+        self.tally: Optional[EstimationTally] = (
+            EstimationTally(level, params.lam) if level > 0 else None
+        )
+        self.estimate: Optional[int] = None
+        self.schedule: Optional[BroadcastSchedule] = None
+        if level == 0:
+            self.estimate = 0
+            self.schedule = BroadcastSchedule.trivial()
+
+    @property
+    def estimation_steps(self) -> int:
+        return 0 if self.tally is None else self.tally.total_steps
+
+    @property
+    def total_steps(self) -> Optional[int]:
+        """Total active steps of the run; None until the estimate is known."""
+        if self.level == 0:
+            return 1
+        if self.estimate is None:
+            return None
+        return total_active_steps(self.level, self.estimate, self.params.lam)
+
+    @property
+    def done(self) -> bool:
+        total = self.total_steps
+        return total is not None and self.steps_taken >= total
+
+    def next_step(self) -> Step:
+        """Describe the step the class takes in its next active slot."""
+        if self.done:
+            raise ProtocolViolationError(
+                f"class {self.level} run is complete; no next step"
+            )
+        if self.level > 0 and self.steps_taken < self.estimation_steps:
+            assert self.tally is not None
+            return EstimationStep(StepKind.ESTIMATION, self.tally.current_phase())
+        assert self.schedule is not None
+        bstep = self.steps_taken - self.estimation_steps
+        return BroadcastStep(StepKind.BROADCAST, self.schedule.position(bstep))
+
+    def advance(self, success: bool) -> None:
+        """Consume one active step, feeding the slot's outcome.
+
+        ``success`` is whether the slot carried a successful transmission
+        (anyone's) — the only channel information estimation needs.
+        """
+        if self.done:
+            raise ProtocolViolationError(
+                f"advance() on completed class-{self.level} run"
+            )
+        if self.level > 0 and self.steps_taken < self.estimation_steps:
+            assert self.tally is not None
+            self.tally.record(success)
+            self.steps_taken += 1
+            if self.tally.complete:
+                self.estimate = self.tally.estimate(self.params.tau)
+                if self.estimate:
+                    self.schedule = BroadcastSchedule(
+                        self.level, self.estimate, self.params.lam
+                    )
+            return
+        self.steps_taken += 1
+
+
+class PeckingOrderView:
+    """One job's deterministic view of which class is active per slot.
+
+    Parameters
+    ----------
+    params:
+        ALIGNED parameters (λ, τ, ``min_level``).
+    max_level:
+        The owning job's class; classes ``min_level .. max_level`` are
+        tracked.
+    origin:
+        The slot at which tracking starts (the job's release).  Must be a
+        multiple of ``2^max_level``; all tracked classes reset here.
+
+    Usage per slot ``t`` (consecutive from ``origin``)::
+
+        active = view.on_slot_start(t)   # None, or the active level
+        ... channel resolution ...
+        view.on_slot_end(t, success)
+    """
+
+    def __init__(self, params: AlignedParams, max_level: int, origin: int) -> None:
+        if max_level < params.min_level:
+            raise InvalidParameterError(
+                f"job class {max_level} below schedule min_level "
+                f"{params.min_level}"
+            )
+        if origin % (1 << max_level) != 0:
+            raise InvalidParameterError(
+                f"origin {origin} not aligned to 2^{max_level}"
+            )
+        self.params = params
+        self.min_level = params.min_level
+        self.max_level = max_level
+        self.origin = origin
+        self.runs: Dict[int, ClassRun] = {
+            lv: ClassRun(lv, params) for lv in range(self.min_level, max_level + 1)
+        }
+        self._expected_slot = origin
+        self._active: Optional[int] = None
+        self._phase = "start"  # alternates start -> end
+
+    def on_slot_start(self, t: int) -> Optional[int]:
+        """Handle boundaries, then return the active level (or None).
+
+        None means every tracked class's run is complete — the slot
+        belongs to some larger class, which this job need not model.
+        """
+        if self._phase != "start" or t != self._expected_slot:
+            raise ProtocolViolationError(
+                f"on_slot_start({t}) out of order "
+                f"(expected slot {self._expected_slot}, phase {self._phase})"
+            )
+        for lv in range(self.min_level, self.max_level + 1):
+            if t % (1 << lv) == 0:
+                self.runs[lv] = ClassRun(lv, self.params)
+        self._active = None
+        for lv in range(self.min_level, self.max_level + 1):
+            if not self.runs[lv].done:
+                self._active = lv
+                break
+        self._phase = "end"
+        return self._active
+
+    def on_slot_end(self, t: int, success: bool) -> None:
+        """Feed the slot's outcome; advances the active class's run."""
+        if self._phase != "end" or t != self._expected_slot:
+            raise ProtocolViolationError(
+                f"on_slot_end({t}) out of order "
+                f"(expected slot {self._expected_slot}, phase {self._phase})"
+            )
+        if self._active is not None:
+            self.runs[self._active].advance(success)
+        self._expected_slot = t + 1
+        self._phase = "start"
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active_level(self) -> Optional[int]:
+        """The level chosen by the latest :meth:`on_slot_start`."""
+        return self._active
+
+    def run_of(self, level: int) -> ClassRun:
+        return self.runs[level]
+
+    def snapshot(self) -> Tuple[Tuple[int, int, Optional[int], bool], ...]:
+        """A hashable digest of all runs (level, steps, estimate, done).
+
+        Used by the Lemma 7 agreement tests to compare views across jobs.
+        """
+        return tuple(
+            (
+                lv,
+                self.runs[lv].steps_taken,
+                self.runs[lv].estimate,
+                self.runs[lv].done,
+            )
+            for lv in range(self.min_level, self.max_level + 1)
+        )

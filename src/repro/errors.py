@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An instance (set of jobs) violates a structural requirement.
+
+    Raised, for example, when a job has a deadline before its release time,
+    when a window claimed to be power-of-2 aligned is not, or when an
+    instance that must be feasible fails the feasibility check.
+    """
+
+
+class InvalidParameterError(ReproError):
+    """A protocol or simulation parameter is outside its legal range."""
+
+
+class ProtocolViolationError(ReproError):
+    """A protocol state machine was driven in an illegal order.
+
+    This indicates a bug in the simulation engine or a protocol
+    implementation (e.g. delivering feedback for a slot before asking the
+    protocol for its action in that slot), never a property of the workload.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an internal inconsistency."""

@@ -1,0 +1,31 @@
+"""Experiment utilities: grid sweeps, CIs, and capacity planning."""
+
+from repro.experiments.capacity import (
+    PunctualBudget,
+    aligned_window_demand,
+    max_feasible_gamma,
+    punctual_overheads,
+)
+from repro.experiments.compare import ProtocolComparison, compare_protocols
+from repro.experiments.parallel import (
+    ParallelJob,
+    SeedDigest,
+    aggregate,
+    run_seeds,
+)
+from repro.experiments.sweep import Sweep, SweepPoint
+
+__all__ = [
+    "ProtocolComparison",
+    "compare_protocols",
+    "Sweep",
+    "SweepPoint",
+    "ParallelJob",
+    "SeedDigest",
+    "aggregate",
+    "run_seeds",
+    "PunctualBudget",
+    "aligned_window_demand",
+    "max_feasible_gamma",
+    "punctual_overheads",
+]

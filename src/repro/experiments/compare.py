@@ -1,0 +1,126 @@
+"""Paired protocol comparison with significance testing.
+
+E12-style "who wins" tables answer the headline question; this module
+adds the statistical footing: all protocols run on the *same* instance
+with the *same* seeds (paired by design — the RNG factory isolates
+protocol randomness per job, so two protocols on one seed share the
+workload exactly), and differences against a chosen baseline come with
+bootstrap confidence intervals over the per-seed success rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import bootstrap_mean_diff
+from repro.analysis.tables import format_table
+from repro.channel.jamming import Jammer
+from repro.sim.engine import ProtocolFactory, simulate
+from repro.sim.instance import Instance
+
+__all__ = ["ProtocolComparison", "compare_protocols"]
+
+
+@dataclass(frozen=True)
+class ProtocolComparison:
+    """Per-protocol per-seed success rates plus baseline contrasts."""
+
+    instance_summary: str
+    seeds: Tuple[int, ...]
+    rates: Mapping[str, Tuple[float, ...]]  # name -> per-seed success rates
+    baseline: str
+
+    def mean_rate(self, name: str) -> float:
+        return float(np.mean(self.rates[name]))
+
+    def contrast(
+        self, name: str, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[float, float, float]:
+        """``mean(name) − mean(baseline)`` with a bootstrap CI."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return bootstrap_mean_diff(
+            self.rates[name], self.rates[self.baseline], rng
+        )
+
+    def significant_winners(self) -> List[str]:
+        """Protocols whose CI over the baseline lies strictly above 0."""
+        out = []
+        for name in self.rates:
+            if name == self.baseline:
+                continue
+            _, lo, _ = self.contrast(name)
+            if lo > 0:
+                out.append(name)
+        return out
+
+    def significant_losers(self) -> List[str]:
+        """Protocols whose CI against the baseline lies strictly below 0."""
+        out = []
+        for name in self.rates:
+            if name == self.baseline:
+                continue
+            _, _, hi = self.contrast(name)
+            if hi < 0:
+                out.append(name)
+        return out
+
+    def table(self, title: str = "") -> str:
+        rows = []
+        for name in self.rates:
+            mean = self.mean_rate(name)
+            if name == self.baseline:
+                rows.append([name, mean, "—", "—", "baseline"])
+                continue
+            point, lo, hi = self.contrast(name)
+            verdict = (
+                "better" if lo > 0 else "worse" if hi < 0 else "tied"
+            )
+            rows.append([name, mean, point, f"[{lo:.3f}, {hi:.3f}]", verdict])
+        return format_table(
+            ["protocol", "mean success", "Δ vs baseline", "95% CI", "verdict"],
+            rows,
+            title=title or f"comparison on {self.instance_summary} "
+            f"({len(self.seeds)} seeds, baseline {self.baseline})",
+        )
+
+
+def compare_protocols(
+    instance: Instance,
+    factories: Mapping[str, ProtocolFactory],
+    *,
+    seeds: Sequence[int] = range(8),
+    baseline: Optional[str] = None,
+    jammer: Optional[Jammer] = None,
+) -> ProtocolComparison:
+    """Run every factory over every seed on one instance.
+
+    Parameters
+    ----------
+    factories:
+        Name → protocol factory.  Factories that must precompute from the
+        instance (EDF) should already be bound to it.
+    baseline:
+        Contrast target; defaults to the first name.
+    """
+    if not factories:
+        raise ValueError("need at least one protocol")
+    names = list(factories)
+    base = baseline if baseline is not None else names[0]
+    if base not in factories:
+        raise ValueError(f"baseline {base!r} not among protocols {names}")
+    rates: Dict[str, Tuple[float, ...]] = {}
+    for name, factory in factories.items():
+        per_seed = tuple(
+            simulate(instance, factory, jammer=jammer, seed=s).success_rate
+            for s in seeds
+        )
+        rates[name] = per_seed
+    return ProtocolComparison(
+        instance_summary=instance.summary(),
+        seeds=tuple(seeds),
+        rates=rates,
+        baseline=base,
+    )

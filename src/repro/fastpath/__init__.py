@@ -1,0 +1,26 @@
+"""Vectorized numpy fast paths, cross-validated against the slot engine."""
+
+from repro.fastpath.aligned_fast import ClassRunResult, simulate_class_run_fast
+from repro.fastpath.anarchist_fast import (
+    AnarchistFastResult,
+    simulate_anarchists_fast,
+)
+from repro.fastpath.broadcast_fast import BroadcastFastResult, simulate_broadcast_fast
+from repro.fastpath.estimation_fast import (
+    estimation_success_counts,
+    simulate_estimation_fast,
+)
+from repro.fastpath.uniform_fast import UniformFastResult, simulate_uniform_fast
+
+__all__ = [
+    "ClassRunResult",
+    "simulate_class_run_fast",
+    "AnarchistFastResult",
+    "simulate_anarchists_fast",
+    "BroadcastFastResult",
+    "simulate_broadcast_fast",
+    "estimation_success_counts",
+    "simulate_estimation_fast",
+    "UniformFastResult",
+    "simulate_uniform_fast",
+]

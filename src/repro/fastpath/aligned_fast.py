@@ -1,0 +1,86 @@
+"""Vectorized single-class ALIGNED runs (estimation + broadcast).
+
+Chains the fast estimation and fast broadcast for one class occupancy —
+the statistics behind Theorem 14 at the granularity of one window, with
+optional jamming and an optional active-step budget (truncation).  The
+pecking-order interaction across classes is exercised by the (slower)
+slot engine; this fast path answers "given the active steps, does the
+class algorithm deliver everyone?" over many trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.broadcast import total_active_steps
+from repro.core.estimation import estimation_length
+from repro.fastpath.broadcast_fast import BroadcastFastResult, simulate_broadcast_fast
+from repro.fastpath.estimation_fast import simulate_estimation_fast
+from repro.params import AlignedParams
+
+__all__ = ["ClassRunResult", "simulate_class_run_fast"]
+
+
+@dataclass(frozen=True)
+class ClassRunResult:
+    """Outcome of one full class run (estimation + broadcast)."""
+
+    n_jobs: int
+    estimate: int
+    n_succeeded: int
+    active_steps: int
+    truncated: bool
+
+    @property
+    def all_succeeded(self) -> bool:
+        return self.n_succeeded == self.n_jobs
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_jobs - self.n_succeeded
+
+    @property
+    def estimate_in_lemma8_band(self) -> bool:
+        """Whether ``2n̂ <= n_ℓ <= τ²n̂`` — without τ's value this is
+        meaningless, so callers pass their own τ via the params used."""
+        return self.estimate >= 2 * self.n_jobs if self.n_jobs else True
+
+
+def simulate_class_run_fast(
+    n_jobs: int,
+    level: int,
+    params: AlignedParams,
+    rng: np.random.Generator,
+    *,
+    p_jam: float = 0.0,
+    active_step_budget: Optional[int] = None,
+) -> ClassRunResult:
+    """One class run: estimate, then broadcast, within an optional budget.
+
+    ``active_step_budget`` models pecking-order truncation: if the budget
+    ends during estimation the estimate resolves to 0 and nobody
+    broadcasts (the paper's truncation rule); if it ends mid-broadcast
+    the remaining jobs give up.
+    """
+    est_len = estimation_length(level, params.lam)
+    budget = active_step_budget
+    if budget is not None and budget < est_len:
+        return ClassRunResult(n_jobs, 0, 0, budget, True)
+    estimate = int(
+        simulate_estimation_fast(
+            n_jobs, level, params, rng, n_trials=1, p_jam=p_jam
+        )[0]
+    )
+    if estimate == 0:
+        return ClassRunResult(n_jobs, 0, 0, est_len, False)
+    bcast_budget = None if budget is None else budget - est_len
+    res: BroadcastFastResult = simulate_broadcast_fast(
+        n_jobs, level, estimate, params, rng, p_jam=p_jam, step_budget=bcast_budget
+    )
+    total = total_active_steps(level, estimate, params.lam)
+    used = est_len + res.steps_used
+    truncated = used < total
+    return ClassRunResult(n_jobs, estimate, res.n_succeeded, used, truncated)

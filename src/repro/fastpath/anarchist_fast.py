@@ -1,0 +1,79 @@
+"""Vectorized anarchist-stage trials (PUNCTUAL's release stage).
+
+Simulates a cohort of anarchists sharing the anarchy slots of their
+overlapping windows: in each anarchy slot every still-live anarchist
+transmits with its release probability, succeeding iff alone (and not
+jammed).  Used by statistical experiments on the anarchist regime
+(where does the stage saturate?  what does Corollary 20 predict?)
+without paying the slot engine's per-slot overhead.
+
+Simplification (documented): all jobs share one window in lockstep, so
+the anarchy-slot sequence is common — the regime Lemma 18 reasons about
+within one interval ``[t, t + w]``.  The slot engine covers the general
+staggered case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rounds import ROUND_LENGTH
+from repro.errors import InvalidParameterError
+from repro.params import PunctualParams
+
+__all__ = ["AnarchistFastResult", "simulate_anarchists_fast"]
+
+
+@dataclass(frozen=True)
+class AnarchistFastResult:
+    """Outcome of one anarchist-cohort trial."""
+
+    n_jobs: int
+    n_succeeded: int
+    slots_used: int
+
+    @property
+    def success_rate(self) -> float:
+        return self.n_succeeded / self.n_jobs if self.n_jobs else 1.0
+
+
+def simulate_anarchists_fast(
+    n_jobs: int,
+    window: int,
+    params: PunctualParams,
+    rng: np.random.Generator,
+    *,
+    p_jam: float = 0.0,
+    overhead_slots: int = 0,
+) -> AnarchistFastResult:
+    """One anarchist-cohort run over the window's anarchy slots.
+
+    Parameters
+    ----------
+    n_jobs:
+        Cohort size (all release together, all anarchists).
+    window:
+        The (effective) window size in real slots.
+    overhead_slots:
+        Slots consumed before the anarchist stage begins
+        (synchronization + pullback); defaults to 0 for the pure-stage
+        statistics.
+    """
+    if n_jobs < 0:
+        raise InvalidParameterError(f"n_jobs must be >= 0, got {n_jobs}")
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    if not 0.0 <= p_jam <= 1.0:
+        raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+    p = params.anarchist_probability(window)
+    n_slots = max(0, (window - overhead_slots)) // ROUND_LENGTH
+    alive = n_jobs
+    for _ in range(n_slots):
+        if alive == 0:
+            break
+        tx = rng.binomial(alive, p)
+        if tx == 1 and (p_jam == 0.0 or rng.random() >= p_jam):
+            alive -= 1
+    return AnarchistFastResult(n_jobs, n_jobs - alive, n_slots)

@@ -1,0 +1,90 @@
+"""Vectorized batch-broadcast trials (experiments E5/E7 at scale).
+
+Simulates the back-on broadcast protocol for one class occupancy: the
+subphase structure comes verbatim from
+:class:`repro.core.broadcast.BroadcastSchedule`; within a subphase of
+length X every still-live job draws one uniform slot and succeeds iff its
+slot is unique (and un-jammed).  Each subphase is a couple of
+``bincount`` calls, so a full run is ``O(#subphases · (n + X))`` numpy
+work regardless of λ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.broadcast import BroadcastSchedule
+from repro.errors import InvalidParameterError
+from repro.params import AlignedParams
+
+__all__ = ["BroadcastFastResult", "simulate_broadcast_fast"]
+
+
+@dataclass(frozen=True)
+class BroadcastFastResult:
+    """Outcome of one broadcast-stage run for a single class occupancy."""
+
+    n_jobs: int
+    n_succeeded: int
+    steps_used: int  # total broadcast steps in the schedule
+
+    @property
+    def all_succeeded(self) -> bool:
+        return self.n_succeeded == self.n_jobs
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_jobs - self.n_succeeded
+
+
+def simulate_broadcast_fast(
+    n_jobs: int,
+    level: int,
+    estimate: int,
+    params: AlignedParams,
+    rng: np.random.Generator,
+    *,
+    p_jam: float = 0.0,
+    step_budget: Optional[int] = None,
+) -> BroadcastFastResult:
+    """One broadcast-stage run, vectorized per subphase.
+
+    Parameters
+    ----------
+    n_jobs:
+        True number of jobs ``n̂`` in the class occupancy.
+    level, estimate:
+        Class ℓ and the (power-of-two) estimate driving the schedule.
+    p_jam:
+        Stochastic jamming of would-be successes.
+    step_budget:
+        Optional truncation: only the first ``step_budget`` broadcast
+        steps run (models a pecking-order truncation mid-broadcast).
+    """
+    if n_jobs < 0:
+        raise InvalidParameterError(f"n_jobs must be >= 0, got {n_jobs}")
+    if not 0.0 <= p_jam <= 1.0:
+        raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+    sched = BroadcastSchedule(level, estimate, params.lam)
+    alive = n_jobs
+    steps_done = 0
+    budget = sched.total_steps if step_budget is None else min(step_budget, sched.total_steps)
+    for phase in range(sched.n_phases):
+        x = sched.subphase_lengths[phase]
+        for _ in range(params.lam):
+            if steps_done + x > budget:
+                return BroadcastFastResult(n_jobs, n_jobs - alive, steps_done)
+            steps_done += x
+            if alive == 0:
+                continue
+            picks = rng.integers(0, x, size=alive)
+            counts = np.bincount(picks, minlength=x)
+            unique = counts[picks] == 1
+            if p_jam > 0.0:
+                jam = rng.random(x) < p_jam
+                unique &= ~jam[picks]
+            alive -= int(unique.sum())
+    return BroadcastFastResult(n_jobs, n_jobs - alive, steps_done)

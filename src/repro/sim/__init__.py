@@ -1,0 +1,50 @@
+"""Slot-based simulation substrate: jobs, instances, feasibility, engine.
+
+This package is protocol-agnostic — it knows nothing about UNIFORM,
+ALIGNED, or PUNCTUAL beyond the :class:`Protocol` interface they all
+implement.
+"""
+
+from repro.sim.engine import ProtocolFactory, SlotObserver, simulate
+from repro.sim.feasibility import (
+    DensityReport,
+    is_slack_feasible,
+    peak_density,
+    slack_of,
+    verify_edf_schedulable,
+)
+from repro.sim.instance import Instance, WindowKey
+from repro.sim.job import Job, JobStatus, is_power_of_two, window_class
+from repro.sim.metrics import JobOutcome, SimulationResult
+from repro.sim.protocolbase import Protocol, ProtocolContext
+from repro.sim.rng import RngFactory
+from repro.sim.trace import SlotRecord, TraceRecorder
+
+# NOTE: repro.sim.validate is deliberately NOT imported here — it depends
+# on repro.experiments (capacity planning) and repro.core (round costs),
+# which sit above this package in the layering; importing it at package
+# load would be circular.  It is re-exported from the top-level package.
+
+__all__ = [
+    "simulate",
+    "ProtocolFactory",
+    "SlotObserver",
+    "Instance",
+    "WindowKey",
+    "Job",
+    "JobStatus",
+    "is_power_of_two",
+    "window_class",
+    "JobOutcome",
+    "SimulationResult",
+    "Protocol",
+    "ProtocolContext",
+    "RngFactory",
+    "SlotRecord",
+    "TraceRecorder",
+    "DensityReport",
+    "peak_density",
+    "is_slack_feasible",
+    "slack_of",
+    "verify_edf_schedulable",
+]

@@ -1,0 +1,120 @@
+"""Per-slot trace recording for simulations.
+
+A :class:`TraceRecorder` captures, for every simulated slot, the channel
+outcome plus engine-side context (how many jobs were live, how many
+transmitted, and the summed transmit probability when a protocol exposes
+it).  Traces power the contention analyses (Lemma 2 / Corollary 3
+experiments) and the Figure 1 schedule regeneration.
+
+Recording is opt-in; the engine skips all bookkeeping when no recorder is
+installed, keeping the hot loop lean per the "measure before you pay"
+guidance for simulation inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.channel.channel import SlotOutcome
+from repro.channel.feedback import Feedback
+
+__all__ = ["SlotRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlotRecord:
+    """Everything recorded about one simulated slot.
+
+    Attributes
+    ----------
+    slot:
+        Slot index.
+    feedback:
+        Trinary channel state.
+    n_transmitters:
+        Number of simultaneous transmissions (simulator ground truth).
+    n_live:
+        Jobs live (released, window open, not finished) during the slot.
+    contention:
+        Sum of live jobs' transmit probabilities for the slot, when the
+        protocol reports one via ``transmit_probability``; ``nan`` when
+        unavailable.  This is the paper's ``C(t)``.
+    jammed:
+        Whether the jammer corrupted the slot.
+    message_type:
+        Class name of the delivered message on success, else ``""``.
+    """
+
+    slot: int
+    feedback: Feedback
+    n_transmitters: int
+    n_live: int
+    contention: float
+    jammed: bool
+    message_type: str
+
+
+class TraceRecorder:
+    """Accumulates :class:`SlotRecord` objects and derived arrays."""
+
+    def __init__(self) -> None:
+        self.records: List[SlotRecord] = []
+
+    def record(
+        self,
+        outcome: SlotOutcome,
+        n_live: int,
+        contention: float = float("nan"),
+    ) -> None:
+        self.records.append(
+            SlotRecord(
+                slot=outcome.slot,
+                feedback=outcome.feedback,
+                n_transmitters=outcome.n_transmitters,
+                n_live=n_live,
+                contention=contention,
+                jammed=outcome.jammed,
+                message_type=type(outcome.message).__name__
+                if outcome.message is not None
+                else "",
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- derived arrays ----------------------------------------------------
+
+    def feedback_codes(self) -> np.ndarray:
+        """0 = silence, 1 = success, 2 = noise, per slot."""
+        code = {Feedback.SILENCE: 0, Feedback.SUCCESS: 1, Feedback.NOISE: 2}
+        return np.array([code[r.feedback] for r in self.records], dtype=np.int8)
+
+    def contentions(self) -> np.ndarray:
+        """Per-slot contention ``C(t)`` (nan where unreported)."""
+        return np.array([r.contention for r in self.records], dtype=np.float64)
+
+    def live_counts(self) -> np.ndarray:
+        return np.array([r.n_live for r in self.records], dtype=np.int64)
+
+    def success_slots(self) -> np.ndarray:
+        """Indices of slots carrying a successful broadcast."""
+        return np.array(
+            [r.slot for r in self.records if r.feedback is Feedback.SUCCESS],
+            dtype=np.int64,
+        )
+
+    def utilization(self) -> float:
+        """Fraction of recorded slots carrying a success."""
+        if not self.records:
+            return 0.0
+        return float(np.mean(self.feedback_codes() == 1))
+
+    def collision_rate(self) -> float:
+        """Fraction of recorded slots that were noise."""
+        if not self.records:
+            return 0.0
+        return float(np.mean(self.feedback_codes() == 2))

@@ -1,0 +1,57 @@
+"""Workload generators: aligned, general, adversarial, realistic."""
+
+from repro.workloads.adversarial import (
+    harmonic_starvation_instance,
+    rolling_batches_instance,
+    staircase_instance,
+)
+from repro.workloads.aligned import (
+    aligned_random_instance,
+    batch_instance,
+    figure1_instance,
+    nested_stack_instance,
+    single_class_instance,
+)
+from repro.workloads.general import (
+    poisson_instance,
+    two_scale_instance,
+    uniform_random_instance,
+)
+from repro.workloads.realistic import (
+    alarm_burst_instance,
+    mixed_criticality_instance,
+    sensor_network_instance,
+)
+from repro.workloads.io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    load_instance_csv,
+    save_instance,
+    save_instance_csv,
+)
+from repro.workloads.thinning import thin_to_density
+
+__all__ = [
+    "instance_from_json",
+    "instance_to_json",
+    "load_instance",
+    "load_instance_csv",
+    "save_instance",
+    "save_instance_csv",
+    "harmonic_starvation_instance",
+    "staircase_instance",
+    "rolling_batches_instance",
+    "aligned_random_instance",
+    "batch_instance",
+    "figure1_instance",
+    "nested_stack_instance",
+    "single_class_instance",
+    "poisson_instance",
+    "two_scale_instance",
+    "uniform_random_instance",
+    "sensor_network_instance",
+    "alarm_burst_instance",
+    "mixed_criticality_instance",
+    "thin_to_density",
+]

@@ -1,0 +1,99 @@
+"""Adversarial workloads from the paper's lower-bound arguments.
+
+The star is the **harmonic starvation instance** of Lemma 5: all ``n``
+jobs are released at slot 0 and job ``j`` (1-indexed) has window size
+``⌈j/γ⌉``.  The instance is γ-slack feasible, yet under UNIFORM the
+contention of the early slots is ≈ ``ln n``, so the small-window
+(high-priority!) jobs succeed with probability only ``O(1/n^Θ(1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+__all__ = [
+    "harmonic_starvation_instance",
+    "staircase_instance",
+    "rolling_batches_instance",
+]
+
+
+def harmonic_starvation_instance(n: int, gamma: float) -> Instance:
+    """The Lemma 5 instance: ``w_j = ⌈j/γ⌉``, all released at 0.
+
+    Parameters
+    ----------
+    n:
+        Number of jobs (>= 1).
+    gamma:
+        Slack parameter in (0, 1].  Job ``j``'s window is ``⌈j/γ⌉``, which
+        keeps every prefix interval at density <= γ.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if not 0.0 < gamma <= 1.0:
+        raise InvalidParameterError(f"gamma must be in (0, 1], got {gamma}")
+    return Instance(
+        Job(j - 1, 0, int(math.ceil(j / gamma))) for j in range(1, n + 1)
+    )
+
+
+def staircase_instance(
+    n_steps: int, jobs_per_step: int, step: int, window: int
+) -> Instance:
+    """Batches of equal-window jobs released every ``step`` slots.
+
+    A "conveyor belt" of contention: batch ``k`` is released at ``k*step``
+    with window size ``window``.  With ``step < window`` consecutive
+    batches overlap, stressing protocols' handling of staggered arrivals
+    (the unaligned regime PUNCTUAL is designed for).
+    """
+    if n_steps < 0 or jobs_per_step < 0:
+        raise InvalidParameterError("n_steps and jobs_per_step must be >= 0")
+    if step <= 0 or window <= 0:
+        raise InvalidParameterError("step and window must be positive")
+    jobs: List[Job] = []
+    jid = 0
+    for k in range(n_steps):
+        r = k * step
+        for _ in range(jobs_per_step):
+            jobs.append(Job(jid, r, r + window))
+            jid += 1
+    return Instance(jobs)
+
+
+def rolling_batches_instance(
+    rng: np.random.Generator,
+    n_batches: int,
+    horizon: int,
+    batch_size_range: tuple[int, int],
+    window_range: tuple[int, int],
+) -> Instance:
+    """Random bursts: each batch lands at a uniform slot with one window.
+
+    No feasibility guarantee — pair with
+    :func:`repro.workloads.thinning.thin_to_density` when slack matters.
+    """
+    if n_batches < 0 or horizon <= 0:
+        raise InvalidParameterError("need n_batches >= 0 and horizon > 0")
+    lo_b, hi_b = batch_size_range
+    lo_w, hi_w = window_range
+    if lo_b < 0 or hi_b < lo_b or lo_w <= 0 or hi_w < lo_w:
+        raise InvalidParameterError("invalid batch size / window ranges")
+    jobs: List[Job] = []
+    jid = 0
+    for _ in range(n_batches):
+        release = int(rng.integers(0, horizon))
+        size = int(rng.integers(lo_b, hi_b + 1))
+        window = int(rng.integers(lo_w, hi_w + 1))
+        for _ in range(size):
+            jobs.append(Job(jid, release, release + window))
+            jid += 1
+    return Instance(sorted(jobs, key=lambda j: (j.release, j.deadline, j.job_id)))

@@ -1,0 +1,135 @@
+"""General (unaligned) random workloads — the PUNCTUAL setting.
+
+Arbitrary release times, arbitrary window sizes, no global alignment.
+Feasibility is achieved either by construction (density budgeting per
+dyadic level, as in the aligned generator but with random phase) or by
+post-hoc thinning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.workloads.thinning import thin_to_density
+
+__all__ = ["poisson_instance", "uniform_random_instance", "two_scale_instance"]
+
+
+def poisson_instance(
+    rng: np.random.Generator,
+    horizon: int,
+    rate: float,
+    window_sizes: Sequence[int],
+    *,
+    gamma: Optional[float] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> Instance:
+    """Poisson arrivals with windows drawn from a finite menu.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    horizon:
+        Releases fall in ``[0, horizon)``.
+    rate:
+        Expected arrivals per slot.
+    window_sizes:
+        Menu of window sizes, sampled per job (uniform unless ``weights``).
+    gamma:
+        If given, the result is thinned to γ-slack feasibility.
+    """
+    if horizon <= 0:
+        raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+    if rate < 0:
+        raise InvalidParameterError(f"rate must be >= 0, got {rate}")
+    sizes = [int(w) for w in window_sizes]
+    if not sizes or any(w <= 0 for w in sizes):
+        raise InvalidParameterError(f"window_sizes must be positive, got {sizes}")
+    counts = rng.poisson(rate, size=horizon)
+    jobs: List[Job] = []
+    jid = 0
+    p = None
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (len(sizes),) or np.any(w < 0) or w.sum() == 0:
+            raise InvalidParameterError("weights must be nonnegative, same length")
+        p = w / w.sum()
+    for t in range(horizon):
+        for _ in range(int(counts[t])):
+            size = sizes[int(rng.choice(len(sizes), p=p))]
+            jobs.append(Job(jid, t, t + size))
+            jid += 1
+    inst = Instance(jobs)
+    if gamma is not None:
+        inst = thin_to_density(inst, gamma, rng).relabeled()
+    return inst
+
+
+def uniform_random_instance(
+    rng: np.random.Generator,
+    n: int,
+    horizon: int,
+    window_range: Tuple[int, int],
+    *,
+    gamma: Optional[float] = None,
+) -> Instance:
+    """``n`` jobs with uniform releases and uniform window sizes."""
+    if n < 0 or horizon <= 0:
+        raise InvalidParameterError("need n >= 0 and horizon > 0")
+    lo, hi = window_range
+    if lo <= 0 or hi < lo:
+        raise InvalidParameterError(f"invalid window range ({lo}, {hi})")
+    releases = rng.integers(0, horizon, size=n)
+    windows = rng.integers(lo, hi + 1, size=n)
+    jobs = [
+        Job(i, int(releases[i]), int(releases[i] + windows[i])) for i in range(n)
+    ]
+    inst = Instance(sorted(jobs, key=lambda j: (j.release, j.deadline, j.job_id)))
+    inst = inst.relabeled()
+    if gamma is not None:
+        inst = thin_to_density(inst, gamma, rng).relabeled()
+    return inst
+
+
+def two_scale_instance(
+    rng: np.random.Generator,
+    n_small: int,
+    n_large: int,
+    small_window: int,
+    large_window: int,
+    horizon: int,
+    *,
+    gamma: Optional[float] = None,
+) -> Instance:
+    """A bimodal mix of urgent and relaxed traffic.
+
+    The contention dilemma of Section 4 in workload form: small-window
+    jobs must pre-empt large-window jobs that arrived earlier, with no
+    alignment to lean on.
+    """
+    if small_window <= 0 or large_window <= 0:
+        raise InvalidParameterError("window sizes must be positive")
+    if horizon <= 0 or n_small < 0 or n_large < 0:
+        raise InvalidParameterError("invalid sizes")
+    jobs: List[Job] = []
+    jid = 0
+    for _ in range(n_small):
+        r = int(rng.integers(0, horizon))
+        jobs.append(Job(jid, r, r + small_window))
+        jid += 1
+    for _ in range(n_large):
+        r = int(rng.integers(0, horizon))
+        jobs.append(Job(jid, r, r + large_window))
+        jid += 1
+    inst = Instance(
+        sorted(jobs, key=lambda j: (j.release, j.deadline, j.job_id))
+    ).relabeled()
+    if gamma is not None:
+        inst = thin_to_density(inst, gamma, rng).relabeled()
+    return inst

@@ -1,0 +1,71 @@
+"""Post-processing workloads to a target slack.
+
+Random generators (Poisson arrivals, bursty traffic) do not naturally
+produce γ-slack-feasible instances; :func:`thin_to_density` repairs one by
+randomly dropping jobs from the densest interval until the peak density
+reaches the target.  The result is always γ-slack feasible, and dropping
+from the violating interval (rather than uniformly) removes as few jobs as
+possible in practice.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.feasibility import peak_density
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+__all__ = ["thin_to_density"]
+
+
+def thin_to_density(
+    instance: Instance, gamma: float, rng: np.random.Generator
+) -> Instance:
+    """Drop jobs until the instance is γ-slack feasible.
+
+    Parameters
+    ----------
+    instance:
+        Input jobs (unchanged; a new instance is returned).
+    gamma:
+        Target peak density in ``(0, 1]``.
+    rng:
+        Randomness for victim selection.
+
+    Returns
+    -------
+    Instance
+        A subset of the input jobs with ``peak_density <= gamma``.
+
+    Notes
+    -----
+    Termination is guaranteed: every iteration removes at least one job
+    from the certified densest interval, and an instance whose every
+    interval of length ``x`` holds at most ``gamma * x`` jobs is feasible.
+    The empty instance trivially satisfies any γ.
+    """
+    if not 0.0 < gamma <= 1.0:
+        raise InvalidParameterError(f"gamma must be in (0, 1], got {gamma}")
+    jobs: List[Job] = list(instance.jobs)
+    current = Instance(jobs)
+    while True:
+        report = peak_density(current)
+        if report.density <= gamma + 1e-12:
+            return current
+        s, e = report.interval
+        nested = [
+            i
+            for i, j in enumerate(jobs)
+            if s <= j.release and j.deadline <= e
+        ]
+        # Remove enough nested jobs to bring this interval to target.
+        excess = len(nested) - int(np.floor(gamma * (e - s)))
+        excess = max(1, excess)
+        victims = rng.choice(len(nested), size=min(excess, len(nested)), replace=False)
+        for v in sorted((nested[int(i)] for i in victims), reverse=True):
+            jobs.pop(v)
+        current = Instance(jobs)

@@ -1,0 +1,102 @@
+"""Unit tests for the paper's closed-form bounds (Lemmas 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    contention,
+    lemma1_lower,
+    lemma1_upper,
+    lemma2_lower,
+    lemma2_upper,
+    success_probability_exact,
+)
+
+
+class TestLemma1:
+    def test_sandwich_holds(self):
+        for x in np.linspace(0.0, 0.99, 50):
+            assert lemma1_lower(x) - 1e-12 <= 1 - x <= lemma1_upper(x) + 1e-12
+
+    def test_vectorized(self):
+        xs = np.array([0.0, 0.5])
+        assert np.allclose(lemma1_upper(xs), np.exp(-xs))
+
+
+class TestLemma2:
+    def test_envelope_sandwiches_exact_psuc(self):
+        """C/e^{2C} <= p_suc <= 2C/e^C whenever all p_i <= 1/2."""
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = int(rng.integers(1, 30))
+            probs = rng.random(n) * 0.5
+            c = contention(probs)
+            p = success_probability_exact(probs)
+            assert lemma2_lower(c) - 1e-12 <= p <= lemma2_upper(c) + 1e-12
+
+    def test_corollary3_small_contention_linear(self):
+        # C < 1 ⇒ p_suc = Θ(C): ratio bounded by envelope constants
+        probs = [0.01] * 10  # C = 0.1
+        p = success_probability_exact(probs)
+        assert 0.05 < p / 0.1 <= 1.0
+
+    def test_corollary3_large_contention_decays(self):
+        probs = [0.5] * 16  # C = 8
+        p = success_probability_exact(probs)
+        assert p < float(lemma2_upper(8.0)) + 1e-12
+        assert p < 0.01
+
+
+class TestExactSuccessProbability:
+    def test_empty(self):
+        assert success_probability_exact([]) == 0.0
+
+    def test_single(self):
+        assert success_probability_exact([0.3]) == pytest.approx(0.3)
+
+    def test_two_equal(self):
+        # 2 p (1-p)
+        assert success_probability_exact([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_certain_transmitter(self):
+        assert success_probability_exact([1.0]) == 1.0
+        assert success_probability_exact([1.0, 1.0]) == 0.0
+        assert success_probability_exact([1.0, 0.25]) == pytest.approx(0.75)
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            success_probability_exact([1.5])
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        probs = [0.1, 0.3, 0.05, 0.2]
+        exact = success_probability_exact(probs)
+        draws = rng.random((200_000, 4)) < np.array(probs)
+        mc = float(np.mean(draws.sum(axis=1) == 1))
+        assert abs(exact - mc) < 0.01
+
+
+class TestChernoff:
+    def test_upper_tail_bounds_binomial(self):
+        # Pr[Bin(1000, 0.1) >= 150] vs bound at mean 100, delta 0.5
+        rng = np.random.default_rng(2)
+        emp = float(np.mean(rng.binomial(1000, 0.1, 100_000) >= 150))
+        assert emp <= chernoff_upper_tail(100, 0.5)
+
+    def test_lower_tail_bounds_binomial(self):
+        rng = np.random.default_rng(3)
+        emp = float(np.mean(rng.binomial(1000, 0.1, 100_000) <= 50))
+        assert emp <= chernoff_lower_tail(100, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+    def test_degenerate_mean(self):
+        assert chernoff_upper_tail(0, 0.5) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the schedule/stage capture utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capture import ScheduleCapture, StageCapture
+from repro.core.aligned import aligned_factory
+from repro.core.punctual import Stage, punctual_factory
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance, nested_stack_instance, single_class_instance
+
+
+def aparams():
+    return AlignedParams(lam=1, tau=4, min_level=9)
+
+
+def pparams():
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+
+
+class TestScheduleCapture:
+    def test_records_active_steps(self):
+        cap = ScheduleCapture(aparams())
+        inst = single_class_instance(6, level=9)
+        res = simulate(inst, cap.factory(), seed=0)
+        assert res.n_succeeded == 6
+        counts = cap.active_step_counts()
+        assert 9 in counts
+        # λℓ² = 81 estimation steps exactly
+        assert counts[9]["est"] == 81
+        assert counts[9]["bcast"] > 0
+
+    def test_timeline_shape(self):
+        cap = ScheduleCapture(aparams())
+        inst = single_class_instance(4, level=9)
+        simulate(inst, cap.factory(), seed=1)
+        active, kinds = cap.timeline(512)
+        assert len(active) == len(kinds) == 512
+        assert set(a for a in active if a is not None) == {9}
+        assert {k for k in kinds if k} <= {"est", "bcast"}
+
+    def test_capture_does_not_perturb_run(self):
+        inst = nested_stack_instance([9, 11], per_level=3)
+        plain = simulate(inst, aligned_factory(aparams()), seed=2)
+        cap = ScheduleCapture(aparams())
+        logged = simulate(inst, cap.factory(), seed=2)
+        assert [o.completion_slot for o in plain.outcomes] == [
+            o.completion_slot for o in logged.outcomes
+        ]
+
+    def test_estimation_precedes_broadcast(self):
+        cap = ScheduleCapture(aparams())
+        inst = single_class_instance(5, level=9)
+        simulate(inst, cap.factory(), seed=3)
+        active, kinds = cap.timeline(512)
+        first_b = kinds.index("bcast")
+        assert "est" not in kinds[first_b:]
+
+
+class TestStageCapture:
+    def test_records_transitions(self):
+        cap = StageCapture(pparams())
+        inst = batch_instance(6, window=3000)
+        res = simulate(inst, cap.factory(), seed=0)
+        assert res.n_succeeded == 6
+        census = cap.census()
+        assert census[("syncing", "wait_tk")] == 6
+        assert ("wait_tk", "slingshot") in census
+
+    def test_final_stages_and_reaching(self):
+        cap = StageCapture(pparams())
+        inst = batch_instance(4, window=3000)
+        simulate(inst, cap.factory(), seed=1)
+        finals = cap.final_stages()
+        assert set(finals) == {0, 1, 2, 3}
+        anarchists = cap.jobs_reaching(Stage.ANARCHIST)
+        assert anarchists  # small cohort: the release stage fires
+
+    def test_capture_does_not_perturb_run(self):
+        inst = batch_instance(5, window=3000)
+        plain = simulate(inst, punctual_factory(pparams()), seed=4)
+        cap = StageCapture(pparams())
+        logged = simulate(inst, cap.factory(), seed=4)
+        assert [o.completion_slot for o in plain.outcomes] == [
+            o.completion_slot for o in logged.outcomes
+        ]

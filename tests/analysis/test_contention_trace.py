@@ -1,0 +1,55 @@
+"""Contention bucketing against real simulation traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import bucket_trace_by_contention
+from repro.baselines import aloha_factory
+from repro.analysis.bounds import lemma2_lower, lemma2_upper
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance
+
+
+class TestBucketing:
+    def run_aloha(self, n, p, window, seed=0):
+        inst = batch_instance(n, window=window)
+        return simulate(inst, aloha_factory(p), seed=seed, trace=True)
+
+    def test_constant_contention_lands_in_one_bucket(self):
+        # 8 jobs at p=0.05 → C(t) = 0.4 while everyone is live
+        res = self.run_aloha(8, 0.05, window=64)
+        buckets = bucket_trace_by_contention(res.trace, [0.0, 0.2, 0.5, 1.0])
+        # the early slots (all live) fall in [0.2, 0.5)
+        assert buckets[1].n_slots > 0
+        assert buckets[1].c_low == 0.2
+
+    def test_bucket_success_rate_within_lemma2(self):
+        """Empirical per-bucket success rates respect the envelope."""
+        res = self.run_aloha(16, 0.05, window=2048, seed=2)
+        buckets = bucket_trace_by_contention(
+            res.trace, list(np.linspace(0.0, 1.0, 6))
+        )
+        for b in buckets:
+            if b.n_slots < 200:
+                continue  # too noisy to check
+            lo = float(lemma2_lower(b.c_high))
+            hi = float(lemma2_upper(max(b.c_low, 1e-6)))
+            assert lo - 0.1 <= b.success_rate <= hi + 0.1
+
+    def test_nan_contention_skipped(self):
+        from repro.channel.channel import SlotOutcome
+        from repro.channel.feedback import Feedback
+        from repro.sim.trace import TraceRecorder
+
+        tr = TraceRecorder()
+        tr.record(SlotOutcome(0, Feedback.SILENCE, None, 0, False), 1)
+        buckets = bucket_trace_by_contention(tr, [0.0, 1.0])
+        assert buckets[0].n_slots == 0
+
+    def test_c_mid_and_rate_properties(self):
+        res = self.run_aloha(4, 0.1, window=64)
+        buckets = bucket_trace_by_contention(res.trace, [0.0, 0.5, 1.0])
+        for b in buckets:
+            assert b.c_low <= b.c_mid <= b.c_high
+            if b.n_slots == 0:
+                assert np.isnan(b.success_rate)

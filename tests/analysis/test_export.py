@@ -1,0 +1,81 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    result_summary_dict,
+    result_to_records,
+    trace_to_records,
+    write_csv,
+    write_json,
+)
+from repro.core.uniform import uniform_factory
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance
+
+
+@pytest.fixture
+def result():
+    inst = batch_instance(6, window=128)
+    return simulate(inst, uniform_factory(), seed=1, trace=True)
+
+
+class TestRecords:
+    def test_one_record_per_job(self, result):
+        records = result_to_records(result)
+        assert len(records) == 6
+        assert {r["job_id"] for r in records} == set(range(6))
+
+    def test_record_fields_consistent(self, result):
+        for r in result_to_records(result):
+            assert r["window"] == r["deadline"] - r["release"]
+            if r["succeeded"]:
+                assert r["release"] <= r["completion_slot"] < r["deadline"]
+                assert r["latency"] >= 1
+            else:
+                assert r["completion_slot"] == -1
+
+    def test_trace_records(self, result):
+        records = trace_to_records(result.trace)
+        assert len(records) == result.slots_simulated
+        assert all(
+            r["feedback"] in ("silence", "success", "noise") for r in records
+        )
+        # UNIFORM reports last_p, so contention must be populated
+        assert any(r["contention"] is not None for r in records)
+
+    def test_summary_dict(self, result):
+        d = result_summary_dict(result)
+        assert d["n_jobs"] == 6
+        assert d["success_by_window"]["128"]["total"] == 6
+        assert 0 <= d["success_rate"] <= 1
+
+
+class TestFiles:
+    def test_csv_round_trip(self, result, tmp_path):
+        path = tmp_path / "jobs.csv"
+        write_csv(result_to_records(result), path)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        assert rows[0]["job_id"] == "0"
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "summary.json"
+        write_json(result_summary_dict(result), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["n_jobs"] == 6
+
+    def test_json_of_records(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        write_json(trace_to_records(result.trace), path)
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list) and loaded

@@ -1,0 +1,88 @@
+"""Tests for the executable lemma checks — both verdict directions, and
+end-to-end against live simulations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lemmas import (
+    check_lemma2,
+    check_lemma4,
+    check_lemma5,
+    check_lemma8,
+    check_theorem14,
+)
+from repro.fastpath import simulate_class_run_fast, simulate_estimation_fast, simulate_uniform_fast
+from repro.params import AlignedParams
+from repro.workloads import harmonic_starvation_instance, single_class_instance
+
+
+class TestVerdictDirections:
+    def test_lemma2_pass_and_fail(self):
+        assert check_lemma2([1.0], [float(np.exp(-1))]).holds
+        bad = check_lemma2([1.0], [0.95])
+        assert not bad.holds
+        assert "escape" in bad.detail
+
+    def test_lemma4_pass_and_fail(self):
+        assert check_lemma4(100, 80).holds
+        assert not check_lemma4(100, 10).holds
+
+    def test_lemma5_pass_and_fail(self):
+        ns = [64, 256, 1024]
+        decaying = [0.4, 0.2, 0.1]  # ~ n^-0.5
+        flat = [0.4, 0.41, 0.39]
+        assert check_lemma5(ns, decaying).holds
+        assert not check_lemma5(ns, flat).holds
+        assert not check_lemma5([64], [0.4]).holds
+
+    def test_lemma8_pass_and_fail(self):
+        good = [64] * 95 + [1] * 5  # n̂=16, τ=4: band [32, 256]
+        assert check_lemma8(good, n_hat=16, tau=4).holds
+        assert not check_lemma8([4] * 100, n_hat=16, tau=4).holds
+
+    def test_lemma8_empty_class(self):
+        assert check_lemma8([0, 0, 0], n_hat=0, tau=4).holds
+        assert not check_lemma8([0, 8], n_hat=0, tau=4).holds
+
+    def test_theorem14_pass_and_fail(self):
+        assert check_theorem14(1000, 1000, window=1024).holds
+        assert not check_theorem14(800, 1000, window=1024).holds
+
+
+class TestAgainstSimulation:
+    def test_lemma4_on_uniform(self):
+        inst = single_class_instance(512, level=12)  # γ = 1/8
+        res = simulate_uniform_fast(inst, np.random.default_rng(0))
+        assert check_lemma4(len(inst), res.n_succeeded).holds
+
+    def test_lemma5_on_harmonic(self):
+        rates = []
+        ns = [128, 512, 2048]
+        for n in ns:
+            inst = harmonic_starvation_instance(n, 0.5)
+            order = np.argsort([j.window for j in inst.by_release])[:8]
+            wins = np.zeros(n)
+            for s in range(150):
+                wins += simulate_uniform_fast(
+                    inst, np.random.default_rng(s)
+                ).success
+            rates.append(float(wins[order].mean() / 150))
+        assert check_lemma5(ns, rates).holds
+
+    def test_lemma8_on_estimator(self):
+        params = AlignedParams(lam=2, tau=4, min_level=2)
+        ests = simulate_estimation_fast(
+            32, 10, params, np.random.default_rng(1), n_trials=200
+        )
+        assert check_lemma8(list(ests), n_hat=32, tau=4).holds
+
+    def test_theorem14_on_class_runs(self):
+        params = AlignedParams(lam=1, tau=4, min_level=2)
+        ok = total = 0
+        for s in range(100):
+            r = simulate_class_run_fast(
+                20, 10, params, np.random.default_rng(s)
+            )
+            ok += r.n_succeeded
+            total += r.n_jobs
+        assert check_theorem14(ok, total, window=1024).holds

@@ -1,0 +1,43 @@
+"""Focused tests for the Figure-1 ASCII renderer."""
+
+import pytest
+
+from repro.analysis.tables import render_schedule
+
+
+class TestBoundaries:
+    def test_window_boundary_marks(self):
+        # class 2 (w=4): boundary markers before slots 4, 8, ...
+        text = render_schedule(
+            active_levels=[2] * 12,
+            step_kinds=["est"] * 12,
+            levels=[2],
+        )
+        row = next(l for l in text.splitlines() if l.startswith("class"))
+        body = row.split(": ", 1)[1]
+        assert body.count("|") == 2  # boundaries at t=4 and t=8
+        assert body == "EEEE|EEEE|EEEE"
+
+    def test_idle_and_kinds(self):
+        text = render_schedule(
+            active_levels=[3, None, 3, None],
+            step_kinds=["est", "", "bcast", ""],
+            levels=[3],
+        )
+        row = next(l for l in text.splitlines() if l.startswith("class"))
+        assert row.endswith("E.B.")
+
+    def test_multiple_rows_independent(self):
+        text = render_schedule(
+            active_levels=[2, 3, 2, 3],
+            step_kinds=["est", "bcast", "est", "bcast"],
+            levels=[2, 3],
+        )
+        rows = [l for l in text.splitlines() if l.startswith("class")]
+        assert len(rows) == 2
+        assert "E.E" in rows[0].replace("|", "")
+        assert ".B.B" in rows[1]
+
+    def test_header_includes_slot_range(self):
+        text = render_schedule([2], ["est"], [2], start=100)
+        assert "slots 100..100" in text

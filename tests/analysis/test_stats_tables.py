@@ -1,0 +1,132 @@
+"""Unit tests for statistics helpers and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import (
+    bucket_trace_by_contention,
+    lemma2_envelope_check,
+    simulate_success_probability,
+)
+from repro.analysis.stats import (
+    bootstrap_mean_diff,
+    estimate_proportion,
+    failure_exponent,
+    wilson_interval,
+)
+from repro.analysis.tables import format_table, render_schedule
+
+
+class TestWilson:
+    def test_contains_truth_mostly(self):
+        rng = np.random.default_rng(0)
+        covered = 0
+        for _ in range(200):
+            p = 0.3
+            k = int(rng.binomial(100, p))
+            lo, hi = wilson_interval(k, 100)
+            covered += lo <= p <= hi
+        assert covered >= 180  # ~95% coverage
+
+    def test_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi < 0.15
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0 and lo > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_estimate_proportion_str(self):
+        est = estimate_proportion(25, 100)
+        assert est.point == 0.25
+        assert est.low < 0.25 < est.high
+
+
+class TestFailureExponent:
+    def test_recovers_planted_exponent(self):
+        ws = np.array([64, 128, 256, 512, 1024, 2048])
+        rates = 3.0 * ws ** -1.7
+        b, r2 = failure_exponent(ws, rates)
+        assert b == pytest.approx(1.7, abs=0.01)
+        assert r2 > 0.999
+
+    def test_zero_rates_floored(self):
+        b, _ = failure_exponent([64, 128], [1e-2, 0.0])
+        assert b > 0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            failure_exponent([64], [0.1])
+
+
+class TestBootstrap:
+    def test_detects_difference(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(1.0, 0.1, 200)
+        b = rng.normal(0.5, 0.1, 200)
+        point, lo, hi = bootstrap_mean_diff(a, b, rng)
+        assert lo > 0.4 and hi < 0.6
+        assert point == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            bootstrap_mean_diff([], [1.0], rng)
+
+
+class TestContentionTools:
+    def test_monte_carlo_psuc_near_theory(self):
+        rng = np.random.default_rng(3)
+        # C = 1 with many players: p_suc → e^{-1} ≈ 0.3679
+        p = simulate_success_probability(1.0, n_players=1000, n_slots=100_000, rng=rng)
+        assert abs(p - np.exp(-1)) < 0.01
+
+    def test_probability_range_validated(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            simulate_success_probability(4.0, n_players=2, n_slots=10, rng=rng)
+
+    def test_envelope_check(self):
+        rows = lemma2_envelope_check([1.0], [np.exp(-1)])
+        c, rate, lo, hi, ok = rows[0]
+        assert ok
+        rows = lemma2_envelope_check([1.0], [0.9])
+        assert not rows[0][4]
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 0.5], ["b", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "0.5000" in text
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_render_schedule_legend_and_rows(self):
+        text = render_schedule(
+            active_levels=[4, 4, None, 5],
+            step_kinds=["est", "bcast", "", "est"],
+            levels=[4, 5],
+        )
+        assert "class  4" in text
+        assert "E" in text and "B" in text
+        assert "legend" in text
+
+    def test_render_schedule_truncation(self):
+        text = render_schedule(
+            active_levels=[4] * 500,
+            step_kinds=["est"] * 500,
+            levels=[4],
+            max_width=100,
+        )
+        assert "truncated" in text

@@ -1,0 +1,91 @@
+"""Tests for ASCII trace visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.viz import (
+    channel_timeline,
+    contention_sparkline,
+    utilization_profile,
+)
+from repro.channel.channel import SlotOutcome
+from repro.channel.feedback import Feedback
+from repro.channel.messages import DataMessage
+from repro.errors import InvalidParameterError
+from repro.sim.trace import TraceRecorder
+
+
+def trace_of(pattern: str, contentions=None) -> TraceRecorder:
+    """Build a trace from a string: .=silence S=success X=noise."""
+    tr = TraceRecorder()
+    for i, ch in enumerate(pattern):
+        if ch == ".":
+            out = SlotOutcome(i, Feedback.SILENCE, None, 0, False)
+        elif ch == "S":
+            out = SlotOutcome(i, Feedback.SUCCESS, DataMessage(0), 1, False)
+        else:
+            out = SlotOutcome(i, Feedback.NOISE, None, 2, False)
+        c = contentions[i] if contentions else float("nan")
+        tr.record(out, n_live=1, contention=c)
+    return tr
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert "(empty" in channel_timeline(TraceRecorder())
+
+    def test_pure_patterns(self):
+        line = channel_timeline(trace_of("...."), width=1).splitlines()[0]
+        assert line == "."
+        line = channel_timeline(trace_of("SSSS"), width=1).splitlines()[0]
+        assert line == "S"
+        line = channel_timeline(trace_of("XXXX"), width=1).splitlines()[0]
+        assert line == "X"
+
+    def test_mixed_bucket(self):
+        line = channel_timeline(trace_of("S.X."), width=1).splitlines()[0]
+        assert line == "#"
+
+    def test_minor_fraction_lowercase(self):
+        line = channel_timeline(trace_of("S..."), width=1).splitlines()[0]
+        assert line == "s"
+
+    def test_width_buckets(self):
+        out = channel_timeline(trace_of("SSSS....XXXX"), width=3)
+        assert out.splitlines()[0] == "S.X"
+
+    def test_legend_present(self):
+        assert "legend" in channel_timeline(trace_of("."))
+
+    def test_bad_width(self):
+        with pytest.raises(InvalidParameterError):
+            channel_timeline(trace_of("...."), width=0)
+
+
+class TestSparkline:
+    def test_no_data_message(self):
+        out = contention_sparkline(trace_of("...."))
+        assert "no contention data" in out
+
+    def test_peak_annotated(self):
+        tr = trace_of("....", contentions=[0.0, 1.0, 2.0, 4.0])
+        out = contention_sparkline(tr, width=4)
+        assert "max C(t)" in out
+        assert "4.000" in out
+
+    def test_monotone_heights(self):
+        tr = trace_of("." * 8, contentions=[0, 0, 1, 1, 2, 2, 4, 4])
+        line = contention_sparkline(tr, width=4).splitlines()[0]
+        heights = ["▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert heights == sorted(heights)
+
+
+class TestProfile:
+    def test_empty(self):
+        assert "(empty" in utilization_profile(TraceRecorder())
+
+    def test_rates_sum_to_one(self):
+        out = utilization_profile(trace_of("S.X.S.X."), buckets=2)
+        assert "utilization" in out
+        # two buckets, each 0.25 success / 0.25 collision / 0.5 silence
+        assert out.count("0.2500") >= 4

@@ -1,0 +1,95 @@
+"""Unit tests for binary exponential backoff."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.beb import BinaryExponentialBackoff, beb_factory
+from repro.channel.feedback import Observation
+from repro.errors import InvalidParameterError
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import ProtocolContext
+
+
+def proto(seed=0, initial=1, max_exp=16):
+    return BinaryExponentialBackoff(
+        ProtocolContext(0, 1 << 20, np.random.default_rng(seed)),
+        initial_window=initial,
+        max_exponent=max_exp,
+    )
+
+
+class TestBackoffWindows:
+    def test_doubling(self):
+        p = proto()
+        assert p.current_backoff_window() == 1
+        p.attempt = 3
+        assert p.current_backoff_window() == 8
+
+    def test_cap(self):
+        p = proto(max_exp=4)
+        p.attempt = 10
+        assert p.current_backoff_window() == 16
+
+    def test_uncapped(self):
+        p = proto(max_exp=None)
+        p.attempt = 10
+        assert p.current_backoff_window() == 1024
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            proto(initial=0)
+        with pytest.raises(InvalidParameterError):
+            BinaryExponentialBackoff(
+                ProtocolContext(0, 8, np.random.default_rng(0)),
+                max_exponent=-1,
+            )
+
+
+class TestBehaviour:
+    def test_first_attempt_immediate_with_unit_window(self):
+        p = proto(initial=1)
+        p.begin(0)
+        assert p.act(0) is not None
+
+    def test_backs_off_after_collision(self):
+        p = proto(initial=1)
+        p.begin(0)
+        msg = p.act(0)
+        assert msg is not None
+        p.observe(0, Observation.noise(transmitted=True))
+        assert p.attempt == 1
+        # next attempt inside the following 2-slot backoff window
+        ages = []
+        for t in range(1, 4):
+            if p.act(t) is not None:
+                ages.append(t)
+            p.observe(t, Observation.silence())
+        assert len(ages) == 1 and ages[0] in (1, 2)
+
+    def test_stops_after_success(self):
+        p = proto(initial=1)
+        p.begin(0)
+        msg = p.act(0)
+        p.observe(0, Observation.success(msg, transmitted=True, own=True))
+        assert p.succeeded and p.done
+
+
+class TestEndToEnd:
+    def test_lone_job_succeeds_fast(self):
+        inst = Instance([Job(0, 0, 64)])
+        res = simulate(inst, beb_factory(), seed=0)
+        assert res.n_succeeded == 1
+        assert res.outcome_of(0).completion_slot == 0
+
+    def test_batch_eventually_succeeds(self):
+        inst = Instance([Job(i, 0, 4096) for i in range(16)])
+        res = simulate(inst, beb_factory(), seed=1)
+        assert res.success_rate >= 0.9
+
+    def test_tight_deadlines_cause_misses(self):
+        # 32 contenders, window 40: BEB cannot resolve in time
+        inst = Instance([Job(i, 0, 40) for i in range(32)])
+        res = simulate(inst, beb_factory(), seed=2)
+        assert res.success_rate < 0.8

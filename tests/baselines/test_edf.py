@@ -1,0 +1,97 @@
+"""Unit tests for the centralized EDF oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.edf import OracleEdfProtocol, edf_factory, edf_schedule
+from repro.sim.engine import simulate
+from repro.sim.feasibility import peak_density
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+
+def make(jobs):
+    return Instance(Job(i, r, d) for i, (r, d) in enumerate(jobs))
+
+
+class TestEdfSchedule:
+    def test_empty(self):
+        assert edf_schedule(Instance(())) == {}
+
+    def test_disjoint_jobs(self):
+        inst = make([(0, 2), (4, 6)])
+        sched = edf_schedule(inst)
+        assert sched == {0: 0, 1: 4}
+
+    def test_earliest_deadline_first(self):
+        inst = make([(0, 10), (0, 2)])
+        sched = edf_schedule(inst)
+        assert sched[1] == 0  # tighter deadline served first
+        assert sched[0] == 1
+
+    def test_full_density_all_served(self):
+        inst = make([(0, 4)] * 4)
+        sched = edf_schedule(inst)
+        assert len(sched) == 4
+        assert sorted(sched.values()) == [0, 1, 2, 3]
+
+    def test_overfull_drops_minimum(self):
+        inst = make([(0, 2)] * 3)
+        sched = edf_schedule(inst)
+        assert len(sched) == 2
+
+    def test_no_job_scheduled_outside_window(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            jobs = [
+                (int(r), int(r) + int(w))
+                for r, w in zip(
+                    rng.integers(0, 50, 12), rng.integers(1, 10, 12)
+                )
+            ]
+            inst = make(jobs)
+            sched = edf_schedule(inst)
+            for jid, slot in sched.items():
+                j = inst.jobs[jid]
+                assert j.release <= slot < j.deadline
+
+    def test_distinct_slots(self):
+        rng = np.random.default_rng(6)
+        jobs = [
+            (int(r), int(r) + int(w))
+            for r, w in zip(rng.integers(0, 30, 20), rng.integers(1, 15, 20))
+        ]
+        sched = edf_schedule(make(jobs))
+        slots = list(sched.values())
+        assert len(slots) == len(set(slots))
+
+    def test_serves_all_when_feasible(self):
+        """EDF is optimal: density <= 1 instances are fully served."""
+        rng = np.random.default_rng(7)
+        served_all = 0
+        for _ in range(30):
+            jobs = []
+            for i in range(10):
+                r = int(rng.integers(0, 40))
+                w = int(rng.integers(1, 20))
+                jobs.append(Job(i, r, r + w))
+            inst = Instance(jobs)
+            sched = edf_schedule(inst)
+            if peak_density(inst).density <= 1.0:
+                assert len(sched) == len(inst)
+                served_all += 1
+        assert served_all > 0  # the check above actually fired
+
+
+class TestOracleProtocol:
+    def test_end_to_end_no_collisions(self):
+        inst = make([(0, 4)] * 4)
+        res = simulate(inst, edf_factory(inst), seed=0, trace=True)
+        assert res.n_succeeded == 4
+        assert res.trace is not None
+        assert res.trace.collision_rate() == 0.0
+
+    def test_unscheduled_job_gives_up(self):
+        inst = make([(0, 2)] * 3)
+        res = simulate(inst, edf_factory(inst), seed=0)
+        assert res.n_succeeded == 2

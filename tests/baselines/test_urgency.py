@@ -1,0 +1,73 @@
+"""Unit tests for urgency-ramped ALOHA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.urgency import UrgencyAloha, urgency_aloha_factory
+from repro.channel.feedback import Observation
+from repro.errors import InvalidParameterError
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import ProtocolContext
+
+
+def proto(window=100, c=2.0, seed=0):
+    return UrgencyAloha(
+        ProtocolContext(0, window, np.random.default_rng(seed)), c=c
+    )
+
+
+class TestRamp:
+    def test_probability_increases_toward_deadline(self):
+        p = proto(window=100)
+        p.begin(0)
+        probs = [p.probability_at(t) for t in (0, 50, 90, 98)]
+        assert probs == sorted(probs)
+        assert probs[0] == pytest.approx(0.02)
+        assert probs[-1] == pytest.approx(1.0, abs=0.01) or probs[-1] == 0.5
+
+    def test_capped_at_half(self):
+        p = proto(window=100, c=2.0)
+        p.begin(0)
+        assert p.probability_at(99) == 0.5  # 2/1 capped
+        assert p.probability_at(97) == 0.5  # 2/3 capped
+        assert p.probability_at(92) == pytest.approx(0.25)
+
+    def test_zero_after_window(self):
+        p = proto(window=10)
+        p.begin(0)
+        assert p.probability_at(10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            proto(c=0.0)
+        with pytest.raises(InvalidParameterError):
+            urgency_aloha_factory(c=-1)
+
+    def test_last_p_reported(self):
+        p = proto(window=100)
+        p.begin(0)
+        p.act(0)
+        assert p.last_p == pytest.approx(0.02)
+
+
+class TestEndToEnd:
+    def test_lone_job_succeeds(self):
+        ok = 0
+        for seed in range(20):
+            inst = Instance([Job(0, 0, 256)])
+            res = simulate(inst, urgency_aloha_factory(), seed=seed)
+            ok += res.n_succeeded
+        assert ok >= 19
+
+    def test_sparse_batch_succeeds(self):
+        inst = Instance([Job(i, 0, 4096) for i in range(8)])
+        res = simulate(inst, urgency_aloha_factory(), seed=1)
+        assert res.success_rate >= 0.9
+
+    def test_same_deadline_cohort_collapses(self):
+        """Everyone ramps together: the endgame is all collisions."""
+        inst = Instance([Job(i, 0, 128) for i in range(96)])
+        res = simulate(inst, urgency_aloha_factory(), seed=2)
+        assert res.success_rate < 0.5

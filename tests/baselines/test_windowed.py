@@ -1,0 +1,113 @@
+"""Unit tests for the windowed-backoff family."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.windowed import (
+    WindowedBackoff,
+    fibonacci_backoff_factory,
+    fixed_window_factory,
+    linear_backoff_factory,
+    polynomial_backoff_factory,
+)
+from repro.channel.feedback import Observation
+from repro.errors import InvalidParameterError
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import ProtocolContext
+from repro.workloads import batch_instance
+
+
+def drive_failures(proto, n_slots):
+    """Run the protocol with every transmission colliding; return the
+    local ages at which it transmitted."""
+    proto.begin(0)
+    ages = []
+    for t in range(n_slots):
+        msg = proto.act(t)
+        if msg is not None:
+            ages.append(t)
+        proto.observe(t, Observation.noise(transmitted=msg is not None))
+    return ages
+
+
+class TestSchedules:
+    def test_fixed_window_spacing(self):
+        make = fixed_window_factory(window=8)
+        p = make(Job(0, 0, 10_000), np.random.default_rng(0))
+        ages = drive_failures(p, 64)
+        # exactly one transmission per 8-slot window
+        assert len(ages) == 8
+        for k, a in enumerate(ages):
+            assert 8 * k <= a < 8 * (k + 1)
+
+    def test_linear_growth(self):
+        make = linear_backoff_factory(base=4)
+        p = make(Job(0, 0, 10_000), np.random.default_rng(1))
+        ages = drive_failures(p, 4 + 8 + 12 + 16)
+        assert len(ages) == 4
+        bounds = [(0, 4), (4, 12), (12, 24), (24, 40)]
+        for a, (lo, hi) in zip(ages, bounds):
+            assert lo <= a < hi
+
+    @staticmethod
+    def window_sizes(factory, n_windows, seed=2):
+        """Observed window sizes across ``n_windows`` failed attempts."""
+        p = factory(Job(0, 0, 10**6), np.random.default_rng(seed))
+        p.begin(0)
+        sizes = [p._window_size]
+        t = 0
+        while len(sizes) <= n_windows:
+            attempt_before = p.attempt
+            msg = p.act(t)
+            p.observe(t, Observation.noise(transmitted=msg is not None))
+            t += 1
+            if p.attempt != attempt_before:
+                sizes.append(p._window_size)
+        return sizes[:n_windows]
+
+    def test_polynomial_growth(self):
+        sizes = self.window_sizes(polynomial_backoff_factory(2, 2), 4)
+        assert sizes == [2, 8, 18, 32]  # 2·k²
+
+    def test_fibonacci_growth(self):
+        sizes = self.window_sizes(fibonacci_backoff_factory(2), 6)
+        assert sizes == [2, 2, 4, 6, 10, 16]  # 2·(1,1,2,3,5,8)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            fixed_window_factory(0)
+        with pytest.raises(InvalidParameterError):
+            linear_backoff_factory(0)
+        with pytest.raises(InvalidParameterError):
+            polynomial_backoff_factory(degree=0)
+        with pytest.raises(InvalidParameterError):
+            fibonacci_backoff_factory(0)
+
+    def test_bad_schedule_caught(self):
+        ctx = ProtocolContext(0, 64, np.random.default_rng(0))
+        with pytest.raises(InvalidParameterError):
+            WindowedBackoff(ctx, lambda k: 0)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            fixed_window_factory(16),
+            linear_backoff_factory(2),
+            polynomial_backoff_factory(2, 2),
+            fibonacci_backoff_factory(2),
+        ],
+        ids=["fixed", "linear", "poly", "fib"],
+    )
+    def test_batch_resolves(self, factory):
+        inst = batch_instance(16, window=4096)
+        res = simulate(inst, factory, seed=0)
+        assert res.success_rate >= 0.9
+
+    def test_stops_after_success(self):
+        inst = Instance([Job(0, 0, 256)])
+        res = simulate(inst, fixed_window_factory(4), seed=1)
+        assert res.outcome_of(0).transmissions == 1

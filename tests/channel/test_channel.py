@@ -1,0 +1,110 @@
+"""Unit tests for multiple-access channel resolution."""
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import MultipleAccessChannel, resolve_slot
+from repro.channel.feedback import Feedback
+from repro.channel.jamming import NoJammer, PeriodicJammer, StochasticJammer
+from repro.channel.messages import ControlMessage, DataMessage
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestResolveSlot:
+    def test_empty_slot_is_silence(self, rng):
+        out = resolve_slot(0, [], NoJammer(), rng)
+        assert out.feedback is Feedback.SILENCE
+        assert out.message is None
+        assert out.n_transmitters == 0
+        assert not out.jammed
+
+    def test_single_transmitter_succeeds(self, rng):
+        msg = DataMessage(3)
+        out = resolve_slot(5, [(3, msg)], NoJammer(), rng)
+        assert out.feedback is Feedback.SUCCESS
+        assert out.message is msg
+        assert out.successful
+
+    def test_two_transmitters_collide(self, rng):
+        out = resolve_slot(0, [(1, DataMessage(1)), (2, DataMessage(2))], NoJammer(), rng)
+        assert out.feedback is Feedback.NOISE
+        assert out.message is None
+        assert out.n_transmitters == 2
+
+    def test_many_transmitters_collide(self, rng):
+        txs = [(i, DataMessage(i)) for i in range(10)]
+        out = resolve_slot(0, txs, NoJammer(), rng)
+        assert out.feedback is Feedback.NOISE
+
+    def test_certain_jam_turns_success_to_noise(self, rng):
+        out = resolve_slot(0, [(1, DataMessage(1))], StochasticJammer(1.0), rng)
+        assert out.feedback is Feedback.NOISE
+        assert out.jammed
+
+    def test_zero_jam_never_fires(self, rng):
+        for _ in range(50):
+            out = resolve_slot(0, [(1, DataMessage(1))], StochasticJammer(0.0), rng)
+            assert out.feedback is Feedback.SUCCESS
+
+
+class TestMultipleAccessChannel:
+    def test_clock_advances(self):
+        ch = MultipleAccessChannel()
+        assert ch.now == 0
+        ch.step([])
+        ch.step([])
+        assert ch.now == 2
+
+    def test_history_and_successes(self):
+        ch = MultipleAccessChannel()
+        ch.step([])
+        ch.step([(1, DataMessage(1))])
+        ch.step([(1, DataMessage(1)), (2, DataMessage(2))])
+        assert len(ch.history) == 3
+        assert len(ch.successes) == 1
+        assert ch.successes[0].slot == 1
+
+    def test_duplicate_transmitter_rejected(self):
+        ch = MultipleAccessChannel()
+        with pytest.raises(ValueError):
+            ch.step([(1, DataMessage(1)), (1, ControlMessage(1))])
+
+    def test_observation_for_listener(self):
+        ch = MultipleAccessChannel()
+        out = ch.step([(1, DataMessage(1))])
+        obs = MultipleAccessChannel.observation_for(out, player=2, transmitted=False)
+        assert obs.feedback is Feedback.SUCCESS
+        assert not obs.transmitted
+        assert not obs.own_success
+
+    def test_observation_for_winner(self):
+        ch = MultipleAccessChannel()
+        out = ch.step([(1, DataMessage(1))])
+        obs = MultipleAccessChannel.observation_for(out, player=1, transmitted=True)
+        assert obs.own_success
+
+    def test_observation_for_collider(self):
+        ch = MultipleAccessChannel()
+        out = ch.step([(1, DataMessage(1)), (2, DataMessage(2))])
+        obs = MultipleAccessChannel.observation_for(out, player=1, transmitted=True)
+        assert obs.feedback is Feedback.NOISE
+        assert obs.transmitted
+        assert not obs.own_success
+
+    def test_reset(self):
+        ch = MultipleAccessChannel()
+        ch.step([(1, DataMessage(1))])
+        ch.reset()
+        assert ch.now == 0
+        assert not ch.history
+        assert not ch.successes
+
+    def test_periodic_jammer_is_deterministic(self):
+        ch = MultipleAccessChannel(jammer=PeriodicJammer(3, [0]))
+        outs = [ch.step([(1, DataMessage(1))]) for _ in range(6)]
+        jams = [o.jammed for o in outs]
+        assert jams == [True, False, False, True, False, False]

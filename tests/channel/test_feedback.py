@@ -1,0 +1,61 @@
+"""Unit tests for trinary feedback and observations."""
+
+import pytest
+
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.messages import DataMessage
+
+
+class TestFeedback:
+    def test_three_states(self):
+        assert {f for f in Feedback} == {
+            Feedback.SILENCE,
+            Feedback.SUCCESS,
+            Feedback.NOISE,
+        }
+
+    def test_busy_predicate(self):
+        assert not Feedback.SILENCE.is_busy
+        assert Feedback.SUCCESS.is_busy
+        assert Feedback.NOISE.is_busy
+
+
+class TestObservation:
+    def test_silence_factory(self):
+        obs = Observation.silence()
+        assert obs.feedback is Feedback.SILENCE
+        assert obs.message is None
+        assert not obs.transmitted
+        assert not obs.own_success
+
+    def test_noise_factory_transmitted(self):
+        obs = Observation.noise(transmitted=True)
+        assert obs.feedback is Feedback.NOISE
+        assert obs.transmitted
+
+    def test_success_carries_message(self):
+        msg = DataMessage(7)
+        obs = Observation.success(msg, transmitted=True, own=True)
+        assert obs.message is msg
+        assert obs.own_success
+
+    def test_success_requires_message(self):
+        with pytest.raises(ValueError):
+            Observation(Feedback.SUCCESS, None)
+
+    def test_non_success_rejects_message(self):
+        with pytest.raises(ValueError):
+            Observation(Feedback.SILENCE, DataMessage(1))
+
+    def test_own_success_requires_transmitted(self):
+        with pytest.raises(ValueError):
+            Observation(Feedback.SUCCESS, DataMessage(1), False, True)
+
+    def test_own_success_requires_success_feedback(self):
+        with pytest.raises(ValueError):
+            Observation(Feedback.NOISE, None, True, True)
+
+    def test_observation_is_frozen(self):
+        obs = Observation.silence()
+        with pytest.raises(AttributeError):
+            obs.transmitted = True  # type: ignore[misc]

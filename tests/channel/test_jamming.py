@@ -1,0 +1,79 @@
+"""Unit tests for jamming adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.channel.jamming import (
+    NoJammer,
+    PeriodicJammer,
+    ReactiveJammer,
+    StochasticJammer,
+)
+from repro.channel.messages import DataMessage, LeaderClaim
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestNoJammer:
+    def test_never_jams(self, rng):
+        j = NoJammer()
+        assert not any(
+            j.attempt(t, 1, DataMessage(0), rng) for t in range(100)
+        )
+
+
+class TestStochasticJammer:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(InvalidParameterError):
+            StochasticJammer(-0.1)
+        with pytest.raises(InvalidParameterError):
+            StochasticJammer(1.5)
+
+    def test_only_targets_singles_by_default(self, rng):
+        j = StochasticJammer(1.0)
+        assert j.attempt(0, 1, DataMessage(0), rng)
+        assert not j.attempt(0, 0, None, rng)
+        assert not j.attempt(0, 2, None, rng)
+
+    def test_jam_rate_matches_p(self, rng):
+        j = StochasticJammer(0.3)
+        hits = sum(j.attempt(t, 1, DataMessage(0), rng) for t in range(20000))
+        assert 0.27 < hits / 20000 < 0.33
+
+    def test_jam_silence_option(self, rng):
+        j = StochasticJammer(1.0, jam_silence=True)
+        assert j.attempt(0, 0, None, rng)
+        # collisions still not worth jamming
+        assert not j.attempt(0, 3, None, rng)
+
+
+class TestReactiveJammer:
+    def test_targets_predicate_only(self, rng):
+        j = ReactiveJammer(lambda m: isinstance(m, LeaderClaim), 1.0)
+        assert j.attempt(0, 1, LeaderClaim(1, deadline=5), rng)
+        assert not j.attempt(0, 1, DataMessage(1), rng)
+        assert not j.attempt(0, 0, None, rng)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(InvalidParameterError):
+            ReactiveJammer(lambda m: True, 2.0)
+
+
+class TestPeriodicJammer:
+    def test_pattern(self, rng):
+        j = PeriodicJammer(4, [1, 3])
+        got = [j.attempt(t, 1, DataMessage(0), rng) for t in range(8)]
+        assert got == [False, True, False, True] * 2
+
+    def test_offsets_normalized_mod_period(self, rng):
+        j = PeriodicJammer(4, [5])
+        assert j.attempt(1, 0, None, rng)
+        assert not j.attempt(0, 0, None, rng)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(InvalidParameterError):
+            PeriodicJammer(0, [0])

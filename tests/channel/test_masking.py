@@ -1,0 +1,108 @@
+"""Tests for feedback masking (weaker channel models)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.masking import (
+    FeedbackMaskingProtocol,
+    FeedbackMode,
+    mask_observation,
+    masked_factory,
+)
+from repro.channel.messages import DataMessage
+from repro.core.aligned import aligned_factory
+from repro.core.uniform import uniform_factory
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance, single_class_instance
+
+
+class TestMaskObservation:
+    def test_full_is_identity(self):
+        for obs in (
+            Observation.silence(),
+            Observation.noise(),
+            Observation.success(DataMessage(1)),
+        ):
+            assert mask_observation(obs, FeedbackMode.FULL) is obs
+
+    def test_no_cd_hides_noise(self):
+        masked = mask_observation(
+            Observation.noise(transmitted=True), FeedbackMode.NO_COLLISION_DETECTION
+        )
+        assert masked.feedback is Feedback.SILENCE
+        assert masked.transmitted
+
+    def test_no_cd_keeps_success(self):
+        obs = Observation.success(DataMessage(1))
+        assert (
+            mask_observation(obs, FeedbackMode.NO_COLLISION_DETECTION) is obs
+        )
+
+    def test_no_feedback_hides_everything_but_own(self):
+        foreign = Observation.success(DataMessage(2))
+        assert (
+            mask_observation(foreign, FeedbackMode.NO_FEEDBACK).feedback
+            is Feedback.SILENCE
+        )
+        own = Observation.success(DataMessage(1), transmitted=True, own=True)
+        assert mask_observation(own, FeedbackMode.NO_FEEDBACK) is own
+
+
+class TestWrappedProtocols:
+    def test_uniform_unaffected_by_masking(self):
+        """UNIFORM never reads foreign feedback, so masking is a no-op."""
+        inst = batch_instance(16, window=256)
+        plain = simulate(inst, uniform_factory(), seed=4)
+        masked = simulate(
+            inst,
+            masked_factory(uniform_factory(), FeedbackMode.NO_FEEDBACK),
+            seed=4,
+        )
+        assert [o.status for o in plain.outcomes] == [
+            o.status for o in masked.outcomes
+        ]
+        assert [o.completion_slot for o in plain.outcomes] == [
+            o.completion_slot for o in masked.outcomes
+        ]
+
+    def test_aligned_full_mask_equals_plain(self):
+        inst = single_class_instance(8, level=8)
+        params = AlignedParams(lam=1, tau=4, min_level=8)
+        plain = simulate(inst, aligned_factory(params), seed=1)
+        full = simulate(
+            inst,
+            masked_factory(aligned_factory(params), FeedbackMode.FULL),
+            seed=1,
+        )
+        assert plain.n_succeeded == full.n_succeeded
+
+    def test_aligned_survives_no_cd(self):
+        """The estimator counts successes, not collisions — hiding noise
+        leaves the aligned pipeline intact."""
+        inst = single_class_instance(8, level=8)
+        params = AlignedParams(lam=1, tau=4, min_level=8)
+        res = simulate(
+            inst,
+            masked_factory(
+                aligned_factory(params), FeedbackMode.NO_COLLISION_DETECTION
+            ),
+            seed=1,
+        )
+        assert res.success_rate >= 0.9
+
+    def test_transmission_count_mirrored(self):
+        inst = batch_instance(4, window=64)
+        registry = {}
+
+        def factory(job, rng):
+            p = FeedbackMaskingProtocol(
+                uniform_factory()(job, rng), FeedbackMode.NO_FEEDBACK
+            )
+            registry[job.job_id] = p
+            return p
+
+        res = simulate(inst, factory, seed=0)
+        for jid, proto in registry.items():
+            assert res.outcome_of(jid).transmissions == proto.inner.transmissions

@@ -1,0 +1,70 @@
+"""Unit tests for message types."""
+
+import dataclasses
+
+import pytest
+
+from repro.channel.messages import (
+    ControlMessage,
+    DataMessage,
+    EstimateReport,
+    LeaderClaim,
+    Message,
+    StartMessage,
+    TimekeeperBeacon,
+)
+
+
+class TestHierarchy:
+    def test_data_is_message_not_control(self):
+        m = DataMessage(1)
+        assert isinstance(m, Message)
+        assert not isinstance(m, ControlMessage)
+
+    def test_control_subtypes(self):
+        for cls in (StartMessage, EstimateReport, LeaderClaim, TimekeeperBeacon):
+            assert issubclass(cls, ControlMessage)
+
+    def test_type_dispatch_is_exact(self):
+        """Protocol logic pattern-matches on type; subclass confusion
+        between the control messages would be a real bug."""
+        claim = LeaderClaim(1, deadline=5)
+        assert not isinstance(claim, TimekeeperBeacon)
+        assert not isinstance(claim, StartMessage)
+        beacon = TimekeeperBeacon(1, global_time=0, deadline=0)
+        assert not isinstance(beacon, LeaderClaim)
+
+
+class TestImmutability:
+    def test_frozen(self):
+        m = DataMessage(3)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.sender = 4  # type: ignore[misc]
+
+    def test_beacon_frozen(self):
+        b = TimekeeperBeacon(1, global_time=10, deadline=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            b.abdicating = True  # type: ignore[misc]
+
+
+class TestFields:
+    def test_beacon_defaults(self):
+        b = TimekeeperBeacon(1, global_time=7, deadline=3)
+        assert not b.abdicating
+        assert b.payload is None
+
+    def test_beacon_payload(self):
+        payload = DataMessage(1)
+        b = TimekeeperBeacon(
+            1, global_time=7, deadline=0, abdicating=True, payload=payload
+        )
+        assert b.payload is payload
+        assert b.payload.sender == 1
+
+    def test_claim_carries_deadline(self):
+        assert LeaderClaim(2, deadline=9).deadline == 9
+
+    def test_equality_by_value(self):
+        assert DataMessage(1) == DataMessage(1)
+        assert DataMessage(1) != DataMessage(2)
+        assert StartMessage(1) != DataMessage(1)

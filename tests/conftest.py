@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import AlignedParams, PunctualParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def aligned_params() -> AlignedParams:
+    """Laptop-scale ALIGNED parameters for a single class at level 8."""
+    return AlignedParams(lam=1, tau=4, min_level=8)
+
+
+@pytest.fixture
+def punctual_params() -> PunctualParams:
+    """Laptop-scale PUNCTUAL parameters (see DESIGN.md §3 on scaling)."""
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )

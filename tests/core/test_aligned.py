@@ -1,0 +1,132 @@
+"""Unit and end-to-end tests for the ALIGNED protocol (Section 3)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.channel.jamming import StochasticJammer
+from repro.core.aligned import AlignedProtocol, aligned_factory
+from repro.errors import InvalidInstanceError
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job, JobStatus
+from repro.sim.protocolbase import ProtocolContext
+from repro.workloads import (
+    aligned_random_instance,
+    nested_stack_instance,
+    single_class_instance,
+)
+
+
+def params(min_level=8):
+    return AlignedParams(lam=1, tau=4, min_level=min_level)
+
+
+class TestValidation:
+    def test_rejects_non_power_window(self):
+        ctx = ProtocolContext(0, 12, np.random.default_rng(0))
+        with pytest.raises(InvalidInstanceError):
+            AlignedProtocol(ctx, params())
+
+    def test_rejects_unaligned_release(self):
+        ctx = ProtocolContext(0, 256, np.random.default_rng(0))
+        p = AlignedProtocol(ctx, params())
+        with pytest.raises(InvalidInstanceError):
+            p.begin(100)  # 100 not a multiple of 256
+
+
+class TestSingleClass:
+    def test_all_jobs_succeed(self):
+        inst = single_class_instance(8, level=8)
+        res = simulate(inst, aligned_factory(params()), seed=1)
+        assert res.n_succeeded == 8
+
+    def test_single_job(self):
+        inst = single_class_instance(1, level=8)
+        res = simulate(inst, aligned_factory(params()), seed=2)
+        assert res.n_succeeded == 1
+
+    def test_many_seeds_high_success(self):
+        total = ok = 0
+        for seed in range(10):
+            inst = single_class_instance(12, level=8)
+            res = simulate(inst, aligned_factory(params()), seed=seed)
+            ok += res.n_succeeded
+            total += len(res)
+        assert ok / total >= 0.95
+
+    def test_consecutive_windows_independent(self):
+        # two batches in consecutive class-8 windows
+        a = single_class_instance(6, level=8, start=0)
+        b = Instance(Job(100 + j.job_id, j.release + 256, j.deadline + 256) for j in a)
+        inst = a.merged(b)
+        res = simulate(inst, aligned_factory(params()), seed=4)
+        assert res.n_succeeded == 12
+
+    def test_completion_within_window(self):
+        inst = single_class_instance(8, level=8)
+        res = simulate(inst, aligned_factory(params()), seed=5)
+        for o in res.outcomes:
+            if o.succeeded:
+                assert o.job.release <= o.completion_slot < o.job.deadline
+
+
+class TestPeckingOrder:
+    def test_nested_classes_all_succeed(self):
+        inst = nested_stack_instance([9, 11, 13], per_level=3)
+        res = simulate(inst, aligned_factory(params(min_level=9)), seed=2)
+        assert res.n_succeeded == len(inst)
+
+    def test_small_class_preempts(self):
+        """Small-window jobs complete before large-window jobs."""
+        inst = nested_stack_instance([9, 12], per_level=2)
+        res = simulate(inst, aligned_factory(params(min_level=9)), seed=3)
+        assert res.n_succeeded == 4
+        small = [o for o in res.outcomes if o.job.window == 512]
+        large = [o for o in res.outcomes if o.job.window == 4096]
+        assert max(o.completion_slot for o in small) < min(
+            o.completion_slot for o in large
+        )
+
+    def test_random_feasible_workload(self):
+        rng = np.random.default_rng(0)
+        inst = aligned_random_instance(rng, 13, [9, 10, 11, 12], gamma=0.03)
+        assert len(inst) > 50
+        res = simulate(inst, aligned_factory(params(min_level=9)), seed=6)
+        assert res.success_rate >= 0.98
+
+    def test_transmissions_bounded(self):
+        """Each job's channel accesses stay modest (estimation + subphases)."""
+        inst = single_class_instance(8, level=8)
+        res = simulate(inst, aligned_factory(params()), seed=7)
+        # estimation: ~λℓ²·E[p] ≈ 8·... loose sanity cap
+        assert res.transmission_counts().max() < 64
+
+
+class TestJamming:
+    def test_half_jamming_tolerated(self):
+        ok = total = 0
+        for seed in range(8):
+            inst = single_class_instance(8, level=9)
+            res = simulate(
+                inst,
+                aligned_factory(params(min_level=9)),
+                jammer=StochasticJammer(0.5),
+                seed=seed,
+            )
+            ok += res.n_succeeded
+            total += len(res)
+        # p_jam = 1/2 is inside the tolerated regime (Section 3)
+        assert ok / total >= 0.8
+
+    def test_full_jamming_kills_everything(self):
+        inst = single_class_instance(8, level=8)
+        res = simulate(
+            inst,
+            aligned_factory(params()),
+            jammer=StochasticJammer(1.0),
+            seed=1,
+        )
+        assert res.n_succeeded == 0

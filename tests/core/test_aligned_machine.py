@@ -1,0 +1,155 @@
+"""Direct unit tests for AlignedMachine (scripted feedback, no engine)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataMessage, EstimateReport
+from repro.core.aligned import AlignedMachine
+from repro.core.estimation import estimation_length
+from repro.params import AlignedParams
+
+
+def machine(level=8, min_level=8, lam=1, tau=4, seed=0, job_id=1):
+    params = AlignedParams(lam=lam, tau=tau, min_level=min_level)
+    return AlignedMachine(job_id, level, params, np.random.default_rng(seed))
+
+
+def drive(m, v, feedback_success=False, own=False):
+    """One act/observe cycle; returns the message the machine sent."""
+    msg = m.act(v)
+    if msg is not None and own:
+        obs = Observation.success(msg, transmitted=True, own=True)
+    elif feedback_success:
+        obs = Observation.success(DataMessage(99))
+    elif msg is not None:
+        obs = Observation.noise(transmitted=True)
+    else:
+        obs = Observation.silence()
+    m.observe(v, obs)
+    return msg
+
+
+class TestEstimationStage:
+    def test_estimation_messages_are_reports(self):
+        m = machine(seed=3)
+        m.begin(0)
+        est_len = estimation_length(8, 1)
+        sent = []
+        for v in range(est_len):
+            msg = drive(m, v)
+            if msg is not None:
+                sent.append(msg)
+        assert sent, "with p=1/2 early phases, some pings must go out"
+        assert all(isinstance(s, EstimateReport) for s in sent)
+
+    def test_last_p_matches_phase(self):
+        m = machine()
+        m.begin(0)
+        # phase 1 occupies the first λℓ = 8 steps at p = 1/2
+        for v in range(8):
+            m.act(v)
+            assert m.last_p == 0.5
+            m.observe(v, Observation.silence())
+        # phase 2 at p = 1/4
+        m.act(8)
+        assert m.last_p == 0.25
+
+    def test_silent_estimation_gives_up(self):
+        """All-silent estimation ⇒ estimate 0 ⇒ run complete ⇒ the job
+        (which exists, so the estimate is wrong — a truncation-style
+        failure) gives up."""
+        m = machine()
+        m.begin(0)
+        est_len = estimation_length(8, 1)
+        v = 0
+        # suppress the machine's own transmissions by monkeypatched rng?
+        # easier: use a machine whose rng never transmits is impossible —
+        # instead feed silence regardless of its sends; counts stay 0
+        while not m.finished and v < est_len + 5:
+            m.act(v)
+            m.observe(v, Observation.silence())
+            v += 1
+        assert m.gave_up
+        assert not m.succeeded
+
+
+class TestBroadcastStage:
+    def run_to_broadcast(self, m):
+        """Feed an estimation with successes in phase 1 only."""
+        est_len = estimation_length(m.level, m.params.lam)
+        lam_ell = m.params.lam * m.level
+        for v in range(est_len):
+            m.act(v)
+            # phase 1 slots (first λℓ) all carry successes
+            if v < lam_ell:
+                m.observe(v, Observation.success(DataMessage(42)))
+            else:
+                m.observe(v, Observation.silence())
+        return est_len
+
+    def test_broadcast_sends_data_messages(self):
+        m = machine(seed=7)
+        m.begin(0)
+        v = self.run_to_broadcast(m)
+        run = m.view.run_of(m.level)
+        assert run.estimate == 8  # τ·2¹ = 8
+        sent = []
+        while not m.finished:
+            msg = drive(m, v)
+            if msg is not None:
+                sent.append(msg)
+                break
+            v += 1
+        assert sent and isinstance(sent[0], DataMessage)
+        assert sent[0].sender == m.job_id
+
+    def test_succeeds_on_own_delivery(self):
+        m = machine(seed=7)
+        m.begin(0)
+        v = self.run_to_broadcast(m)
+        while not m.finished:
+            msg = m.act(v)
+            if msg is not None:
+                m.observe(v, Observation.success(msg, True, True))
+            else:
+                m.observe(v, Observation.silence())
+            v += 1
+        assert m.succeeded
+        assert not m.gave_up
+
+    def test_gives_up_if_never_delivered(self):
+        m = machine(seed=7)
+        m.begin(0)
+        v = self.run_to_broadcast(m)
+        while not m.finished:
+            msg = m.act(v)
+            # all its transmissions collide
+            m.observe(
+                v,
+                Observation.noise(transmitted=msg is not None),
+            )
+            v += 1
+        assert m.gave_up
+
+
+class TestDeference:
+    def test_waits_for_smaller_class(self):
+        """A class-9 job with min_level 8 defers while class 8 runs."""
+        m = machine(level=9, min_level=8)
+        m.begin(0)
+        est8 = estimation_length(8, 1)
+        for v in range(est8):
+            msg = m.act(v)
+            assert msg is None, "must stay silent during class 8's run"
+            assert m.last_p == 0.0
+            m.observe(v, Observation.silence())
+        # class 8 resolved empty; class 9's estimation may now transmit
+        probed = False
+        for v in range(est8, est8 + 20):
+            if m.act(v) is not None or m.last_p > 0:
+                probed = True
+            m.observe(v, Observation.silence())
+            if probed:
+                break
+        assert probed

@@ -1,0 +1,101 @@
+"""Unit tests for the batch-broadcast schedule (incl. Lemma 6's formula)."""
+
+import pytest
+
+from repro.core.broadcast import (
+    BroadcastSchedule,
+    broadcast_length,
+    total_active_steps,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestLengths:
+    def test_broadcast_length_formula(self):
+        # λ(2n − 2 + ℓ²)
+        assert broadcast_length(level=3, estimate=8, lam=2) == 2 * (16 - 2 + 9)
+        assert broadcast_length(level=5, estimate=4, lam=1) == (8 - 2 + 25)
+
+    def test_zero_estimate_zero_length(self):
+        assert broadcast_length(4, 0, 3) == 0
+
+    def test_rejects_non_power_estimate(self):
+        with pytest.raises(InvalidParameterError):
+            broadcast_length(3, 6, 1)
+        with pytest.raises(InvalidParameterError):
+            broadcast_length(3, 1, 1)
+
+    def test_lemma6_total(self):
+        # Lemma 6: total = 2λ(ℓ² + n_ℓ − 1)
+        for lam in (1, 2, 4):
+            for level in (3, 5, 8):
+                for est in (2, 8, 64):
+                    assert total_active_steps(level, est, lam) == 2 * lam * (
+                        level * level + est - 1
+                    )
+
+    def test_empty_class_total_is_estimation_only(self):
+        assert total_active_steps(4, 0, 3) == 3 * 16
+
+
+class TestBroadcastSchedule:
+    def test_phase_structure(self):
+        s = BroadcastSchedule(level=3, estimate=8, lam=2)
+        # halving: 8, 4, 2; then ℓ=3 phases of length 3
+        assert s.subphase_lengths == [8, 4, 2, 3, 3, 3]
+        assert s.total_steps == 2 * (8 + 4 + 2 + 9)
+        assert s.total_steps == broadcast_length(3, 8, 2)
+
+    def test_empty_schedule(self):
+        s = BroadcastSchedule(level=3, estimate=0, lam=2)
+        assert s.total_steps == 0
+        assert s.n_phases == 0
+
+    def test_positions_walk_the_structure(self):
+        s = BroadcastSchedule(level=2, estimate=4, lam=2)
+        # subphase lengths: 4, 2, 2, 2 → steps: 8, 4, 4, 4 = 20
+        assert s.total_steps == 20
+        p0 = s.position(0)
+        assert (p0.phase, p0.subphase, p0.length, p0.offset) == (0, 0, 4, 0)
+        assert p0.subphase_start
+        p5 = s.position(5)
+        assert (p5.phase, p5.subphase, p5.offset) == (0, 1, 1)
+        assert not p5.subphase_start
+        p8 = s.position(8)
+        assert (p8.phase, p8.length, p8.offset) == (1, 2, 0)
+        last = s.position(19)
+        assert (last.phase, last.subphase, last.offset) == (3, 1, 1)
+
+    def test_position_out_of_range(self):
+        s = BroadcastSchedule(2, 4, 1)
+        with pytest.raises(InvalidParameterError):
+            s.position(s.total_steps)
+        with pytest.raises(InvalidParameterError):
+            s.position(-1)
+
+    def test_every_step_covered_exactly_once(self):
+        s = BroadcastSchedule(level=4, estimate=16, lam=3)
+        seen = []
+        for step in range(s.total_steps):
+            pos = s.position(step)
+            seen.append((pos.phase, pos.subphase, pos.offset))
+        assert len(set(seen)) == s.total_steps
+
+    def test_subphase_starts_count(self):
+        s = BroadcastSchedule(level=3, estimate=4, lam=2)
+        starts = sum(
+            1 for step in range(s.total_steps) if s.position(step).subphase_start
+        )
+        # λ subphases per phase
+        assert starts == s.n_phases * 2
+
+    def test_trivial_schedule(self):
+        s = BroadcastSchedule.trivial()
+        assert s.total_steps == 1
+        pos = s.position(0)
+        assert pos.length == 1 and pos.subphase_start
+
+    def test_phase_length(self):
+        s = BroadcastSchedule(level=3, estimate=8, lam=2)
+        assert s.phase_length(0) == 16
+        assert s.phase_length(3) == 6

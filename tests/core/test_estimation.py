@@ -1,0 +1,101 @@
+"""Unit tests for the size-estimation protocol bookkeeping."""
+
+import pytest
+
+from repro.core.estimation import (
+    EstimationTally,
+    estimation_length,
+    phase_of_step,
+    phase_probability,
+    resolve_estimate,
+)
+from repro.errors import InvalidParameterError, ProtocolViolationError
+
+
+class TestLengths:
+    def test_t_ell_formula(self):
+        # T_ℓ = λ ℓ²
+        assert estimation_length(0, 3) == 0
+        assert estimation_length(4, 2) == 32
+        assert estimation_length(10, 1) == 100
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            estimation_length(-1, 1)
+
+
+class TestPhases:
+    def test_phase_of_step(self):
+        # level 3, lam 2: phases of 6 steps each
+        assert phase_of_step(3, 2, 0) == 1
+        assert phase_of_step(3, 2, 5) == 1
+        assert phase_of_step(3, 2, 6) == 2
+        assert phase_of_step(3, 2, 17) == 3
+
+    def test_step_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            phase_of_step(3, 2, 18)
+
+    def test_phase_probability(self):
+        assert phase_probability(1) == 0.5
+        assert phase_probability(3) == 0.125
+
+    def test_phase_probability_validates(self):
+        with pytest.raises(InvalidParameterError):
+            phase_probability(0)
+
+
+class TestResolveEstimate:
+    def test_all_silent_resolves_zero(self):
+        assert resolve_estimate([0, 0, 0], tau=4, level=3) == 0
+
+    def test_winning_phase(self):
+        # phase 2 wins: estimate = τ·2² = 16
+        assert resolve_estimate([1, 5, 2, 0, 0, 0, 0, 0], tau=4, level=8) == 16
+
+    def test_tie_breaks_to_smallest_phase(self):
+        assert resolve_estimate([3, 3, 1, 0, 0, 0, 0, 0], tau=4, level=8) == 8
+
+    def test_cap_at_window(self):
+        # τ·2³ = 32 > 2⁴ = 16 → capped
+        assert resolve_estimate([0, 0, 9, 1], tau=4, level=4) == 16
+
+    def test_level_zero_empty_counts(self):
+        assert resolve_estimate([], tau=4, level=0) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_estimate([1, 2], tau=4, level=3)
+
+
+class TestEstimationTally:
+    def test_progression(self):
+        t = EstimationTally(level=2, lam=2)  # phases of 4 steps, total 8
+        assert t.total_steps == 8
+        for step in range(8):
+            assert not t.complete
+            expected_phase = 1 if step < 4 else 2
+            assert t.current_phase() == expected_phase
+            t.record(success=(step % 2 == 0))
+        assert t.complete
+        assert t.counts == [2, 2]
+
+    def test_estimate_requires_completion(self):
+        t = EstimationTally(level=2, lam=2)
+        with pytest.raises(ProtocolViolationError):
+            t.estimate(tau=4)
+
+    def test_record_after_completion_rejected(self):
+        t = EstimationTally(level=1, lam=1)
+        t.record(True)
+        with pytest.raises(ProtocolViolationError):
+            t.record(True)
+
+    def test_estimate_matches_resolve(self):
+        t = EstimationTally(level=3, lam=1)
+        outcomes = [True, False, True, True, False, False, False, False, False]
+        for s in range(9):
+            t.record(outcomes[s])
+        # counts: phase1 (steps 0-2): 2; phase2 (3-5): 1; phase3: 0
+        assert t.counts == [2, 1, 0]
+        assert t.estimate(tau=4) == resolve_estimate([2, 1, 0], 4, 3) == 8

@@ -1,0 +1,98 @@
+"""Unit tests for the geometric-probing estimator (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation_alt import (
+    GeometricTally,
+    geometric_length,
+    resolve_geometric_estimate,
+    simulate_geometric_fast,
+)
+from repro.errors import InvalidParameterError, ProtocolViolationError
+
+
+class TestLengths:
+    def test_r_ell(self):
+        assert geometric_length(10, 4) == 40
+        assert geometric_length(0, 4) == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_length(-1, 4)
+        with pytest.raises(InvalidParameterError):
+            geometric_length(3, 0)
+
+
+class TestResolve:
+    def test_first_quiet_phase_wins(self):
+        # probes=4; counts: phase1 all collide, phase2 quiet
+        est = resolve_geometric_estimate([4, 1, 0, 0], 4, tau=4, level=4)
+        assert est == min(4 * 4, 16) == 16
+
+    def test_all_collide_caps_at_window(self):
+        assert resolve_geometric_estimate([4, 4, 4], 4, tau=4, level=3) == 8
+
+    def test_immediately_quiet_gives_smallest(self):
+        assert resolve_geometric_estimate([0, 0, 0], 4, tau=2, level=3) == 4
+
+    def test_level_zero(self):
+        assert resolve_geometric_estimate([], 4, tau=4, level=0) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_geometric_estimate([1], 4, tau=4, level=3)
+
+
+class TestTally:
+    def test_phase_progression_and_probability(self):
+        t = GeometricTally(level=3, probes=2)
+        assert t.total_steps == 6
+        probs = []
+        for step in range(6):
+            probs.append(t.transmit_probability())
+            t.record(collision=(step < 2))  # phase 1 collides
+        assert probs == [0.5, 0.5, 0.25, 0.25, 0.125, 0.125]
+        assert t.complete
+        assert t.counts == [2, 0, 0]
+        assert t.estimate(tau=2) == min(2 * 4, 8)
+
+    def test_guards(self):
+        t = GeometricTally(level=1, probes=1)
+        with pytest.raises(ProtocolViolationError):
+            t.estimate(tau=2)
+        t.record(False)
+        with pytest.raises(ProtocolViolationError):
+            t.record(False)
+        with pytest.raises(ProtocolViolationError):
+            t.current_phase()
+
+
+class TestFast:
+    def test_clean_estimates_near_truth(self):
+        rng = np.random.default_rng(0)
+        ests = simulate_geometric_fast(32, 10, 4, 4, rng, n_trials=300)
+        # crossover at 2^i ≈ n̂ = 32 → estimates around τ·32..τ·128
+        med = float(np.median(ests))
+        assert 64 <= med <= 512
+
+    def test_empty_class_small_estimate(self):
+        rng = np.random.default_rng(1)
+        ests = simulate_geometric_fast(0, 8, 4, 4, rng, n_trials=50)
+        assert np.all(ests == 8)  # first phase always quiet → τ·2
+
+    def test_jamming_inflates(self):
+        clean = simulate_geometric_fast(
+            16, 10, 4, 4, np.random.default_rng(2), n_trials=300
+        )
+        jammed = simulate_geometric_fast(
+            16, 10, 4, 4, np.random.default_rng(2), n_trials=300, p_jam=0.9
+        )
+        assert float(np.median(jammed)) >= float(np.median(clean))
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(InvalidParameterError):
+            simulate_geometric_fast(-1, 8, 4, 4, rng)
+        with pytest.raises(InvalidParameterError):
+            simulate_geometric_fast(4, 8, 4, 4, rng, p_jam=1.5)

@@ -1,0 +1,81 @@
+"""Tests for the TRIMMED-ALIGNED (global clock) variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.global_trim import TrimmedAlignedProtocol, trimmed_aligned_factory
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import ProtocolContext
+from repro.workloads import staircase_instance, uniform_random_instance
+
+
+def params(min_level=9):
+    return AlignedParams(lam=1, tau=4, min_level=min_level)
+
+
+class TestTrim:
+    def test_trims_at_begin(self):
+        p = TrimmedAlignedProtocol(
+            ProtocolContext(0, 3000, np.random.default_rng(0)), params()
+        )
+        p.begin(100)
+        lo, hi = p.trim
+        assert hi - lo >= 3000 // 4
+        assert 100 <= lo and hi <= 3100
+        assert (hi - lo) & (hi - lo - 1) == 0
+
+    def test_too_small_window_gives_up(self):
+        p = TrimmedAlignedProtocol(
+            ProtocolContext(0, 100, np.random.default_rng(0)), params(min_level=9)
+        )
+        p.begin(0)
+        assert p.gave_up
+        assert p.machine is None
+
+
+class TestEndToEnd:
+    def test_unaligned_batch_all_succeed(self):
+        # same unaligned window for all: they trim identically and run the
+        # batch protocol inside
+        inst = Instance([Job(i, 100, 100 + 3000) for i in range(10)])
+        res = simulate(inst, trimmed_aligned_factory(params()), seed=1)
+        assert res.n_succeeded == 10
+
+    def test_success_within_original_window(self):
+        inst = Instance([Job(i, 7, 7 + 2500) for i in range(6)])
+        res = simulate(inst, trimmed_aligned_factory(params()), seed=2)
+        for o in res.outcomes:
+            assert o.succeeded
+            assert o.job.release <= o.completion_slot < o.job.deadline
+
+    def test_staggered_arbitrary_windows(self):
+        inst = staircase_instance(n_steps=4, jobs_per_step=6, step=3000, window=5000)
+        res = simulate(inst, trimmed_aligned_factory(params()), seed=3)
+        assert res.success_rate >= 0.95
+
+    def test_random_unaligned_workload(self):
+        rng = np.random.default_rng(5)
+        inst = uniform_random_instance(
+            rng, 40, 20000, (3000, 9000), gamma=0.01
+        )
+        res = simulate(inst, trimmed_aligned_factory(params()), seed=4)
+        assert res.success_rate >= 0.9
+
+    def test_beats_nothing_without_global_clock_disclaimer(self):
+        """Sanity: the protocol really uses absolute slot indices — jobs
+        sharing a window size but offset in time trim differently."""
+        protos = {}
+
+        def factory(job, rng):
+            p = TrimmedAlignedProtocol(
+                ProtocolContext.for_job(job, rng), params()
+            )
+            protos[job.job_id] = p
+            return p
+
+        inst = Instance([Job(0, 0, 3000), Job(1, 700, 3700)])
+        simulate(inst, factory, seed=0)
+        assert protos[0].trim != protos[1].trim

@@ -1,0 +1,81 @@
+"""TRIMMED-ALIGNED with mixed window sizes: the pecking order carries over.
+
+After trimming, jobs of different original window sizes land in aligned
+windows of different classes; the embedded ALIGNED machines must then
+coordinate exactly as in the pure aligned case — small trimmed classes
+pre-empting large ones — using only the global clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.global_trim import TrimmedAlignedProtocol, trimmed_aligned_factory
+from repro.core.trimming import trimmed_window
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import ProtocolContext
+
+
+def params(min_level=9):
+    return AlignedParams(lam=1, tau=4, min_level=min_level)
+
+
+class TestMixedSizes:
+    def test_two_scales_coexist(self):
+        # small (unaligned) windows nested in time alongside one big cohort
+        jobs = []
+        jid = 0
+        for k in range(4):
+            for _ in range(2):
+                jobs.append(Job(jid, 100 + k * 1024, 100 + k * 1024 + 900))
+                jid += 1
+        for _ in range(4):
+            jobs.append(Job(jid, 50, 50 + 5000))
+            jid += 1
+        inst = Instance(jobs)
+        # 900-slot windows trim to class 8, so the floor must admit it
+        res = simulate(inst, trimmed_aligned_factory(params(min_level=8)), seed=0)
+        assert res.success_rate >= 0.9
+
+    def test_small_trims_preempt_large(self):
+        registry = {}
+
+        def factory(job, rng):
+            p = TrimmedAlignedProtocol(
+                ProtocolContext.for_job(job, rng), params()
+            )
+            registry[job.job_id] = p
+            return p
+
+        jobs = [Job(0, 0, 900), Job(1, 0, 900), Job(2, 0, 5000), Job(3, 0, 5000)]
+        inst = Instance(jobs)
+        res = simulate(inst, factory, seed=1)
+        assert res.n_succeeded == 4
+        # the small jobs trimmed to a smaller class...
+        small_level = registry[0].machine.level
+        large_level = registry[2].machine.level
+        assert small_level < large_level
+        # ...and completed before the large ones (pecking order)
+        small_done = max(
+            res.outcome_of(j).completion_slot for j in (0, 1)
+        )
+        large_done = min(
+            res.outcome_of(j).completion_slot for j in (2, 3)
+        )
+        assert small_done < large_done
+
+    def test_trim_consistency_with_helper(self):
+        registry = {}
+
+        def factory(job, rng):
+            p = TrimmedAlignedProtocol(
+                ProtocolContext.for_job(job, rng), params()
+            )
+            registry[job.job_id] = p
+            return p
+
+        inst = Instance([Job(0, 123, 123 + 3333)])
+        simulate(inst, factory, seed=0)
+        assert registry[0].trim == trimmed_window(123, 123 + 3333)

@@ -1,0 +1,114 @@
+"""Unit tests for the passive leader tracker."""
+
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataMessage, LeaderClaim, TimekeeperBeacon
+from repro.core.leader import LeaderTracker
+from repro.core.rounds import SlotRole
+
+
+def beacon(sender=1, gtime=100, deadline=5, abdicating=False, payload=None):
+    return Observation.success(
+        TimekeeperBeacon(
+            sender, global_time=gtime, deadline=deadline, abdicating=abdicating,
+            payload=payload,
+        )
+    )
+
+
+def claim(sender=2, deadline=10):
+    return Observation.success(LeaderClaim(sender, deadline=deadline))
+
+
+class TestBeacons:
+    def test_beacon_establishes_leader(self):
+        tr = LeaderTracker()
+        assert tr.current(0) is None
+        tr.observe(3, SlotRole.TIMEKEEPER, beacon(gtime=50, deadline=7))
+        lv = tr.current(3)
+        assert lv is not None
+        assert lv.deadline_round == 10
+        assert tr.vtime_offset == 47  # global 50 at local round 3
+
+    def test_silent_timekeeper_clears_leader(self):
+        tr = LeaderTracker()
+        tr.observe(3, SlotRole.TIMEKEEPER, beacon())
+        tr.observe(4, SlotRole.TIMEKEEPER, Observation.silence())
+        assert tr.current(4) is None
+
+    def test_noisy_timekeeper_keeps_leader(self):
+        tr = LeaderTracker()
+        tr.observe(3, SlotRole.TIMEKEEPER, beacon(deadline=5))
+        tr.observe(4, SlotRole.TIMEKEEPER, Observation.noise())
+        assert tr.current(4) is not None
+
+    def test_leader_expires_without_abdication(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.TIMEKEEPER, beacon(deadline=2))
+        assert tr.current(2) is not None
+        assert tr.current(3) is None
+
+    def test_abdication_clears_matching_leader(self):
+        tr = LeaderTracker()
+        tr.observe(5, SlotRole.TIMEKEEPER, beacon(deadline=0, abdicating=True,
+                                                  payload=DataMessage(1)))
+        # abdicating beacon of the (previously unknown) leader at its last
+        # round: deadline matches what it announces (r+0), so leader stays
+        # cleared / never adopted
+        assert tr.current(5) is None
+
+    def test_handover_beacon_keeps_new_leader(self):
+        tr = LeaderTracker()
+        # incumbent beacons (deadline round 10)
+        tr.observe(3, SlotRole.TIMEKEEPER, beacon(deadline=7))
+        # claimant with later deadline wins the election
+        tr.observe(3, SlotRole.ELECTION, claim(deadline=20))
+        assert tr.current(3).deadline_round == 23
+        # old leader's handover beacon (abdicating, its own deadline)
+        tr.observe(
+            4, SlotRole.TIMEKEEPER,
+            beacon(deadline=6, abdicating=True, payload=DataMessage(1)),
+        )
+        # the new leader must survive
+        assert tr.current(4) is not None
+        assert tr.current(4).deadline_round == 23
+
+    def test_vtime_survives_abdication(self):
+        tr = LeaderTracker()
+        tr.observe(3, SlotRole.TIMEKEEPER, beacon(gtime=50, deadline=3))
+        tr.observe(6, SlotRole.TIMEKEEPER, beacon(gtime=53, deadline=0, abdicating=True))
+        assert tr.current(7) is None
+        assert tr.vtime_offset == 47
+
+
+class TestClaims:
+    def test_claim_with_no_leader_adopts(self):
+        tr = LeaderTracker()
+        tr.observe(2, SlotRole.ELECTION, claim(deadline=8))
+        lv = tr.current(2)
+        assert lv is not None and lv.deadline_round == 10
+        assert lv.vtime_offset is None  # claims carry no clock
+
+    def test_later_claim_deposes(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.TIMEKEEPER, beacon(deadline=5))
+        tr.observe(0, SlotRole.ELECTION, claim(deadline=9))
+        assert tr.current(0).deadline_round == 9
+
+    def test_earlier_claim_ignored(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.TIMEKEEPER, beacon(deadline=5))
+        tr.observe(0, SlotRole.ELECTION, claim(deadline=3))
+        assert tr.current(0).deadline_round == 5
+
+    def test_tied_claim_ignored(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.TIMEKEEPER, beacon(deadline=5))
+        tr.observe(0, SlotRole.ELECTION, claim(deadline=5))
+        assert tr.current(0).deadline_round == 5
+
+    def test_non_election_roles_ignore_claims(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.ANARCHIST, Observation.success(DataMessage(3)))
+        assert tr.current(0) is None

@@ -1,0 +1,74 @@
+"""Leader tracker across multiple leadership epochs."""
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataMessage, LeaderClaim, TimekeeperBeacon
+from repro.core.leader import LeaderTracker
+from repro.core.rounds import SlotRole
+
+
+def beacon(gtime, deadline, abdicating=False, payload=None, sender=1):
+    return Observation.success(
+        TimekeeperBeacon(
+            sender, global_time=gtime, deadline=deadline,
+            abdicating=abdicating, payload=payload,
+        )
+    )
+
+
+class TestEpochs:
+    def test_two_epochs_same_clock(self):
+        """Leader A abdicates; leader B continues the same global time."""
+        tr = LeaderTracker()
+        # epoch 1: A beacons at rounds 0..2 with global time 100..102
+        for r in range(3):
+            tr.observe(r, SlotRole.TIMEKEEPER, beacon(100 + r, 2 - r))
+        assert tr.current(2) is not None
+        # A abdicates at round 2 (remaining 0)
+        tr.observe(
+            2, SlotRole.TIMEKEEPER,
+            beacon(102, 0, abdicating=True, payload=DataMessage(1)),
+        )
+        assert tr.current(3) is None
+        assert tr.vtime_offset == 100  # clock survives the gap
+        # epoch 2: B (who heard A) claims and continues the clock
+        tr.observe(4, SlotRole.ELECTION,
+                   Observation.success(LeaderClaim(2, deadline=10)))
+        lv = tr.current(4)
+        assert lv is not None and lv.deadline_round == 14
+        assert lv.vtime_offset == 100
+        tr.observe(5, SlotRole.TIMEKEEPER, beacon(105, 9, sender=2))
+        assert tr.vtime_offset == 100  # consistent continuation
+
+    def test_new_epoch_new_clock_detected(self):
+        """A leader that never heard the old clock announces a new origin;
+        the tracked offset changes, which is what triggers followers'
+        re-trim."""
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.TIMEKEEPER, beacon(100, 1))
+        assert tr.vtime_offset == 100
+        tr.observe(1, SlotRole.TIMEKEEPER,
+                   beacon(101, 0, abdicating=True))
+        # new leader with its own origin (e.g. global time = its round 5)
+        tr.observe(5, SlotRole.TIMEKEEPER, beacon(5, 8, sender=3))
+        assert tr.vtime_offset == 0
+        assert tr.current(5).deadline_round == 13
+
+    def test_interleaved_claims_keep_latest_deadline(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.ELECTION,
+                   Observation.success(LeaderClaim(1, deadline=5)))
+        tr.observe(1, SlotRole.ELECTION,
+                   Observation.success(LeaderClaim(2, deadline=9)))
+        tr.observe(2, SlotRole.ELECTION,
+                   Observation.success(LeaderClaim(3, deadline=4)))
+        # deadlines: 5, 10, 6 in absolute rounds → job 2's wins
+        assert tr.current(2).deadline_round == 10
+
+    def test_silence_between_epochs_is_leaderless(self):
+        tr = LeaderTracker()
+        tr.observe(0, SlotRole.TIMEKEEPER, beacon(50, 5))
+        tr.observe(1, SlotRole.TIMEKEEPER, Observation.silence())
+        assert tr.current(1) is None
+        # a beacon later re-establishes
+        tr.observe(2, SlotRole.TIMEKEEPER, beacon(52, 3))
+        assert tr.current(2) is not None

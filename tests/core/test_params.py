@@ -1,0 +1,103 @@
+"""Unit tests for protocol parameter sets."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.params import AlignedParams, PunctualParams, UniformParams, cap_probability
+from repro.workloads import single_class_instance
+
+
+class TestCapProbability:
+    def test_caps_at_half(self):
+        assert cap_probability(0.9) == 0.5
+        assert cap_probability(0.2) == 0.2
+        assert cap_probability(-1.0) == 0.0
+
+
+class TestUniformParams:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UniformParams(attempts=0)
+        assert UniformParams(attempts=3).attempts == 3
+
+
+class TestAlignedParams:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AlignedParams(lam=0)
+        with pytest.raises(InvalidParameterError):
+            AlignedParams(tau=3)  # not a power of two
+        with pytest.raises(InvalidParameterError):
+            AlignedParams(tau=1)
+        with pytest.raises(InvalidParameterError):
+            AlignedParams(min_level=-1)
+
+    def test_paper_preset_matches_lemma8(self):
+        p = AlignedParams.paper()
+        assert p.tau == 64  # fixed in the proof of Lemma 8
+
+    def test_for_instance_sets_min_level(self):
+        inst = single_class_instance(4, level=9)
+        p = AlignedParams.simulation().for_instance(inst)
+        assert p.min_level == 9
+
+    def test_max_gamma(self):
+        p = AlignedParams(lam=1, tau=4, min_level=4)
+        assert p.max_gamma() == pytest.approx(1 / 16)
+
+    def test_schedule_overhead_formula(self):
+        p = AlignedParams(lam=2, tau=4, min_level=5)
+        expect = 2 * sum(l * l / 2**l for l in range(5, 9))
+        assert p.schedule_overhead(8) == pytest.approx(expect)
+
+    def test_schedule_overhead_flags_saturation(self):
+        # min_level=2 with λ=1 cannot fit: overhead ≥ 1
+        p = AlignedParams(lam=1, tau=4, min_level=2)
+        assert p.schedule_overhead(6) >= 1.0
+        # min_level=9, λ=1 is comfortable
+        p2 = AlignedParams(lam=1, tau=4, min_level=9)
+        assert p2.schedule_overhead(13) < 0.5
+
+
+class TestPunctualParams:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PunctualParams(lam=0)
+        with pytest.raises(InvalidParameterError):
+            PunctualParams(pullback_exp=-1)
+        with pytest.raises(InvalidParameterError):
+            PunctualParams(slot_scale=0)
+
+    def test_paper_preset_exponents(self):
+        p = PunctualParams.paper()
+        assert p.pullback_exp == 3
+        assert p.slingshot_exp == 7
+
+    def test_pullback_probability_shape(self):
+        p = PunctualParams(lam=2, pullback_exp=1, slot_scale=10)
+        w = 4096
+        expect = 10 / (w * math.log2(w))
+        assert p.pullback_probability(w) == pytest.approx(expect)
+
+    def test_probabilities_capped(self):
+        p = PunctualParams(lam=8, pullback_exp=0)
+        assert p.pullback_probability(2) == 0.5
+        assert p.anarchist_probability(2) == 0.5
+
+    def test_anarchist_probability_shape(self):
+        p = PunctualParams(lam=2, slot_scale=10)
+        w = 8192
+        assert p.anarchist_probability(w) == pytest.approx(
+            2 * 10 * math.log2(w) / w
+        )
+
+    def test_pullback_duration_monotone(self):
+        p = PunctualParams(lam=2, slingshot_exp=2)
+        assert p.pullback_duration(256) < p.pullback_duration(65536)
+
+    def test_tiny_window_degenerate(self):
+        p = PunctualParams()
+        assert p.pullback_duration(1) >= 1
+        assert 0 < p.anarchist_probability(1) <= 0.5

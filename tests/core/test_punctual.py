@@ -1,0 +1,156 @@
+"""End-to-end tests for PUNCTUAL (Section 4)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core.punctual import PunctualProtocol, Stage, punctual_factory
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job, JobStatus
+from repro.sim.protocolbase import ProtocolContext
+from repro.workloads import batch_instance, staircase_instance, two_scale_instance
+
+
+def pp(min_level=10):
+    """Anarchy-dominant laptop preset (small populations)."""
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=min_level),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+
+
+def pp_follow(min_level=10):
+    """Follow-path preset: aggressive election so a leader emerges at
+    laptop-scale populations (the paper's log⁷ constants put the election
+    threshold astronomically high; see DESIGN.md §3)."""
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=min_level),
+        lam=2,
+        pullback_exp=0,
+        slingshot_exp=3,
+    )
+
+
+def tracked_factory(params, registry):
+    def make(job, rng):
+        p = PunctualProtocol(ProtocolContext.for_job(job, rng), params)
+        registry[job.job_id] = p
+        return p
+
+    return make
+
+
+class TestLoneJob:
+    def test_lone_job_succeeds(self):
+        for seed in range(5):
+            inst = Instance([Job(0, 0, 2048)])
+            res = simulate(inst, punctual_factory(pp()), seed=seed)
+            assert res.n_succeeded == 1, f"seed {seed}"
+
+    def test_lone_job_window_rounding(self):
+        # window 3000 rounds down to 2048; success must land inside it
+        inst = Instance([Job(0, 100, 3100)])
+        res = simulate(inst, punctual_factory(pp()), seed=1)
+        o = res.outcome_of(0)
+        assert o.succeeded
+        assert o.completion_slot < 100 + 2048
+
+
+class TestSmallPopulation:
+    """Few jobs: no leader needed, the anarchist path must carry them."""
+
+    def test_small_batch_all_succeed(self):
+        ok = total = 0
+        for seed in range(10):
+            inst = batch_instance(6, window=3000)
+            res = simulate(inst, punctual_factory(pp()), seed=seed)
+            ok += res.n_succeeded
+            total += len(res)
+        assert ok / total >= 0.95
+
+    def test_anarchist_stage_used(self):
+        registry = {}
+        inst = batch_instance(4, window=3000)
+        simulate(inst, tracked_factory(pp(), registry), seed=2)
+        stages = {p.stage for p in registry.values()}
+        assert Stage.ANARCHIST in stages
+
+
+class TestLargePopulation:
+    """Many jobs: a leader emerges and ALIGNED runs in virtual time."""
+
+    def test_big_batch_all_succeed(self):
+        inst = batch_instance(100, window=32768)
+        res = simulate(inst, punctual_factory(pp_follow()), seed=7)
+        assert res.n_succeeded == len(inst)
+
+    def test_leader_elected_and_follows(self):
+        registry = {}
+        inst = batch_instance(100, window=32768)
+        simulate(inst, tracked_factory(pp_follow(), registry), seed=7)
+        stages = collections.Counter(p.stage for p in registry.values())
+        # exactly the leader finishes in FINISHED; everyone else followed
+        assert stages[Stage.FINISHED] >= 1
+        followed = sum(
+            1 for p in registry.values() if p.machine is not None
+        )
+        assert followed >= 80
+
+    def test_leader_delivers_via_abdication(self):
+        registry = {}
+        inst = batch_instance(100, window=32768)
+        res = simulate(inst, tracked_factory(pp_follow(), registry), seed=3)
+        leaders = [
+            jid for jid, p in registry.items() if p.stage is Stage.FINISHED
+        ]
+        assert leaders
+        for jid in leaders:
+            assert res.outcome_of(jid).succeeded
+
+    def test_anarchy_dominant_params_still_deliver(self):
+        """With the anarchy preset no leader emerges at this population,
+        yet the anarchist stage alone delivers everyone (the 'no need to
+        run ALIGNED at all' case of Section 4)."""
+        inst = batch_instance(100, window=16384)
+        res = simulate(inst, punctual_factory(pp()), seed=7)
+        assert res.n_succeeded == len(inst)
+
+
+class TestStaggeredArrivals:
+    def test_staircase_all_succeed(self):
+        inst = staircase_instance(n_steps=5, jobs_per_step=20, step=3000, window=16384)
+        res = simulate(inst, punctual_factory(pp()), seed=3)
+        assert res.n_succeeded == len(inst)
+
+    def test_two_scale_mixed(self):
+        rng = np.random.default_rng(1)
+        inst = two_scale_instance(
+            rng, n_small=30, n_large=60,
+            small_window=4096, large_window=32768,
+            horizon=20000, gamma=0.01,
+        )
+        res = simulate(inst, punctual_factory(pp()), seed=4)
+        assert res.success_rate >= 0.95
+        # small-window (urgent) jobs must not starve
+        small = [o for o in res.outcomes if o.job.window == 4096]
+        assert sum(o.succeeded for o in small) / len(small) >= 0.9
+
+
+class TestProtocolInvariants:
+    def test_no_success_after_effective_deadline(self):
+        inst = batch_instance(40, window=8192)
+        res = simulate(inst, punctual_factory(pp()), seed=5)
+        for o in res.outcomes:
+            if o.succeeded:
+                assert o.completion_slot < o.job.deadline
+
+    def test_deterministic_given_seed(self):
+        inst = batch_instance(30, window=8192)
+        r1 = simulate(inst, punctual_factory(pp()), seed=9)
+        r2 = simulate(inst, punctual_factory(pp()), seed=9)
+        assert [o.status for o in r1.outcomes] == [o.status for o in r2.outcomes]

@@ -1,0 +1,186 @@
+"""Unit tests for PUNCTUAL's round structure and synchronization."""
+
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataMessage, StartMessage
+from repro.core.rounds import (
+    ROLE_OF_INDEX,
+    ROUND_LENGTH,
+    RoundSynchronizer,
+    SlotRole,
+)
+from repro.errors import ProtocolViolationError
+
+
+def busy():
+    return Observation.noise()
+
+
+def silent():
+    return Observation.silence()
+
+
+class TestRoundLayout:
+    def test_ten_slots(self):
+        assert ROUND_LENGTH == 10
+        assert len(ROLE_OF_INDEX) == 10
+
+    def test_two_starts_four_guards_four_useful(self):
+        roles = list(ROLE_OF_INDEX)
+        assert roles.count(SlotRole.START) == 2
+        assert roles.count(SlotRole.GUARD) == 4
+        useful = {SlotRole.TIMEKEEPER, SlotRole.ALIGNED, SlotRole.ELECTION, SlotRole.ANARCHIST}
+        assert sum(1 for r in roles if r in useful) == 4
+
+    def test_guards_isolate_useful_slots(self):
+        """No two non-guard slots are adjacent except the two starts."""
+        roles = list(ROLE_OF_INDEX)
+        for i in range(1, 10):
+            if roles[i] is not SlotRole.GUARD and roles[i - 1] is not SlotRole.GUARD:
+                assert i == 1  # only START,START
+
+
+class TestSynchronizerQueries:
+    def synced(self, origin=0):
+        s = RoundSynchronizer(0)
+        s.synced = True
+        s.origin = origin
+        return s
+
+    def test_roles_cycle(self):
+        s = self.synced(origin=20)
+        assert s.role(20) is SlotRole.START
+        assert s.role(21) is SlotRole.START
+        assert s.role(23) is SlotRole.TIMEKEEPER
+        assert s.role(25) is SlotRole.ALIGNED
+        assert s.role(27) is SlotRole.ELECTION
+        assert s.role(29) is SlotRole.ANARCHIST
+        assert s.role(30) is SlotRole.START
+
+    def test_round_index(self):
+        s = self.synced(origin=20)
+        assert s.round_index(20) == 0
+        assert s.round_index(29) == 0
+        assert s.round_index(30) == 1
+
+    def test_next_slot_of_role(self):
+        s = self.synced(origin=0)
+        assert s.next_slot_of_role(0, SlotRole.TIMEKEEPER) == 3
+        assert s.next_slot_of_role(4, SlotRole.TIMEKEEPER) == 13
+
+    def test_queries_require_sync(self):
+        s = RoundSynchronizer(0)
+        with pytest.raises(ProtocolViolationError):
+            s.role(0)
+        with pytest.raises(ProtocolViolationError):
+            s.round_index(0)
+
+
+class TestDetection:
+    def test_detects_busy_busy_silent(self):
+        s = RoundSynchronizer(0)
+        t = 0
+        for obs in [silent(), busy(), busy(), silent()]:
+            s.maybe_transmit(t)
+            s.observe(t, obs)
+            t += 1
+        assert s.synced
+        assert s.origin == 1
+
+    def test_rejects_triple_busy_prefix(self):
+        """busy,busy,busy (anarchist + starts wrap) must not sync early."""
+        s = RoundSynchronizer(0)
+        t = 0
+        for obs in [busy(), busy(), busy(), silent()]:
+            s.maybe_transmit(t)
+            s.observe(t, obs)
+            t += 1
+        assert s.synced
+        assert s.origin == 1  # pair (1,2) followed by silence, not (0,1)
+
+    def test_isolated_busy_not_sync(self):
+        s = RoundSynchronizer(0)
+        for t, obs in enumerate([silent(), busy(), silent(), busy(), silent()]):
+            s.maybe_transmit(t)
+            s.observe(t, obs)
+        assert not s.synced
+
+
+class TestAnnounce:
+    def test_announces_after_budget_of_silence(self):
+        s = RoundSynchronizer(7)
+        t = 0
+        msgs = []
+        while not s.synced:
+            m = s.maybe_transmit(t)
+            msgs.append(m)
+            s.observe(t, silent() if m is None else Observation.success(m, True, False))
+            t += 1
+        starts = [m for m in msgs if isinstance(m, StartMessage)]
+        assert len(starts) == 2
+        assert s.origin is not None
+        assert s.synced
+        # origin is the slot of the first start
+        first_start_slot = msgs.index(starts[0])
+        assert s.origin == first_start_slot
+
+    def test_defers_announce_when_last_slot_busy(self):
+        s = RoundSynchronizer(0)
+        # 13 silent slots, then a busy one right at the budget boundary
+        for t in range(13):
+            assert s.maybe_transmit(t) is None or t >= 13
+            s.observe(t, silent() if t < 12 else busy())
+        # budget reached but last slot busy: must not announce yet
+        m = s.maybe_transmit(13)
+        assert m is None
+
+    def test_synced_after_announce_regardless_of_collisions(self):
+        s = RoundSynchronizer(0)
+        t = 0
+        for _ in range(13):
+            s.maybe_transmit(t)
+            s.observe(t, silent())
+            t += 1
+        m1 = s.maybe_transmit(t)
+        assert isinstance(m1, StartMessage)
+        s.observe(t, busy())  # collided with another announcer
+        t += 1
+        m2 = s.maybe_transmit(t)
+        assert isinstance(m2, StartMessage)
+        s.observe(t, busy())
+        assert s.synced
+
+
+class TestTwoPartyAgreement:
+    def test_staggered_jobs_agree_on_origin(self):
+        """A announces; B (arrived later) detects A's round start."""
+        a = RoundSynchronizer(1)
+        b = RoundSynchronizer(2)
+        b_arrival = 5
+        outcomes = {}
+        for t in range(30):
+            msgs = []
+            ma = a.maybe_transmit(t) if not a.synced else None
+            if ma is not None:
+                msgs.append(ma)
+            mb = None
+            if t >= b_arrival and not b.synced:
+                mb = b.maybe_transmit(t)
+                if mb is not None:
+                    msgs.append(mb)
+            if len(msgs) == 0:
+                obs = silent()
+            elif len(msgs) == 1:
+                obs = Observation.success(msgs[0])
+            else:
+                obs = Observation.noise()
+            if not a.synced:
+                a.observe(t, obs)
+            if t >= b_arrival and not b.synced:
+                b.observe(t, obs)
+            if a.synced and b.synced:
+                break
+        assert a.synced and b.synced
+        assert a.origin is not None and b.origin is not None
+        assert a.origin % 10 == b.origin % 10

@@ -1,0 +1,96 @@
+"""Edge-case tests for round synchronization under noise and load."""
+
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import StartMessage
+from repro.core.rounds import LISTEN_BUDGET, ROUND_LENGTH, RoundSynchronizer, SlotRole
+
+
+def busy():
+    return Observation.noise()
+
+
+def silent():
+    return Observation.silence()
+
+
+class TestListenBudget:
+    def test_budget_covers_one_round_plus_lag(self):
+        """The constant must be >= ROUND_LENGTH + 3 or a joiner could miss
+        a full round of an established timeline."""
+        assert LISTEN_BUDGET >= ROUND_LENGTH + 3
+
+    def test_no_announce_before_budget(self):
+        s = RoundSynchronizer(0)
+        for t in range(LISTEN_BUDGET):
+            assert s.maybe_transmit(t) is None
+            s.observe(t, silent())
+        assert s.maybe_transmit(LISTEN_BUDGET) is not None
+
+    def test_sporadic_noise_delays_announce(self):
+        """Isolated busy slots (e.g. jam noise) postpone announcing but
+        never produce a false detection."""
+        s = RoundSynchronizer(0)
+        t = 0
+        # alternating busy/silent forever: no pair of busy slots
+        for _ in range(60):
+            msg = s.maybe_transmit(t)
+            if msg is not None:
+                break
+            s.observe(t, busy() if t % 2 == 0 else silent())
+            t += 1
+        # the synchronizer either eventually announced after a silent slot
+        # or is still listening — but never false-detected a round
+        if s.synced:
+            assert s._announce_first is not None
+
+
+class TestDetectionWindows:
+    def test_detection_needs_exactly_consecutive_slots(self):
+        """Gaps in the observation stream void the pattern (the deque is
+        keyed on slot numbers, not arrival order)."""
+        s = RoundSynchronizer(0)
+        s.maybe_transmit(0)
+        s.observe(0, busy())
+        s.maybe_transmit(2)  # slot 1 skipped
+        s.observe(2, busy())
+        s.maybe_transmit(3)
+        s.observe(3, silent())
+        assert not s.synced
+
+    def test_multiple_rounds_only_first_detection_counts(self):
+        s = RoundSynchronizer(0)
+        pattern = [busy(), busy(), silent()] + [silent()] * 7
+        t = 0
+        for _ in range(3):  # three rounds of an established timeline
+            for obs in pattern:
+                if not s.synced:
+                    s.maybe_transmit(t)
+                    s.observe(t, obs)
+                t += 1
+        assert s.synced
+        assert s.origin == 0
+
+
+class TestRoleTable:
+    def test_each_useful_role_exactly_once_per_round(self):
+        s = RoundSynchronizer(0)
+        s.synced = True
+        s.origin = 0
+        from collections import Counter
+
+        roles = Counter(s.role(t) for t in range(ROUND_LENGTH))
+        assert roles[SlotRole.TIMEKEEPER] == 1
+        assert roles[SlotRole.ALIGNED] == 1
+        assert roles[SlotRole.ELECTION] == 1
+        assert roles[SlotRole.ANARCHIST] == 1
+        assert roles[SlotRole.START] == 2
+        assert roles[SlotRole.GUARD] == 4
+
+    def test_next_slot_wraps_round(self):
+        s = RoundSynchronizer(0)
+        s.synced = True
+        s.origin = 0
+        # from the anarchist slot, the next election slot is next round's
+        assert s.next_slot_of_role(9, SlotRole.ELECTION) == 17

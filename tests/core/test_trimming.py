@@ -1,0 +1,80 @@
+"""Unit tests for window trimming (Lemma 15 support)."""
+
+import numpy as np
+import pytest
+
+from repro.core.trimming import trimmed_instance, trimmed_job, trimmed_window
+from repro.errors import InvalidInstanceError
+from repro.sim.feasibility import slack_of
+from repro.sim.instance import Instance
+from repro.sim.job import Job, is_power_of_two
+
+
+class TestTrimmedWindow:
+    def test_already_aligned_unchanged(self):
+        assert trimmed_window(16, 32) == (16, 32)
+        assert trimmed_window(0, 8) == (0, 8)
+
+    def test_simple_cases(self):
+        # [3, 11): size 8; largest aligned inside is [4, 8) (size 4)
+        assert trimmed_window(3, 11) == (4, 8)
+        # [1, 2): unit window, unit result
+        assert trimmed_window(1, 2) == (1, 2)
+
+    def test_result_is_aligned(self):
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            r = int(rng.integers(0, 1000))
+            w = int(rng.integers(1, 500))
+            s, e = trimmed_window(r, r + w)
+            size = e - s
+            assert is_power_of_two(size)
+            assert s % size == 0
+            assert r <= s and e <= r + w
+
+    def test_quarter_guarantee(self):
+        """|trimmed(W)| >= |W|/4 (the paper's bound)."""
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            r = int(rng.integers(0, 10_000))
+            w = int(rng.integers(1, 5_000))
+            s, e = trimmed_window(r, r + w)
+            assert (e - s) * 4 >= w
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            trimmed_window(5, 5)
+
+
+class TestTrimmedJob:
+    def test_preserves_id(self):
+        j = trimmed_job(Job(7, 3, 11))
+        assert j.job_id == 7
+        assert (j.release, j.deadline) == (4, 8)
+        assert j.is_aligned
+
+
+class TestTrimmedInstance:
+    def test_result_is_aligned(self):
+        inst = Instance([Job(0, 3, 11), Job(1, 5, 40), Job(2, 0, 7)])
+        out = trimmed_instance(inst)
+        assert out.is_aligned
+        assert len(out) == 3
+
+    def test_lemma15_slack_bound(self):
+        """Trimming a 4γ-feasible set yields a γ-feasible set (Lemma 15).
+
+        Statistically: trimming multiplies the peak density by at most 4
+        (each window shrinks by at most 4x and stays within the original).
+        """
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            jobs = []
+            for i in range(int(rng.integers(2, 20))):
+                r = int(rng.integers(0, 200))
+                w = int(rng.integers(4, 100))
+                jobs.append(Job(i, r, r + w))
+            inst = Instance(jobs)
+            before = slack_of(inst)
+            after = slack_of(trimmed_instance(inst))
+            assert after <= 4.0 * before + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for the anarchist-stage fast path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.fastpath import simulate_anarchists_fast
+from repro.params import AlignedParams, PunctualParams
+
+
+def pp():
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+
+
+class TestBasics:
+    def test_empty_cohort(self):
+        res = simulate_anarchists_fast(0, 4096, pp(), np.random.default_rng(0))
+        assert res.success_rate == 1.0
+        assert res.n_succeeded == 0
+
+    def test_small_cohort_succeeds(self):
+        ok = total = 0
+        for s in range(30):
+            res = simulate_anarchists_fast(
+                6, 4096, pp(), np.random.default_rng(s)
+            )
+            ok += res.n_succeeded
+            total += res.n_jobs
+        assert ok / total >= 0.95
+
+    def test_saturated_cohort_collapses(self):
+        """Contention n·p ≫ 1 ⇒ almost nothing gets through — the regime
+        boundary Lemma 18's anarchist bound exists to avoid."""
+        res = simulate_anarchists_fast(
+            400, 4096, pp(), np.random.default_rng(1)
+        )
+        assert res.success_rate < 0.3
+
+    def test_overhead_reduces_slots(self):
+        a = simulate_anarchists_fast(1, 4096, pp(), np.random.default_rng(0))
+        b = simulate_anarchists_fast(
+            1, 4096, pp(), np.random.default_rng(0), overhead_slots=2000
+        )
+        assert b.slots_used < a.slots_used
+
+    def test_jamming_halves_success(self):
+        def rate(p_jam):
+            ok = tot = 0
+            for s in range(40):
+                r = simulate_anarchists_fast(
+                    10, 2048, pp(), np.random.default_rng(s), p_jam=p_jam
+                )
+                ok += r.n_succeeded
+                tot += r.n_jobs
+            return ok / tot
+
+        assert rate(0.9) < rate(0.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidParameterError):
+            simulate_anarchists_fast(-1, 64, pp(), rng)
+        with pytest.raises(InvalidParameterError):
+            simulate_anarchists_fast(1, 0, pp(), rng)
+        with pytest.raises(InvalidParameterError):
+            simulate_anarchists_fast(1, 64, pp(), rng, p_jam=1.5)
+
+
+class TestMatchesEngine:
+    def test_distribution_matches_punctual_small_batch(self):
+        """The fast path's success rate must track the real protocol's
+        anarchist path on the same cohort shape (within the difference
+        that the real protocol also pays sync/pullback overhead)."""
+        from repro.core.punctual import punctual_factory
+        from repro.sim.engine import simulate
+        from repro.workloads import batch_instance
+
+        engine_ok = engine_tot = 0
+        for s in range(6):
+            res = simulate(
+                batch_instance(6, window=3000), punctual_factory(pp()), seed=s
+            )
+            engine_ok += res.n_succeeded
+            engine_tot += len(res)
+        fast_ok = fast_tot = 0
+        for s in range(40):
+            r = simulate_anarchists_fast(
+                6, 2048, pp(), np.random.default_rng(s), overhead_slots=300
+            )
+            fast_ok += r.n_succeeded
+            fast_tot += r.n_jobs
+        assert abs(engine_ok / engine_tot - fast_ok / fast_tot) < 0.15

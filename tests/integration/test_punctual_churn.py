@@ -1,0 +1,94 @@
+"""PUNCTUAL under continuous churn: jobs arriving and leaving in-regime.
+
+The single-batch tests exercise one leadership epoch; these run long
+horizons with steady, staggered arrivals so the system cycles through
+many epochs — leaders abdicating at their deadlines, successors being
+elected from later cohorts, followers re-synchronizing — and delivery
+must stay high throughout.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core.punctual import PunctualProtocol, Stage, punctual_factory
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.metrics import SimulationResult
+from repro.sim.protocolbase import ProtocolContext
+
+
+def anarchy_params():
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+
+
+def follow_params():
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=0,
+        slingshot_exp=3,
+    )
+
+
+def steady_arrivals(n, spacing, window) -> Instance:
+    return Instance(Job(i, i * spacing, i * spacing + window) for i in range(n))
+
+
+class TestChurn:
+    def test_steady_trickle_anarchy(self):
+        # one job every 500 slots, windows 8192: at most ~16 live at once
+        inst = steady_arrivals(40, spacing=500, window=8192)
+        res = simulate(inst, punctual_factory(anarchy_params()), seed=0)
+        assert res.success_rate >= 0.97
+
+    def test_steady_trickle_multiple_epochs_follow_params(self):
+        registry = {}
+
+        def factory(job, rng):
+            p = PunctualProtocol(ProtocolContext.for_job(job, rng), follow_params())
+            registry[job.job_id] = p
+            return p
+
+        # dense enough for elections, long enough for several abdications
+        inst = Instance(
+            [Job(i, (i % 20) * 64 + (i // 20) * 16384, (i % 20) * 64 + (i // 20) * 16384 + 32768)
+             for i in range(80)]
+        )
+        res = simulate(inst, factory, seed=1)
+        assert res.success_rate >= 0.95
+        # multiple leadership epochs: more than one job ended as a leader
+        finished_leaders = [
+            j for j, p in registry.items() if p.stage is Stage.FINISHED
+        ]
+        assert len(finished_leaders) >= 2
+
+    def test_no_lost_jobs_across_epochs(self):
+        inst = steady_arrivals(30, spacing=700, window=16384)
+        res: SimulationResult = simulate(
+            inst, punctual_factory(anarchy_params()), seed=2
+        )
+        statuses = collections.Counter(o.status.value for o in res.outcomes)
+        assert sum(statuses.values()) == len(inst)
+        assert res.success_rate >= 0.95
+        # every success strictly inside its own window
+        for o in res.outcomes:
+            if o.succeeded:
+                assert o.job.release <= o.completion_slot < o.job.deadline
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_churn_determinism(self, seed):
+        inst = steady_arrivals(12, spacing=900, window=8192)
+        a = simulate(inst, punctual_factory(anarchy_params()), seed=seed)
+        b = simulate(inst, punctual_factory(anarchy_params()), seed=seed)
+        assert [o.completion_slot for o in a.outcomes] == [
+            o.completion_slot for o in b.outcomes
+        ]

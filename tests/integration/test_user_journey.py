@@ -1,0 +1,112 @@
+"""End-to-end user journey: the README workflow as one test.
+
+Generate → certify → persist → simulate → analyze → export, exactly the
+path a downstream user follows, exercising the integration seams between
+subpackages that unit tests cover individually.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlignedParams,
+    PunctualParams,
+    aligned_factory,
+    certify,
+    punctual_factory,
+    simulate,
+)
+from repro.analysis import (
+    channel_timeline,
+    check_theorem14,
+    result_summary_dict,
+    result_to_records,
+    write_csv,
+    write_json,
+)
+from repro.experiments import Sweep, compare_protocols, punctual_overheads
+from repro.workloads import (
+    aligned_random_instance,
+    load_instance,
+    save_instance,
+)
+
+
+class TestAlignedJourney:
+    def test_generate_certify_simulate_export(self, tmp_path):
+        # 1. generate a feasible workload
+        rng = np.random.default_rng(0)
+        instance = aligned_random_instance(rng, 12, [9, 10], gamma=0.01)
+        params = AlignedParams(lam=1, tau=4, min_level=9)
+
+        # 2. certify before running
+        cert = certify(instance, gamma=0.01, aligned=params)
+        assert cert.ok, cert.render()
+
+        # 3. archive the workload and reload it
+        path = tmp_path / "workload.json"
+        save_instance(instance, path)
+        reloaded = load_instance(path)
+
+        # 4. simulate with a trace
+        result = simulate(reloaded, aligned_factory(params), seed=0, trace=True)
+        assert result.success_rate == 1.0
+
+        # 5. analyze — aggregate enough seeds for the Wilson CI to certify
+        ok = total = 0
+        for s in range(6):
+            r = simulate(reloaded, aligned_factory(params), seed=s)
+            ok += r.n_succeeded
+            total += len(r)
+        assert check_theorem14(ok, total, window=instance.min_window).holds
+        timeline = channel_timeline(result.trace, width=40)
+        assert "legend" in timeline
+
+        # 6. export everything
+        write_csv(result_to_records(result), tmp_path / "jobs.csv")
+        write_json(result_summary_dict(result), tmp_path / "summary.json")
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["n_succeeded"] == len(instance)
+
+
+class TestPunctualJourney:
+    def test_plan_compare_conclude(self):
+        params = PunctualParams(
+            aligned=AlignedParams(lam=1, tau=2, min_level=10),
+            lam=2,
+            pullback_exp=1,
+            slingshot_exp=2,
+        )
+        # 1. plan: which path will a 8192-slot window take?
+        budget = punctual_overheads(8192, params)
+        assert budget.virtual_level is None  # anarchist regime
+
+        # 2. compare against a baseline with significance
+        from repro.baselines import beb_factory
+        from repro.workloads import batch_instance
+
+        inst = batch_instance(8, window=8192)
+        cmpn = compare_protocols(
+            inst,
+            {
+                "punctual": punctual_factory(params),
+                "beb": beb_factory(),
+            },
+            seeds=range(4),
+            baseline="beb",
+        )
+        # both essentially perfect on this light load: no significance
+        assert cmpn.mean_rate("punctual") >= 0.95
+        assert "punctual" not in cmpn.significant_losers()
+
+        # 3. sweep the population
+        sweep = Sweep(
+            build=lambda n: batch_instance(n, window=8192),
+            protocol=lambda i: punctual_factory(params),
+            seeds=2,
+        )
+        points = sweep.run({"n": [2, 8]})
+        assert all(p.success.point >= 0.9 for p in points)
+        assert "success" in Sweep.table(points)

@@ -1,0 +1,67 @@
+"""Property test for Lemma 7: all live jobs agree on the active class.
+
+Every job owns a private :class:`PeckingOrderView`; the lemma says views
+never disagree.  We run full ALIGNED simulations over randomized aligned
+workloads and assert, at every slot, that all live jobs that track a
+class agree on that class's state — by construction of the test we
+compare overlapping prefixes of their snapshots.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aligned import AlignedProtocol, aligned_factory
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import Protocol, ProtocolContext
+from repro.workloads import aligned_random_instance
+
+
+class SnapshottingAligned(AlignedProtocol):
+    """ALIGNED that records (slot → view snapshot) after every observe."""
+
+    def __init__(self, ctx, params, log):
+        super().__init__(ctx, params)
+        self._log = log
+
+    def on_observe(self, slot, obs):
+        super().on_observe(slot, obs)
+        if self.machine.view is not None:
+            self._log.setdefault(slot, {})[self.ctx.job_id] = (
+                self.machine.view.snapshot()
+            )
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.01, max_value=0.06),
+)
+@settings(max_examples=15, deadline=None)
+def test_lemma7_all_views_agree(seed, gamma):
+    rng = np.random.default_rng(seed)
+    inst = aligned_random_instance(rng, 12, [9, 10, 11], gamma=gamma)
+    if len(inst) == 0:
+        return
+    params = AlignedParams(lam=1, tau=4, min_level=9)
+    log: dict = {}
+
+    def factory(job: Job, jrng: np.random.Generator) -> Protocol:
+        return SnapshottingAligned(ProtocolContext.for_job(job, jrng), params, log)
+
+    simulate(inst, factory, seed=seed)
+
+    disagreements = 0
+    for slot, by_job in log.items():
+        snaps = list(by_job.values())
+        if len(snaps) < 2:
+            continue
+        # compare the common prefix of tracked classes (a job of class ℓ
+        # tracks min_level..ℓ; prefixes must agree exactly)
+        for a in snaps[1:]:
+            k = min(len(snaps[0]), len(a))
+            if snaps[0][:k] != a[:k]:
+                disagreements += 1
+    assert disagreements == 0

@@ -1,0 +1,74 @@
+"""Property-based tests for the broadcast schedule and estimation lengths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.broadcast import (
+    BroadcastSchedule,
+    broadcast_length,
+    total_active_steps,
+)
+from repro.core.estimation import estimation_length, phase_of_step
+
+levels = st.integers(min_value=0, max_value=14)
+lams = st.integers(min_value=1, max_value=6)
+estimates = st.integers(min_value=1, max_value=10).map(lambda k: 1 << k)
+
+
+@given(levels, estimates, lams)
+@settings(max_examples=200, deadline=None)
+def test_lemma6_identity(level, est, lam):
+    """estimation + broadcast == 2λ(ℓ² + n − 1), always."""
+    assert (
+        estimation_length(level, lam) + broadcast_length(level, est, lam)
+        == total_active_steps(level, est, lam)
+        == 2 * lam * (level * level + est - 1)
+    )
+
+
+@given(levels, estimates, lams)
+@settings(max_examples=100, deadline=None)
+def test_schedule_partitions_steps(level, est, lam):
+    """Every step index maps to exactly one position; positions are
+    lexicographically nondecreasing and contiguous."""
+    sched = BroadcastSchedule(level, est, lam)
+    assert sched.total_steps == broadcast_length(level, est, lam)
+    prev = (-1, -1, -1)
+    for step in range(sched.total_steps):
+        pos = sched.position(step)
+        key = (pos.phase, pos.subphase, pos.offset)
+        assert key > prev
+        assert 0 <= pos.offset < pos.length
+        if pos.offset == 0:
+            assert pos.subphase_start
+        prev = key
+
+
+@given(levels, estimates, lams)
+@settings(max_examples=100, deadline=None)
+def test_phase_lengths_halve_then_flatten(level, est, lam):
+    sched = BroadcastSchedule(level, est, lam)
+    lengths = sched.subphase_lengths
+    # halving prefix
+    k = 0
+    while k + 1 < len(lengths) and lengths[k + 1] == lengths[k] // 2:
+        k += 1
+    # remaining are the ℓ flat phases of length ℓ (absent when level == 0)
+    tail = lengths[k + 1 :]
+    assert all(x == level for x in tail)
+    assert len(tail) in (0, level)
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    lams,
+    st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_estimation_phase_boundaries(level, lam, data):
+    total = estimation_length(level, lam)
+    step = data.draw(st.integers(min_value=0, max_value=total - 1))
+    phase = phase_of_step(level, lam, step)
+    assert 1 <= phase <= level
+    # the step really lies inside that phase's block
+    assert (phase - 1) * lam * level <= step < phase * lam * level

@@ -1,0 +1,75 @@
+"""Property-based tests for channel resolution and protocol invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.channel import resolve_slot
+from repro.channel.feedback import Feedback
+from repro.channel.jamming import NoJammer, StochasticJammer
+from repro.channel.messages import DataMessage
+from repro.core.estimation import resolve_estimate
+from repro.params import AlignedParams, cap_probability
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=200, deadline=None)
+def test_resolution_trichotomy(n_tx, seed):
+    rng = np.random.default_rng(seed)
+    txs = [(i, DataMessage(i)) for i in range(n_tx)]
+    out = resolve_slot(0, txs, NoJammer(), rng)
+    if n_tx == 0:
+        assert out.feedback is Feedback.SILENCE
+    elif n_tx == 1:
+        assert out.feedback is Feedback.SUCCESS
+    else:
+        assert out.feedback is Feedback.NOISE
+    assert out.n_transmitters == n_tx
+
+
+@given(
+    st.integers(min_value=0, max_value=10),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_jamming_never_creates_success(n_tx, p_jam, seed):
+    rng = np.random.default_rng(seed)
+    txs = [(i, DataMessage(i)) for i in range(n_tx)]
+    out = resolve_slot(0, txs, StochasticJammer(p_jam), rng)
+    if out.feedback is Feedback.SUCCESS:
+        assert n_tx == 1 and not out.jammed
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+@settings(max_examples=300, deadline=None)
+def test_cap_probability_range(p):
+    assert 0.0 <= cap_probability(p) <= 0.5
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=12),
+    st.sampled_from([2, 4, 8, 64]),
+)
+@settings(max_examples=300, deadline=None)
+def test_resolve_estimate_is_zero_or_power_of_two_capped(counts, tau):
+    level = len(counts)
+    est = resolve_estimate(counts, tau, level)
+    if max(counts, default=0) == 0:
+        assert est == 0
+    else:
+        assert est > 0
+        assert est & (est - 1) == 0  # power of two
+        assert est <= 1 << level
+
+
+@given(
+    st.integers(min_value=0, max_value=12),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([2, 4]),
+)
+@settings(max_examples=100, deadline=None)
+def test_schedule_overhead_monotone_in_level(level, lam, tau):
+    """More levels tracked ⇒ at least as much deterministic overhead."""
+    base = AlignedParams(lam=lam, tau=tau, min_level=0)
+    assert base.schedule_overhead(level) <= base.schedule_overhead(level + 1) + 1e-12

@@ -1,0 +1,58 @@
+"""Property: the centralized EDF genie dominates every distributed protocol.
+
+EDF is optimal for unit jobs with release times and deadlines, so on any
+instance and any seed, no implemented protocol may deliver more jobs
+than the genie.  Also: EDF's own count equals the LP/Hall bound
+(everything, whenever density <= 1).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import beb_factory, edf_factory, sawtooth_factory
+from repro.baselines.edf import edf_schedule
+from repro.core.uniform import uniform_factory
+from repro.sim.engine import simulate
+from repro.sim.feasibility import peak_density
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+instances = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=20),
+    ),
+    min_size=1,
+    max_size=12,
+).map(
+    lambda pairs: Instance(Job(i, r, r + w) for i, (r, w) in enumerate(pairs))
+)
+
+
+@given(instances, st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_edf_dominates_randomized_protocols(instance, seed):
+    edf_count = simulate(instance, edf_factory(instance), seed=0).n_succeeded
+    for factory in (uniform_factory(), beb_factory(), sawtooth_factory()):
+        other = simulate(instance, factory, seed=seed).n_succeeded
+        assert other <= edf_count
+
+
+@given(instances)
+@settings(max_examples=60, deadline=None)
+def test_edf_serves_everything_when_density_allows(instance):
+    sched = edf_schedule(instance)
+    if peak_density(instance).density <= 1.0 + 1e-12:
+        assert len(sched) == len(instance)
+
+
+@given(instances)
+@settings(max_examples=60, deadline=None)
+def test_edf_schedule_is_a_valid_matching(instance):
+    sched = edf_schedule(instance)
+    slots = list(sched.values())
+    assert len(slots) == len(set(slots))  # one job per slot
+    for jid, slot in sched.items():
+        job = next(j for j in instance.jobs if j.job_id == jid)
+        assert job.release <= slot < job.deadline

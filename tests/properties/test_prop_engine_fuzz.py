@@ -1,0 +1,88 @@
+"""Engine fuzzing: invariants must hold under arbitrary protocol behaviour.
+
+A "chaos" protocol makes random transmit/listen decisions with random
+message types and random early give-ups.  Whatever it does, the engine
+must maintain its ground-truth invariants:
+
+* a job's completion slot lies inside its window;
+* at most one delivery per job, and the delivered message carries its id;
+* collision slots deliver nothing;
+* outcome statuses partition the jobs and match the delivery set;
+* the engine never loses or duplicates jobs.
+"""
+
+from typing import Optional
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.messages import ControlMessage, DataMessage, Message
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job, JobStatus
+from repro.sim.protocolbase import Protocol, ProtocolContext
+
+
+class ChaosProtocol(Protocol):
+    """Uniformly random behaviour driven by the job's own stream."""
+
+    def on_act(self, slot: int) -> Optional[Message]:
+        roll = self.ctx.rng.random()
+        if roll < 0.25:
+            return DataMessage(self.ctx.job_id)
+        if roll < 0.35:
+            return ControlMessage(self.ctx.job_id)
+        return None
+
+    def on_observe(self, slot: int, obs) -> None:
+        if not self.succeeded and self.ctx.rng.random() < 0.02:
+            self.gave_up = True
+
+
+def chaos_factory(job: Job, rng: np.random.Generator) -> ChaosProtocol:
+    return ChaosProtocol(ProtocolContext.for_job(job, rng))
+
+
+jobs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=30),
+    ),
+    min_size=1,
+    max_size=12,
+).map(
+    lambda pairs: Instance(
+        Job(i, r, r + w) for i, (r, w) in enumerate(pairs)
+    )
+)
+
+
+@given(jobs_strategy, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants_under_chaos(instance, seed):
+    result = simulate(instance, chaos_factory, seed=seed, trace=True)
+
+    # no job lost or duplicated
+    assert len(result) == len(instance)
+    assert {o.job.job_id for o in result.outcomes} == {
+        j.job_id for j in instance.jobs
+    }
+
+    for o in result.outcomes:
+        if o.status is JobStatus.SUCCEEDED:
+            assert o.job.release <= o.completion_slot < o.job.deadline
+            assert o.transmissions >= 1
+        else:
+            assert o.completion_slot == -1
+        assert o.status in (
+            JobStatus.SUCCEEDED,
+            JobStatus.FAILED,
+            JobStatus.GAVE_UP,
+        )
+
+    # channel sanity: number of DataMessage successes >= distinct winners
+    n_success_slots = sum(
+        1 for r in result.trace.records if r.feedback.name == "SUCCESS"
+    )
+    assert result.n_succeeded <= n_success_slots

@@ -1,0 +1,65 @@
+"""Property-based tests for feasibility and density (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.feasibility import peak_density, verify_edf_schedulable
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+job_strategy = st.builds(
+    lambda r, w: (r, r + w),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=1, max_value=40),
+)
+
+instance_strategy = st.lists(job_strategy, min_size=0, max_size=25).map(
+    lambda pairs: Instance(Job(i, r, d) for i, (r, d) in enumerate(pairs))
+)
+
+
+@given(instance_strategy)
+@settings(max_examples=100, deadline=None)
+def test_density_nonnegative_and_bounded(inst):
+    d = peak_density(inst).density
+    assert 0.0 <= d <= len(inst) or len(inst) == 0
+
+
+@given(instance_strategy)
+@settings(max_examples=100, deadline=None)
+def test_density_interval_is_witness(inst):
+    """The reported interval really contains the reported job count."""
+    rep = peak_density(inst)
+    if len(inst) == 0:
+        return
+    s, e = rep.interval
+    nested = sum(1 for j in inst if s <= j.release and j.deadline <= e)
+    assert nested == rep.nested_jobs
+    assert rep.density == nested / (e - s)
+
+
+@given(instance_strategy)
+@settings(max_examples=60, deadline=None)
+def test_density_le_one_iff_edf_schedulable(inst):
+    """Hall's interval condition is exactly EDF schedulability (unit jobs)."""
+    dens_ok = peak_density(inst).density <= 1.0 + 1e-12
+    edf_ok = verify_edf_schedulable(inst) is None
+    assert dens_ok == edf_ok
+
+
+@given(instance_strategy, st.integers(min_value=1, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_density_invariant_under_shift(inst, delta):
+    assert peak_density(inst).density == peak_density(inst.shifted(delta)).density
+
+
+@given(instance_strategy)
+@settings(max_examples=60, deadline=None)
+def test_density_monotone_under_job_removal(inst):
+    """Dropping a job never increases peak density."""
+    if len(inst) == 0:
+        return
+    before = peak_density(inst).density
+    smaller = Instance(list(inst.jobs)[1:])
+    assert peak_density(smaller).density <= before + 1e-12

@@ -1,0 +1,68 @@
+"""Property-based tests for Instance transformations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+instances = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=60),
+    ),
+    min_size=0,
+    max_size=15,
+).map(
+    lambda pairs: Instance(Job(i, r, r + w) for i, (r, w) in enumerate(pairs))
+)
+
+
+@given(instances, st.integers(min_value=0, max_value=1000))
+@settings(max_examples=100, deadline=None)
+def test_shift_preserves_structure(inst, delta):
+    shifted = inst.shifted(delta)
+    assert len(shifted) == len(inst)
+    assert shifted.horizon == (inst.horizon + delta if len(inst) else 0)
+    for a, b in zip(inst.by_release, shifted.by_release):
+        assert b.window == a.window
+        assert b.release == a.release + delta
+
+
+@given(instances)
+@settings(max_examples=100, deadline=None)
+def test_relabel_preserves_windows(inst):
+    relabeled = inst.relabeled()
+    assert [j.job_id for j in relabeled.by_release] == list(range(len(inst)))
+    assert sorted((j.release, j.deadline) for j in relabeled.jobs) == sorted(
+        (j.release, j.deadline) for j in inst.jobs
+    )
+
+
+@given(instances, instances)
+@settings(max_examples=80, deadline=None)
+def test_merge_after_relabel_is_union(a, b):
+    a2 = a.relabeled()
+    b2 = b.relabeled(start=len(a))
+    merged = a2.merged(b2)
+    assert len(merged) == len(a) + len(b)
+    assert merged.horizon == max(a.horizon, b.horizon)
+
+
+@given(instances)
+@settings(max_examples=100, deadline=None)
+def test_live_at_matches_contains(inst):
+    for t in {j.release for j in inst.jobs} | {0}:
+        live = set(j.job_id for j in inst.live_at(t))
+        expected = {j.job_id for j in inst.jobs if j.contains(t)}
+        assert live == expected
+
+
+@given(instances)
+@settings(max_examples=100, deadline=None)
+def test_by_window_partitions_jobs(inst):
+    groups = inst.by_window
+    total = sum(len(v) for v in groups.values())
+    assert total == len(inst)
+    for (r, d), jobs in groups.items():
+        assert all((j.release, j.deadline) == (r, d) for j in jobs)

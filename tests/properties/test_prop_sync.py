@@ -1,0 +1,88 @@
+"""Property test: round synchronization agreement under random joins.
+
+Any set of jobs joining an idle channel at arbitrary staggered times must
+end up agreeing on the round phase (origins congruent mod the round
+length) — the distributed analogue of Lemma 7 for PUNCTUAL's
+synchronization layer.  We simulate only the synchronizers (no protocol
+above them) with jobs that, once synced, keep broadcasting the per-round
+start messages like PUNCTUAL does.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import StartMessage
+from repro.core.rounds import ROUND_LENGTH, RoundSynchronizer, SlotRole
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=60),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_staggered_joiners_agree_on_round_phase(arrivals):
+    arrivals = sorted(arrivals)
+    syncs = {i: RoundSynchronizer(i) for i in range(len(arrivals))}
+    horizon = max(arrivals) + 120
+
+    for t in range(horizon):
+        transmitters = []
+        for i, arr in enumerate(arrivals):
+            if t < arr:
+                continue
+            s = syncs[i]
+            if not s.synced:
+                msg = s.maybe_transmit(t)
+                if msg is not None:
+                    transmitters.append(msg)
+            else:
+                # synced jobs broadcast starts every round (PUNCTUAL rule)
+                if s.role(t) is SlotRole.START:
+                    transmitters.append(StartMessage(i))
+        if len(transmitters) == 0:
+            obs = Observation.silence()
+        elif len(transmitters) == 1:
+            obs = Observation.success(transmitters[0])
+        else:
+            obs = Observation.noise()
+        for i, arr in enumerate(arrivals):
+            if t >= arr and not syncs[i].synced:
+                syncs[i].observe(t, obs)
+
+    origins = {s.origin % ROUND_LENGTH for s in syncs.values() if s.synced}
+    assert all(s.synced for s in syncs.values()), "everyone must sync"
+    assert len(origins) == 1, f"round phases disagree: {origins}"
+
+
+@given(st.integers(min_value=0, max_value=9))
+@settings(max_examples=30, deadline=None)
+def test_joiner_adopts_existing_rounds(phase):
+    """A job arriving at any phase of an established round timeline must
+    adopt it, never fork a new one."""
+    anchor = RoundSynchronizer(0)
+    anchor.synced = True
+    anchor.origin = 0
+    joiner = RoundSynchronizer(1)
+    arrival = 20 + phase
+    for t in range(arrival, arrival + 40):
+        msg = joiner.maybe_transmit(t)
+        # the anchor transmits starts in every round's start slots
+        anchor_tx = anchor.role(t) is SlotRole.START
+        n = int(anchor_tx) + int(msg is not None)
+        if n == 0:
+            obs = Observation.silence()
+        elif n == 1:
+            obs = Observation.success(
+                msg if msg is not None else StartMessage(0)
+            )
+        else:
+            obs = Observation.noise()
+        joiner.observe(t, obs)
+        if joiner.synced:
+            break
+    assert joiner.synced
+    assert joiner.origin % ROUND_LENGTH == 0

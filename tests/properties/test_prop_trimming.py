@@ -1,0 +1,63 @@
+"""Property-based tests for window trimming (Lemma 15's operand)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trimming import trimmed_instance, trimmed_window
+from repro.sim.feasibility import peak_density
+from repro.sim.instance import Instance
+from repro.sim.job import Job, is_power_of_two
+
+windows = st.tuples(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=1, max_value=50_000),
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@given(windows)
+@settings(max_examples=300, deadline=None)
+def test_trimmed_is_aligned_and_contained(w):
+    r, d = w
+    s, e = trimmed_window(r, d)
+    size = e - s
+    assert is_power_of_two(size)
+    assert s % size == 0
+    assert r <= s and e <= d
+
+
+@given(windows)
+@settings(max_examples=300, deadline=None)
+def test_trimmed_quarter_bound(w):
+    """|trimmed(W)| >= |W|/4 — stated in Section 4."""
+    r, d = w
+    s, e = trimmed_window(r, d)
+    assert 4 * (e - s) >= (d - r)
+
+
+@given(windows)
+@settings(max_examples=200, deadline=None)
+def test_trimmed_is_maximal_power(w):
+    """No aligned window of twice the size fits inside W."""
+    r, d = w
+    s, e = trimmed_window(r, d)
+    bigger = 2 * (e - s)
+    a = -(-r // bigger)
+    assert (a + 1) * bigger > d  # the next power would not fit
+
+
+@given(st.lists(windows, min_size=1, max_size=15))
+@settings(max_examples=100, deadline=None)
+def test_trimming_inflates_density_boundedly(ws):
+    """Trimming inflates peak density by at most a small constant.
+
+    Lemma 15's published form is about slack feasibility; the elementary
+    pointwise argument gives a factor <= 9 (every trimmed window in the
+    witness interval I comes from an original of length <= 4|I| that
+    intersects I, so all originals nest in an interval of length 9|I|).
+    Typical instances stay well under 4 (see the unit test), but the
+    worst-case property we can assert for all inputs is the 9x bound.
+    """
+    inst = Instance(Job(i, r, d) for i, (r, d) in enumerate(ws))
+    before = peak_density(inst).density
+    after = peak_density(trimmed_instance(inst)).density
+    assert after <= 9.0 * before + 1e-9

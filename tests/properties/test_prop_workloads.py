@@ -1,0 +1,97 @@
+"""Property-based tests for workload generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.feasibility import is_slack_feasible, peak_density
+from repro.workloads import (
+    aligned_random_instance,
+    harmonic_starvation_instance,
+    sensor_network_instance,
+    staircase_instance,
+    thin_to_density,
+    uniform_random_instance,
+)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.floats(min_value=0.01, max_value=0.15),
+    st.integers(min_value=8, max_value=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_aligned_random_feasible_by_construction(seed, gamma, horizon_level):
+    rng = np.random.default_rng(seed)
+    levels = list(range(max(4, horizon_level - 3), horizon_level + 1))
+    inst = aligned_random_instance(rng, horizon_level, levels, gamma=gamma)
+    assert inst.is_aligned
+    assert is_slack_feasible(inst, gamma)
+    assert all(0 <= j.release and j.deadline <= (1 << horizon_level) for j in inst)
+
+
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_harmonic_always_feasible_at_its_gamma(n, gamma):
+    inst = harmonic_starvation_instance(n, gamma)
+    assert len(inst) == n
+    assert is_slack_feasible(inst, gamma)
+    windows = [j.window for j in inst.by_release]
+    assert windows == sorted(windows)  # monotone urgency ordering
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=40),
+    st.floats(min_value=0.05, max_value=0.9),
+)
+@settings(max_examples=40, deadline=None)
+def test_thinning_always_reaches_target(seed, n, gamma):
+    rng = np.random.default_rng(seed)
+    inst = uniform_random_instance(rng, n, 100, (1, 30))
+    thinned = thin_to_density(inst, gamma, rng)
+    assert peak_density(thinned).density <= gamma + 1e-9
+    # thinning only removes jobs
+    ids = {j.job_id for j in thinned}
+    assert ids <= {j.job_id for j in inst}
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_staircase_shape(n_steps, per_step, step):
+    window = step * 2
+    inst = staircase_instance(n_steps, per_step, step=step, window=window)
+    assert len(inst) == n_steps * per_step
+    releases = sorted({j.release for j in inst})
+    assert releases == [k * step for k in range(n_steps)]
+    assert all(j.window == window for j in inst)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_sensor_network_one_job_per_sensor_period(seed, n_sensors, n_periods):
+    rng = np.random.default_rng(seed)
+    period = 100
+    inst = sensor_network_instance(
+        rng, n_sensors, period, relative_deadline=20, n_periods=n_periods
+    )
+    assert len(inst) == n_sensors * n_periods
+    # with zero jitter, each sensor's jobs never overlap each other
+    by_phase: dict = {}
+    for j in inst.by_release:
+        by_phase.setdefault(j.release % period, []).append(j)
+    for jobs in by_phase.values():
+        jobs = sorted(jobs, key=lambda x: x.release)
+        for a, b in zip(jobs, jobs[1:]):
+            assert a.deadline <= b.release or a.release % period != b.release % period

@@ -1,0 +1,144 @@
+"""Unit tests for the slot engine."""
+
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.channel.jamming import PeriodicJammer
+from repro.channel.messages import DataMessage, Message
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job, JobStatus
+from repro.sim.protocolbase import Protocol, ProtocolContext
+
+
+class FirstSlotProtocol(Protocol):
+    """Transmits its data message in its first window slot only."""
+
+    def on_act(self, slot) -> Optional[Message]:
+        if self.local_age(slot) == 0:
+            return DataMessage(self.ctx.job_id)
+        return None
+
+    def on_observe(self, slot, obs):
+        if self.local_age(slot) >= 0 and not self.succeeded:
+            self.gave_up = True
+
+
+class NthSlotProtocol(Protocol):
+    """Transmits at a fixed local age (set per job id for determinism)."""
+
+    def on_act(self, slot) -> Optional[Message]:
+        if self.local_age(slot) == self.ctx.job_id:
+            return DataMessage(self.ctx.job_id)
+        return None
+
+
+def factory(cls):
+    def make(job: Job, rng: np.random.Generator) -> Protocol:
+        return cls(ProtocolContext.for_job(job, rng))
+
+    return make
+
+
+class TestEngineBasics:
+    def test_single_job_succeeds(self):
+        inst = Instance([Job(0, 0, 4)])
+        res = simulate(inst, factory(FirstSlotProtocol))
+        assert res.n_succeeded == 1
+        assert res.outcome_of(0).completion_slot == 0
+        assert res.outcome_of(0).latency == 1
+
+    def test_two_jobs_same_slot_collide(self):
+        inst = Instance([Job(0, 0, 4), Job(1, 0, 4)])
+        res = simulate(inst, factory(FirstSlotProtocol))
+        assert res.n_succeeded == 0
+        statuses = {o.status for o in res.outcomes}
+        assert statuses == {JobStatus.GAVE_UP}
+
+    def test_staggered_jobs_all_succeed(self):
+        inst = Instance([Job(i, 0, 8) for i in range(4)])
+        res = simulate(inst, factory(NthSlotProtocol))
+        assert res.n_succeeded == 4
+        assert [res.outcome_of(i).completion_slot for i in range(4)] == [0, 1, 2, 3]
+
+    def test_deadline_cuts_job(self):
+        # job 3 transmits at local age 3, but its window is only 2 slots
+        inst = Instance([Job(3, 0, 2)])
+        res = simulate(inst, factory(NthSlotProtocol))
+        assert res.outcome_of(3).status is JobStatus.FAILED
+
+    def test_idle_gap_skipped(self):
+        inst = Instance([Job(0, 0, 2), Job(1, 1000, 1002)])
+        res = simulate(inst, factory(FirstSlotProtocol))
+        assert res.n_succeeded == 2
+        # only the busy slots are simulated, not the 998-slot gap
+        assert res.slots_simulated < 20
+
+    def test_empty_instance(self):
+        res = simulate(Instance(()), factory(FirstSlotProtocol))
+        assert len(res) == 0
+        assert res.success_rate == 1.0
+
+    def test_jamming_blocks_success(self):
+        inst = Instance([Job(0, 0, 4)])
+        res = simulate(
+            inst, factory(FirstSlotProtocol), jammer=PeriodicJammer(1, [0])
+        )
+        assert res.n_succeeded == 0
+
+    def test_transmission_counting(self):
+        inst = Instance([Job(0, 0, 4), Job(1, 0, 4)])
+        res = simulate(inst, factory(FirstSlotProtocol))
+        assert res.outcome_of(0).transmissions == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        from repro.core.uniform import uniform_factory
+
+        inst = Instance([Job(i, 0, 64) for i in range(16)])
+        r1 = simulate(inst, uniform_factory(), seed=5)
+        r2 = simulate(inst, uniform_factory(), seed=5)
+        assert [o.status for o in r1.outcomes] == [o.status for o in r2.outcomes]
+        assert [o.completion_slot for o in r1.outcomes] == [
+            o.completion_slot for o in r2.outcomes
+        ]
+
+    def test_different_seeds_differ(self):
+        from repro.core.uniform import uniform_factory
+
+        inst = Instance([Job(i, 0, 64) for i in range(16)])
+        slots1 = [
+            o.completion_slot
+            for o in simulate(inst, uniform_factory(), seed=1).outcomes
+        ]
+        slots2 = [
+            o.completion_slot
+            for o in simulate(inst, uniform_factory(), seed=2).outcomes
+        ]
+        assert slots1 != slots2
+
+
+class TestTrace:
+    def test_trace_records_every_slot(self):
+        inst = Instance([Job(0, 0, 4)])
+        res = simulate(inst, factory(FirstSlotProtocol), trace=True)
+        assert res.trace is not None
+        assert len(res.trace) == res.slots_simulated
+
+    def test_trace_absent_by_default(self):
+        inst = Instance([Job(0, 0, 4)])
+        res = simulate(inst, factory(FirstSlotProtocol))
+        assert res.trace is None
+
+    def test_observer_called(self):
+        seen = []
+        inst = Instance([Job(0, 0, 3)])
+        simulate(
+            inst,
+            factory(FirstSlotProtocol),
+            observers=[lambda out, live: seen.append((out.slot, live))],
+        )
+        assert seen and seen[0][1] == (0,)

@@ -1,0 +1,106 @@
+"""Unit tests for γ-slack feasibility (peak density + EDF cross-check)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim.feasibility import (
+    is_slack_feasible,
+    peak_density,
+    slack_of,
+    verify_edf_schedulable,
+)
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+
+def make(jobs):
+    return Instance(Job(i, r, d) for i, (r, d) in enumerate(jobs))
+
+
+class TestPeakDensity:
+    def test_empty(self):
+        rep = peak_density(Instance(()))
+        assert rep.density == 0.0
+
+    def test_single_job(self):
+        rep = peak_density(make([(0, 4)]))
+        assert rep.density == pytest.approx(0.25)
+        assert rep.interval == (0, 4)
+        assert rep.nested_jobs == 1
+
+    def test_two_jobs_same_window(self):
+        rep = peak_density(make([(0, 4), (0, 4)]))
+        assert rep.density == pytest.approx(0.5)
+
+    def test_nested_windows_aggregate(self):
+        # 2 jobs in [0,4), 2 jobs in [0,8): densest interval is [0,4)
+        rep = peak_density(make([(0, 4), (0, 4), (0, 8), (0, 8)]))
+        assert rep.density == pytest.approx(0.5)
+        assert rep.interval == (0, 4)
+        # the interval [0,8) holds all 4: density 0.5 too
+
+    def test_disjoint_windows(self):
+        rep = peak_density(make([(0, 10), (10, 20)]))
+        assert rep.density == pytest.approx(0.1)
+
+    def test_overlapping_but_not_nested_ignored(self):
+        # a job overlapping the probe interval but not nested doesn't count
+        rep = peak_density(make([(0, 8), (4, 12)]))
+        # best interval is [0,8) or [4,12) with 1 job each, or [0,12) with 2
+        assert rep.density == pytest.approx(2 / 12)
+
+    def test_full_density(self):
+        rep = peak_density(make([(0, 1), (1, 2), (2, 3)]))
+        assert rep.density == pytest.approx(1.0)
+
+
+class TestSlackFeasible:
+    def test_gamma_validation(self):
+        with pytest.raises(InvalidParameterError):
+            is_slack_feasible(make([(0, 4)]), 0.0)
+        with pytest.raises(InvalidParameterError):
+            is_slack_feasible(make([(0, 4)]), 1.5)
+
+    def test_feasible_and_not(self):
+        inst = make([(0, 4), (0, 4)])  # density 1/2
+        assert is_slack_feasible(inst, 0.5)
+        assert not is_slack_feasible(inst, 0.25)
+
+    def test_slack_of(self):
+        assert slack_of(make([(0, 8)])) == pytest.approx(0.125)
+
+
+class TestEdfCrossCheck:
+    def test_feasible_instance_schedules(self):
+        inst = make([(0, 4), (0, 4), (0, 4), (0, 4)])
+        assert verify_edf_schedulable(inst) is None
+
+    def test_overfull_instance_misses(self):
+        inst = make([(0, 2), (0, 2), (0, 2)])
+        assert verify_edf_schedulable(inst) is not None
+
+    def test_message_length_scales(self):
+        # density 1/4 ⇒ schedulable with message length 4, not 5
+        inst = make([(0, 8), (0, 8)])
+        assert verify_edf_schedulable(inst, message_length=4) is None
+        assert verify_edf_schedulable(inst, message_length=5) is not None
+
+    def test_bad_message_length(self):
+        with pytest.raises(InvalidParameterError):
+            verify_edf_schedulable(make([(0, 4)]), message_length=0)
+
+    def test_density_edf_consistency_random(self):
+        """Interval condition <=> EDF schedulability, on random instances."""
+        rng = np.random.default_rng(7)
+        for trial in range(30):
+            jobs = []
+            for i in range(rng.integers(1, 15)):
+                r = int(rng.integers(0, 30))
+                w = int(rng.integers(1, 12))
+                jobs.append(Job(i, r, r + w))
+            inst = Instance(jobs)
+            c = int(rng.integers(1, 4))
+            dens_ok = peak_density(inst).density <= 1.0 / c + 1e-12
+            edf_ok = verify_edf_schedulable(inst, message_length=c) is None
+            assert dens_ok == edf_ok, f"trial {trial}: density vs EDF disagree"

@@ -1,0 +1,98 @@
+"""Unit tests for instances and their cached views."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+
+def make(jobs):
+    return Instance(Job(i, r, d) for i, (r, d) in enumerate(jobs))
+
+
+class TestBasics:
+    def test_empty(self):
+        inst = Instance(())
+        assert len(inst) == 0
+        assert inst.horizon == 0
+        assert inst.min_window == 0
+        assert inst.summary() == "Instance(empty)"
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([Job(0, 0, 4), Job(0, 4, 8)])
+
+    def test_by_release_sorted(self):
+        inst = make([(8, 16), (0, 8), (4, 12)])
+        assert [j.release for j in inst.by_release] == [0, 4, 8]
+
+    def test_horizon_and_extremes(self):
+        inst = make([(0, 8), (4, 20), (2, 6)])
+        assert inst.horizon == 20
+        assert inst.first_release == 0
+        assert inst.min_window == 4
+        assert inst.max_window == 16
+
+    def test_iteration_and_indexing(self):
+        inst = make([(0, 4), (2, 6)])
+        assert len(list(inst)) == 2
+        assert inst[0].job_id == 0
+
+
+class TestAlignment:
+    def test_aligned_detection(self):
+        assert make([(0, 8), (8, 16), (0, 16)]).is_aligned
+        assert not make([(1, 9)]).is_aligned
+
+    def test_require_aligned_raises(self):
+        with pytest.raises(InvalidInstanceError):
+            make([(1, 9)]).require_aligned()
+
+    def test_by_class(self):
+        inst = make([(0, 8), (8, 16), (0, 16), (16, 32)])
+        classes = inst.by_class
+        assert set(classes) == {3, 4}
+        assert len(classes[3]) == 2
+        assert inst.classes == (3, 4)
+
+    def test_by_class_rejects_unaligned(self):
+        with pytest.raises(InvalidInstanceError):
+            make([(1, 9)]).by_class
+
+
+class TestGroupsAndQueries:
+    def test_by_window(self):
+        inst = make([(0, 8), (0, 8), (8, 16)])
+        groups = inst.by_window
+        assert len(groups[(0, 8)]) == 2
+        assert len(groups[(8, 16)]) == 1
+
+    def test_live_at(self):
+        inst = make([(0, 8), (4, 12)])
+        assert {j.job_id for j in inst.live_at(5)} == {0, 1}
+        assert {j.job_id for j in inst.live_at(0)} == {0}
+        assert inst.live_at(20) == ()
+
+    def test_nested_jobs(self):
+        inst = make([(0, 8), (4, 8), (0, 16), (8, 24)])
+        nested = inst.nested_jobs(0, 16)
+        assert {j.job_id for j in nested} == {0, 1, 2}
+
+    def test_shifted(self):
+        inst = make([(0, 8)]).shifted(16)
+        assert inst[0].release == 16
+
+    def test_merged_and_relabeled(self):
+        a = make([(0, 8)])
+        b = Instance([Job(10, 8, 16)])
+        m = a.merged(b)
+        assert len(m) == 2
+        r = m.relabeled()
+        assert [j.job_id for j in r.by_release] == [0, 1]
+
+    def test_merged_id_collision_rejected(self):
+        a = make([(0, 8)])
+        b = make([(8, 16)])
+        with pytest.raises(InvalidInstanceError):
+            a.merged(b)

@@ -1,0 +1,95 @@
+"""Unit tests for jobs and window arithmetic."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sim.job import Job, JobStatus, is_power_of_two, window_class
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for x in [0, -1, -8, 3, 5, 6, 7, 12, 100]:
+            assert not is_power_of_two(x)
+
+    def test_window_class(self):
+        assert window_class(1) == 0
+        assert window_class(2) == 1
+        assert window_class(1024) == 10
+
+    def test_window_class_rejects_non_power(self):
+        with pytest.raises(InvalidInstanceError):
+            window_class(6)
+
+
+class TestJob:
+    def test_window_size(self):
+        assert Job(0, 5, 13).window == 8
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 5, 5)
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 5, 3)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, -1, 4)
+
+    def test_alignment(self):
+        assert Job(0, 16, 32).is_aligned
+        assert Job(0, 0, 8).is_aligned
+        assert not Job(0, 8, 24).is_aligned  # size 16, release not multiple
+
+    def test_alignment_cases(self):
+        assert Job(0, 0, 1).is_aligned  # size 1 at 0
+        assert Job(0, 7, 8).is_aligned  # size 1 anywhere
+        assert not Job(0, 4, 12).is_aligned  # size 8 at 4
+        assert not Job(0, 0, 12).is_aligned  # size 12 not a power
+
+    def test_job_class(self):
+        assert Job(0, 32, 64).job_class == 5
+
+    def test_job_class_rejects_unaligned(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(0, 1, 9).job_class
+
+    def test_contains_and_age(self):
+        j = Job(0, 10, 20)
+        assert j.contains(10)
+        assert j.contains(19)
+        assert not j.contains(9)
+        assert not j.contains(20)
+        assert j.local_age(10) == 0
+        assert j.local_age(15) == 5
+
+    def test_shifted(self):
+        j = Job(1, 4, 8).shifted(12)
+        assert (j.release, j.deadline) == (16, 20)
+        assert j.job_id == 1
+
+    def test_overlaps(self):
+        a = Job(0, 0, 10)
+        b = Job(1, 9, 20)
+        c = Job(2, 10, 20)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_nested_in(self):
+        inner = Job(0, 4, 8)
+        outer = Job(1, 0, 16)
+        assert inner.nested_in(outer)
+        assert not outer.nested_in(inner)
+        assert inner.nested_in(inner)
+
+
+class TestJobStatus:
+    def test_terminal(self):
+        assert JobStatus.SUCCEEDED.terminal
+        assert JobStatus.FAILED.terminal
+        assert JobStatus.GAVE_UP.terminal
+        assert not JobStatus.PENDING.terminal
+        assert not JobStatus.LIVE.terminal

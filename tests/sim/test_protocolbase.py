@@ -1,0 +1,101 @@
+"""Unit tests for the Protocol base-class contract."""
+
+import numpy as np
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import ControlMessage, DataMessage
+from repro.errors import ProtocolViolationError
+from repro.sim.protocolbase import Protocol, ProtocolContext
+
+
+class EchoProtocol(Protocol):
+    """Transmits its data message every slot (test double)."""
+
+    def on_act(self, slot):
+        return DataMessage(self.ctx.job_id)
+
+
+class SilentProtocol(Protocol):
+    def on_act(self, slot):
+        return None
+
+
+def ctx(job_id=1, window=8):
+    return ProtocolContext(job_id, window, np.random.default_rng(0))
+
+
+class TestLifecycle:
+    def test_begin_required_before_act(self):
+        p = EchoProtocol(ctx())
+        with pytest.raises(ProtocolViolationError):
+            p.act(0)
+
+    def test_begin_twice_rejected(self):
+        p = EchoProtocol(ctx())
+        p.begin(0)
+        with pytest.raises(ProtocolViolationError):
+            p.begin(1)
+
+    def test_act_observe_pairing(self):
+        p = EchoProtocol(ctx())
+        p.begin(0)
+        p.act(0)
+        with pytest.raises(ProtocolViolationError):
+            p.act(1)
+
+    def test_observe_requires_act(self):
+        p = EchoProtocol(ctx())
+        p.begin(0)
+        with pytest.raises(ProtocolViolationError):
+            p.observe(0, Observation.silence())
+
+    def test_local_age(self):
+        p = SilentProtocol(ctx())
+        p.begin(10)
+        assert p.local_age(10) == 0
+        assert p.local_age(13) == 3
+
+
+class TestSuccessDetection:
+    def test_own_data_success_sets_flag(self):
+        p = EchoProtocol(ctx(job_id=5))
+        p.begin(0)
+        msg = p.act(0)
+        assert isinstance(msg, DataMessage)
+        p.observe(0, Observation.success(msg, transmitted=True, own=True))
+        assert p.succeeded
+        assert p.done
+
+    def test_foreign_success_does_not(self):
+        p = SilentProtocol(ctx(job_id=5))
+        p.begin(0)
+        p.act(0)
+        p.observe(0, Observation.success(DataMessage(6)))
+        assert not p.succeeded
+
+    def test_own_control_success_does_not_complete(self):
+        class ControlTx(Protocol):
+            def on_act(self, slot):
+                return ControlMessage(self.ctx.job_id)
+
+        p = ControlTx(ctx(job_id=2))
+        p.begin(0)
+        msg = p.act(0)
+        p.observe(0, Observation.success(msg, transmitted=True, own=True))
+        assert not p.succeeded
+
+    def test_transmission_counter(self):
+        p = EchoProtocol(ctx())
+        p.begin(0)
+        for t in range(3):
+            p.act(t)
+            p.observe(t, Observation.noise(transmitted=True))
+        assert p.transmissions == 3
+
+    def test_done_protocol_stays_silent(self):
+        p = EchoProtocol(ctx())
+        p.begin(0)
+        p.gave_up = True
+        assert p.act(0) is None
+        assert p.transmissions == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the deterministic RNG factory."""
+
+import numpy as np
+
+from repro.sim.rng import RngFactory
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).fresh("job", 3)
+        b = RngFactory(7).fresh("job", 3)
+        assert np.allclose(a.random(10), b.random(10))
+
+    def test_different_seed_different_stream(self):
+        a = RngFactory(1).fresh("job", 0)
+        b = RngFactory(2).fresh("job", 0)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_different_labels_independent(self):
+        f = RngFactory(0)
+        a = f.fresh("job", 0)
+        b = f.fresh("channel", 0)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_different_indices_independent(self):
+        f = RngFactory(0)
+        a = f.fresh("job", 0)
+        b = f.fresh("job", 1)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_stream_is_cached(self):
+        f = RngFactory(0)
+        g1 = f.stream("job", 5)
+        g2 = f.stream("job", 5)
+        assert g1 is g2
+
+    def test_fresh_is_not_cached(self):
+        f = RngFactory(0)
+        g1 = f.fresh("x")
+        g2 = f.fresh("x")
+        assert g1 is not g2
+        assert np.allclose(g1.random(5), g2.random(5))
+
+    def test_creation_order_irrelevant(self):
+        f1 = RngFactory(9)
+        f1.stream("a")
+        v1 = float(f1.stream("b").random())
+        f2 = RngFactory(9)
+        v2 = float(f2.stream("b").random())
+        assert v1 == v2
+
+    def test_named_helpers(self):
+        f = RngFactory(3)
+        assert f.job_rng(1) is f.stream("job", 1)
+        assert f.channel_rng() is f.stream("channel")
+        assert f.workload_rng(2) is f.stream("workload", 2)

@@ -1,0 +1,107 @@
+"""Unit tests for trace recording and result metrics."""
+
+import numpy as np
+import pytest
+
+from repro.channel.channel import SlotOutcome
+from repro.channel.feedback import Feedback
+from repro.channel.messages import DataMessage
+from repro.sim.instance import Instance
+from repro.sim.job import Job, JobStatus
+from repro.sim.metrics import JobOutcome, SimulationResult
+from repro.sim.trace import TraceRecorder
+
+
+def out(slot, feedback, n_tx=0, msg=None, jammed=False):
+    return SlotOutcome(slot, feedback, msg, n_tx, jammed)
+
+
+class TestTraceRecorder:
+    def test_records_fields(self):
+        tr = TraceRecorder()
+        tr.record(out(0, Feedback.SILENCE), n_live=3)
+        tr.record(out(1, Feedback.SUCCESS, 1, DataMessage(2)), n_live=3, contention=0.5)
+        tr.record(out(2, Feedback.NOISE, 2), n_live=2)
+        assert len(tr) == 3
+        assert tr.records[1].message_type == "DataMessage"
+        assert tr.records[1].contention == 0.5
+        assert np.isnan(tr.records[0].contention)
+
+    def test_feedback_codes(self):
+        tr = TraceRecorder()
+        tr.record(out(0, Feedback.SILENCE), 1)
+        tr.record(out(1, Feedback.SUCCESS, 1, DataMessage(0)), 1)
+        tr.record(out(2, Feedback.NOISE, 2), 1)
+        assert list(tr.feedback_codes()) == [0, 1, 2]
+
+    def test_utilization_and_collision_rate(self):
+        tr = TraceRecorder()
+        tr.record(out(0, Feedback.SUCCESS, 1, DataMessage(0)), 1)
+        tr.record(out(1, Feedback.NOISE, 2), 1)
+        tr.record(out(2, Feedback.SILENCE), 1)
+        tr.record(out(3, Feedback.SILENCE), 1)
+        assert tr.utilization() == pytest.approx(0.25)
+        assert tr.collision_rate() == pytest.approx(0.25)
+
+    def test_empty_rates(self):
+        tr = TraceRecorder()
+        assert tr.utilization() == 0.0
+        assert tr.collision_rate() == 0.0
+
+    def test_success_slots(self):
+        tr = TraceRecorder()
+        tr.record(out(5, Feedback.SUCCESS, 1, DataMessage(0)), 1)
+        tr.record(out(6, Feedback.SILENCE), 1)
+        tr.record(out(7, Feedback.SUCCESS, 1, DataMessage(1)), 1)
+        assert list(tr.success_slots()) == [5, 7]
+
+
+def outcome(jid, r, d, status, comp=-1, tx=0):
+    return JobOutcome(Job(jid, r, d), status, comp, tx)
+
+
+class TestSimulationResult:
+    def make_result(self):
+        jobs = [Job(0, 0, 8), Job(1, 0, 8), Job(2, 8, 24)]
+        outs = (
+            outcome(0, 0, 8, JobStatus.SUCCEEDED, comp=3, tx=1),
+            outcome(1, 0, 8, JobStatus.FAILED, tx=2),
+            outcome(2, 8, 24, JobStatus.SUCCEEDED, comp=10, tx=1),
+        )
+        return SimulationResult(Instance(jobs), outs, slots_simulated=24)
+
+    def test_success_rate(self):
+        res = self.make_result()
+        assert res.n_succeeded == 2
+        assert res.success_rate == pytest.approx(2 / 3)
+
+    def test_missed(self):
+        res = self.make_result()
+        assert [o.job.job_id for o in res.missed] == [1]
+
+    def test_success_by_window(self):
+        res = self.make_result()
+        table = res.success_by_window()
+        assert table[8] == (1, 2)
+        assert table[16] == (1, 1)
+
+    def test_latencies(self):
+        res = self.make_result()
+        assert sorted(res.latencies().tolist()) == [3, 4]
+
+    def test_latency_of_failure_is_minus_one(self):
+        res = self.make_result()
+        assert res.outcome_of(1).latency == -1
+
+    def test_normalized_latencies_in_unit_interval(self):
+        res = self.make_result()
+        norm = res.normalized_latencies()
+        assert np.all(norm > 0) and np.all(norm <= 1)
+
+    def test_transmission_counts(self):
+        res = self.make_result()
+        assert res.transmission_counts().sum() == 4
+
+    def test_summary_mentions_rates(self):
+        text = self.make_result().summary()
+        assert "success: 2/3" in text

@@ -1,0 +1,110 @@
+"""Tests for the instance certifier."""
+
+import numpy as np
+import pytest
+
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.validate import Severity, certify
+from repro.workloads import (
+    aligned_random_instance,
+    batch_instance,
+    single_class_instance,
+)
+
+
+def codes(cert, severity=None):
+    return {
+        f.code
+        for f in cert.findings
+        if severity is None or f.severity is severity
+    }
+
+
+class TestStructural:
+    def test_empty_instance(self):
+        cert = certify(Instance(()))
+        assert "empty" in codes(cert)
+        assert cert.ok
+
+    def test_shape_reported(self):
+        cert = certify(batch_instance(4, window=64))
+        assert "shape" in codes(cert)
+        assert "density" in codes(cert)
+
+
+class TestFeasibility:
+    def test_feasible_passes(self):
+        cert = certify(batch_instance(4, window=400), gamma=0.01)
+        assert cert.ok
+        assert "feasible" in codes(cert)
+
+    def test_infeasible_errors(self):
+        cert = certify(batch_instance(40, window=64), gamma=0.1)
+        assert not cert.ok
+        assert "infeasible" in codes(cert, Severity.ERROR)
+
+
+class TestAlignedChecks:
+    def test_good_configuration(self):
+        rng = np.random.default_rng(0)
+        inst = aligned_random_instance(rng, 12, [9, 10], gamma=0.01)
+        cert = certify(inst, aligned=AlignedParams(lam=1, tau=4, min_level=9))
+        assert cert.ok
+        assert "aligned.capacity" in codes(cert)
+
+    def test_unaligned_rejected(self):
+        cert = certify(
+            batch_instance(4, window=100),
+            aligned=AlignedParams(lam=1, tau=4, min_level=4),
+        )
+        assert "aligned.unaligned" in codes(cert, Severity.ERROR)
+
+    def test_class_below_min_level(self):
+        inst = single_class_instance(2, level=6)
+        cert = certify(inst, aligned=AlignedParams(lam=1, tau=4, min_level=9))
+        assert "aligned.min_level" in codes(cert, Severity.ERROR)
+
+    def test_saturated_schedule_flagged(self):
+        inst = single_class_instance(2, level=12)
+        cert = certify(inst, aligned=AlignedParams(lam=2, tau=4, min_level=4))
+        assert not cert.ok
+        assert "aligned.capacity" in codes(cert, Severity.ERROR) or (
+            "aligned.overhead" in codes(cert, Severity.ERROR)
+        )
+
+
+class TestPunctualChecks:
+    def pp(self):
+        return PunctualParams(
+            aligned=AlignedParams(lam=1, tau=2, min_level=10),
+            lam=2,
+            pullback_exp=1,
+            slingshot_exp=2,
+        )
+
+    def test_path_predictions(self):
+        inst = batch_instance(8, window=32768)
+        cert = certify(inst, punctual=self.pp())
+        assert cert.ok
+        path_msgs = [
+            f.message for f in cert.findings if f.code == "punctual.path"
+        ]
+        assert path_msgs and "follow" in path_msgs[0]
+
+    def test_tiny_window_errors(self):
+        inst = batch_instance(2, window=40)
+        cert = certify(inst, punctual=self.pp())
+        assert not cert.ok
+        assert "punctual.window" in codes(cert, Severity.ERROR)
+
+    def test_saturated_anarchy_warned(self):
+        inst = batch_instance(96, window=2048)
+        cert = certify(inst, punctual=self.pp())
+        assert "punctual.contention" in codes(cert, Severity.WARNING)
+
+    def test_render_contains_verdict(self):
+        cert = certify(batch_instance(2, window=256))
+        text = cert.render()
+        assert "verdict: OK" in text

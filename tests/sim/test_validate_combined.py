@@ -1,0 +1,70 @@
+"""Combined-certification scenarios for the validator."""
+
+import numpy as np
+import pytest
+
+from repro.params import AlignedParams, PunctualParams
+from repro.sim.validate import Severity, certify
+from repro.workloads import aligned_random_instance, batch_instance
+
+
+def aligned_params():
+    return AlignedParams(lam=1, tau=4, min_level=9)
+
+
+def punctual_params():
+    return PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=10),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+
+
+class TestCombined:
+    def test_aligned_workload_certifies_for_both_protocols(self):
+        rng = np.random.default_rng(0)
+        inst = aligned_random_instance(rng, 13, [10, 11, 12], gamma=0.005)
+        cert = certify(
+            inst,
+            gamma=0.005,
+            aligned=aligned_params(),
+            punctual=punctual_params(),
+        )
+        codes = {f.code for f in cert.findings}
+        # both protocol sections ran
+        assert any(c.startswith("aligned.") for c in codes)
+        assert any(c.startswith("punctual.") for c in codes)
+        assert cert.ok
+
+    def test_gamma_check_independent_of_protocol_checks(self):
+        inst = batch_instance(64, window=128)  # density 0.5
+        cert = certify(inst, gamma=0.1, punctual=punctual_params())
+        sev = {f.code: f.severity for f in cert.findings}
+        assert sev["infeasible"] is Severity.ERROR
+        assert not cert.ok
+
+    def test_errors_listed_separately(self):
+        inst = batch_instance(64, window=128)
+        cert = certify(inst, gamma=0.1)
+        assert cert.errors()
+        assert all(f.severity is Severity.ERROR for f in cert.errors())
+
+    def test_render_orders_findings(self):
+        rng = np.random.default_rng(1)
+        inst = aligned_random_instance(rng, 12, [9, 10], gamma=0.01)
+        text = certify(inst, gamma=0.01, aligned=aligned_params()).render()
+        # shape first, verdict last
+        lines = text.splitlines()
+        assert "shape" in lines[0]
+        assert lines[-1].startswith("verdict:")
+
+    def test_per_window_punctual_paths_cover_all_sizes(self):
+        a = batch_instance(4, window=32768)
+        b = batch_instance(4, window=3000).relabeled(start=100)
+        inst = a.merged(b)
+        cert = certify(inst, punctual=punctual_params())
+        paths = [f.message for f in cert.findings if f.code == "punctual.path"]
+        assert len(paths) == 2
+        assert any("follow" in p for p in paths)
+        assert any("anarchist" in p for p in paths)

@@ -1,0 +1,258 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.protocol == "punctual"
+        assert args.workload == "batch"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "nope"])
+
+
+class TestSimulate:
+    def test_punctual_batch(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--workload", "batch",
+                "--n", "6",
+                "--window", "3000",
+                "--protocol", "punctual",
+                "--min-level", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "success:" in out
+
+    def test_aligned_on_aligned_workload(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--workload", "single-class",
+                "--n", "8",
+                "--level", "9",
+                "--protocol", "aligned",
+                "--min-level", "9",
+            ]
+        )
+        assert rc == 0
+        assert "success: 8/8" in capsys.readouterr().out
+
+    def test_aligned_rejected_on_unaligned_workload(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--workload", "batch",
+                    "--window", "3000",
+                    "--protocol", "aligned",
+                ]
+            )
+
+    def test_require_success_exit_code(self):
+        # saturated ALOHA at tight deadlines cannot reach 100%
+        rc = main(
+            [
+                "simulate",
+                "--workload", "batch",
+                "--n", "64",
+                "--window", "64",
+                "--protocol", "aloha",
+                "--require-success", "1.0",
+            ]
+        )
+        assert rc == 1
+
+    def test_trace_flag(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--workload", "single-class",
+                "--n", "4",
+                "--level", "9",
+                "--protocol", "uniform",
+                "--trace",
+            ]
+        )
+        assert rc == 0
+        assert "utilization:" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_table_lists_protocols(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--workload", "single-class",
+                "--n", "6",
+                "--level", "9",
+                "--seeds", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("aligned", "beb", "uniform", "edf"):
+            assert name in out
+
+
+class TestFeasibility:
+    def test_harmonic_certificate(self, capsys):
+        rc = main(
+            ["feasibility", "--workload", "harmonic", "--n", "64", "--gamma", "0.5"]
+        )
+        out = capsys.readouterr().out
+        # the harmonic instance is slack-feasible but its tiny windows
+        # cannot cover PUNCTUAL's fixed costs: the certificate must say so
+        assert rc == 1
+        assert "peak density" in out
+        assert "yes" in out
+        assert "punctual.window" in out
+        assert "NOT READY" in out
+
+    def test_ready_workload_passes_certificate(self, capsys):
+        rc = main(
+            [
+                "feasibility",
+                "--workload", "batch",
+                "--n", "8",
+                "--window", "32768",
+                "--gamma", "0.01",
+                "--min-level", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: OK" in out
+
+    def test_infeasible_exit_code(self, capsys):
+        # 64 jobs in a 64-slot window: density 1.0, not 0.5-slack feasible
+        rc = main(
+            [
+                "feasibility",
+                "--workload", "batch",
+                "--n", "64",
+                "--window", "64",
+                "--gamma", "0.5",
+            ]
+        )
+        assert rc == 1
+
+
+class TestSchedule:
+    def test_renders(self, capsys):
+        rc = main(["schedule", "--small-level", "9", "--width", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "class  9" in out
+        assert "legend" in out
+
+
+class TestSweep:
+    def test_sweep_table(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--workload", "batch",
+                "--protocol", "beb",
+                "--param", "n",
+                "--values", "2,4",
+                "--window", "128",
+                "--seeds", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sweeping n" in out
+        assert "ci low" in out
+
+    def test_sweep_float_values(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--workload", "aligned-random",
+                "--protocol", "uniform",
+                "--param", "gamma",
+                "--values", "0.01,0.05",
+                "--level", "9",
+                "--seeds", "1",
+            ]
+        )
+        assert rc == 0
+        assert "gamma" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_jobs_csv(self, tmp_path, capsys):
+        dest = tmp_path / "jobs.csv"
+        rc = main(
+            [
+                "simulate",
+                "--workload", "batch",
+                "--n", "3",
+                "--window", "64",
+                "--protocol", "uniform",
+                "--export", str(dest),
+            ]
+        )
+        assert rc == 0
+        text = dest.read_text()
+        assert text.startswith("job_id,")
+        assert text.count("\n") == 4  # header + 3 jobs
+
+    def test_export_trace_csv(self, tmp_path):
+        dest = tmp_path / "trace.csv"
+        rc = main(
+            [
+                "simulate",
+                "--workload", "batch",
+                "--n", "2",
+                "--window", "32",
+                "--protocol", "uniform",
+                "--export-trace", str(dest),
+            ]
+        )
+        assert rc == 0
+        assert dest.read_text().startswith("slot,")
+
+
+class TestReport:
+    def test_missing_dir_errors(self, capsys, tmp_path):
+        rc = main(["report", "--results-dir", str(tmp_path / "nope")])
+        assert rc == 1
+
+    def test_empty_dir_errors(self, tmp_path):
+        rc = main(["report", "--results-dir", str(tmp_path)])
+        assert rc == 1
+
+    def test_assembles_markdown(self, capsys, tmp_path):
+        (tmp_path / "E1_demo.txt").write_text("table one\n")
+        (tmp_path / "E2_demo.txt").write_text("table two\n")
+        rc = main(["report", "--results-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "## E1_demo" in out and "table two" in out
+
+    def test_writes_output_file(self, tmp_path):
+        (tmp_path / "E1_demo.txt").write_text("t\n")
+        dest = tmp_path / "report.md"
+        rc = main(
+            [
+                "report",
+                "--results-dir", str(tmp_path),
+                "--output", str(dest),
+            ]
+        )
+        assert rc == 0
+        assert "# Experiment report" in dest.read_text()

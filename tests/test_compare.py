@@ -1,0 +1,81 @@
+"""Tests for the paired protocol comparison."""
+
+import pytest
+
+from repro.baselines import aloha_factory, beb_factory, edf_factory
+from repro.core.uniform import uniform_factory
+from repro.experiments.compare import compare_protocols
+from repro.workloads import batch_instance
+
+
+@pytest.fixture
+def dense():
+    # 48 jobs / 96 slots: protocols separate clearly
+    return batch_instance(48, window=96)
+
+
+class TestCompare:
+    def test_paired_rates_shape(self, dense):
+        cmpn = compare_protocols(
+            dense,
+            {"uniform": uniform_factory(), "beb": beb_factory()},
+            seeds=range(4),
+        )
+        assert set(cmpn.rates) == {"uniform", "beb"}
+        assert all(len(v) == 4 for v in cmpn.rates.values())
+        assert cmpn.baseline == "uniform"
+
+    def test_edf_always_wins_dense(self, dense):
+        cmpn = compare_protocols(
+            dense,
+            {
+                "aloha": aloha_factory(0.5),
+                "edf": edf_factory(dense),
+            },
+            seeds=range(6),
+            baseline="aloha",
+        )
+        assert cmpn.mean_rate("edf") == 1.0
+        assert "edf" in cmpn.significant_winners()
+
+    def test_baseline_validation(self, dense):
+        with pytest.raises(ValueError):
+            compare_protocols(
+                dense, {"uniform": uniform_factory()}, baseline="nope"
+            )
+        with pytest.raises(ValueError):
+            compare_protocols(dense, {})
+
+    def test_table_renders(self, dense):
+        cmpn = compare_protocols(
+            dense,
+            {"uniform": uniform_factory(), "edf": edf_factory(dense)},
+            seeds=range(3),
+        )
+        text = cmpn.table()
+        assert "baseline" in text
+        assert "uniform" in text and "edf" in text
+
+    def test_tied_protocols_not_significant(self, dense):
+        # the same protocol twice can never be significantly different
+        cmpn = compare_protocols(
+            dense,
+            {"a": uniform_factory(), "b": uniform_factory()},
+            seeds=range(6),
+        )
+        assert "b" not in cmpn.significant_winners()
+        assert "b" not in cmpn.significant_losers()
+
+    def test_contrast_direction(self, dense):
+        cmpn = compare_protocols(
+            dense,
+            {
+                "saturated-aloha": aloha_factory(0.9),
+                "edf": edf_factory(dense),
+            },
+            seeds=range(5),
+            baseline="edf",
+        )
+        point, lo, hi = cmpn.contrast("saturated-aloha")
+        assert point < 0 and hi < 0
+        assert "saturated-aloha" in cmpn.significant_losers()

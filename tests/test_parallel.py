@@ -1,0 +1,79 @@
+"""Tests for the parallel seed runner.
+
+The worker entry points must be module-level for pickling, so the
+builders used here live at module scope.
+"""
+
+import pytest
+
+from repro.core.uniform import uniform_factory
+from repro.channel.jamming import StochasticJammer
+from repro.experiments import aggregate, run_seeds
+from repro.workloads import batch_instance
+
+
+def build_sparse():
+    return batch_instance(8, window=1024)
+
+
+def build_two_windows():
+    a = batch_instance(4, window=512)
+    b = batch_instance(4, window=1024).relabeled(start=100)
+    return a.merged(b)
+
+
+def protocol(instance):
+    return uniform_factory()
+
+
+class TestInline:
+    def test_digests_in_seed_order(self):
+        digests = run_seeds(build_sparse, protocol, seeds=[3, 1, 2])
+        assert [d.seed for d in digests] == [3, 1, 2]
+
+    def test_digest_contents(self):
+        (d,) = run_seeds(build_sparse, protocol, seeds=[0])
+        assert d.n_jobs == 8
+        assert 0 <= d.n_succeeded <= 8
+        assert d.slots_simulated > 0
+        assert d.by_window[0][0] == 1024
+
+    def test_matches_direct_simulation(self):
+        from repro.sim.engine import simulate
+
+        (d,) = run_seeds(build_sparse, protocol, seeds=[5])
+        res = simulate(build_sparse(), uniform_factory(), seed=5)
+        assert d.n_succeeded == res.n_succeeded
+
+    def test_jammer_forwarded(self):
+        digests = run_seeds(
+            build_sparse, protocol, seeds=range(5),
+            jammer=StochasticJammer(1.0),
+        )
+        assert all(d.n_succeeded == 0 for d in digests)
+
+
+class TestProcessPool:
+    def test_pool_matches_inline(self):
+        seeds = list(range(6))
+        inline = run_seeds(build_sparse, protocol, seeds=seeds, processes=1)
+        pooled = run_seeds(build_sparse, protocol, seeds=seeds, processes=2)
+        assert [(d.seed, d.n_succeeded) for d in inline] == [
+            (d.seed, d.n_succeeded) for d in pooled
+        ]
+
+
+class TestAggregate:
+    def test_combines_counts(self):
+        digests = run_seeds(build_two_windows, protocol, seeds=range(4))
+        summary = aggregate(digests)
+        assert summary["runs"] == 4
+        assert summary["jobs"] == 32
+        assert set(summary["by_window"]) == {512, 1024}
+        ok = sum(s for s, _ in summary["by_window"].values())
+        assert ok == summary["succeeded"]
+
+    def test_empty(self):
+        summary = aggregate([])
+        assert summary["runs"] == 0
+        assert summary["success_rate"] == 1.0

@@ -1,0 +1,100 @@
+"""Tests for workload persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sim.instance import Instance
+from repro.workloads import (
+    aligned_random_instance,
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    load_instance_csv,
+    save_instance,
+    save_instance_csv,
+)
+
+
+@pytest.fixture
+def instance():
+    rng = np.random.default_rng(5)
+    return aligned_random_instance(rng, 11, [8, 9], gamma=0.05)
+
+
+def same_jobs(a: Instance, b: Instance) -> bool:
+    return [
+        (j.job_id, j.release, j.deadline) for j in a.by_release
+    ] == [(j.job_id, j.release, j.deadline) for j in b.by_release]
+
+
+class TestJson:
+    def test_round_trip(self, instance):
+        assert same_jobs(instance, instance_from_json(instance_to_json(instance)))
+
+    def test_file_round_trip(self, instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(instance, path)
+        assert same_jobs(instance, load_instance(path))
+
+    def test_empty_instance(self):
+        empty = Instance(())
+        assert len(instance_from_json(instance_to_json(empty))) == 0
+
+    def test_rejects_non_json(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_json("not json at all {")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_json('{"format": "something-else", "jobs": []}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_json(
+                '{"format": "repro-instance", "version": 99, "jobs": []}'
+            )
+
+    def test_rejects_malformed_job(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_json(
+                '{"format": "repro-instance", "version": 1, "jobs": [[1, 2]]}'
+            )
+
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_json(
+                '{"format": "repro-instance", "version": 1, '
+                '"n_jobs": 5, "jobs": [[0, 0, 4]]}'
+            )
+
+    def test_header_metadata(self, instance):
+        import json
+
+        payload = json.loads(instance_to_json(instance))
+        assert payload["n_jobs"] == len(instance)
+        assert payload["horizon"] == instance.horizon
+
+
+class TestCsv:
+    def test_round_trip(self, instance, tmp_path):
+        path = tmp_path / "inst.csv"
+        save_instance_csv(instance, path)
+        assert same_jobs(instance, load_instance_csv(path))
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(InvalidInstanceError):
+            load_instance_csv(path)
+
+    def test_loaded_instance_simulates(self, instance, tmp_path):
+        from repro.core.uniform import uniform_factory
+        from repro.sim.engine import simulate
+
+        path = tmp_path / "inst.csv"
+        save_instance_csv(instance, path)
+        loaded = load_instance_csv(path)
+        a = simulate(instance, uniform_factory(), seed=0)
+        b = simulate(loaded, uniform_factory(), seed=0)
+        assert a.n_succeeded == b.n_succeeded

@@ -1,0 +1,164 @@
+"""Unit tests for the workload generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim.feasibility import is_slack_feasible, peak_density, slack_of
+from repro.workloads import (
+    aligned_random_instance,
+    alarm_burst_instance,
+    batch_instance,
+    figure1_instance,
+    harmonic_starvation_instance,
+    mixed_criticality_instance,
+    nested_stack_instance,
+    poisson_instance,
+    rolling_batches_instance,
+    sensor_network_instance,
+    single_class_instance,
+    staircase_instance,
+    thin_to_density,
+    two_scale_instance,
+    uniform_random_instance,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestAlignedGenerators:
+    def test_single_class(self):
+        inst = single_class_instance(5, level=4)
+        assert len(inst) == 5
+        assert all(j.window == 16 and j.release == 0 for j in inst)
+        assert inst.is_aligned
+
+    def test_single_class_start_must_align(self):
+        with pytest.raises(InvalidParameterError):
+            single_class_instance(2, level=4, start=5)
+
+    def test_batch(self):
+        inst = batch_instance(3, window=10, release=7)
+        assert all((j.release, j.deadline) == (7, 17) for j in inst)
+
+    def test_aligned_random_is_feasible_by_construction(self, rng):
+        for gamma in (0.02, 0.05, 0.1):
+            inst = aligned_random_instance(rng, 12, [6, 7, 8, 9], gamma=gamma)
+            assert inst.is_aligned
+            assert is_slack_feasible(inst, gamma), (
+                f"γ={gamma}: density {slack_of(inst)}"
+            )
+
+    def test_aligned_random_nonempty(self, rng):
+        inst = aligned_random_instance(rng, 12, [8, 9], gamma=0.1)
+        assert len(inst) > 0
+
+    def test_nested_stack(self):
+        inst = nested_stack_instance([4, 6, 8], per_level=2)
+        assert len(inst) == 6
+        assert inst.is_aligned
+        assert {j.window for j in inst} == {16, 64, 256}
+
+    def test_figure1_shape(self):
+        inst = figure1_instance(small_level=4)
+        windows = sorted({j.window for j in inst})
+        assert windows == [16, 32, 64]
+        assert inst.is_aligned
+
+
+class TestAdversarial:
+    def test_harmonic_is_feasible(self):
+        for gamma in (0.1, 0.25, 0.5):
+            inst = harmonic_starvation_instance(64, gamma)
+            assert is_slack_feasible(inst, gamma)
+
+    def test_harmonic_window_formula(self):
+        inst = harmonic_starvation_instance(10, 0.5)
+        assert [j.window for j in inst.by_release] == [
+            math.ceil(j / 0.5) for j in range(1, 11)
+        ]
+
+    def test_harmonic_validation(self):
+        with pytest.raises(InvalidParameterError):
+            harmonic_starvation_instance(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            harmonic_starvation_instance(5, 0.0)
+
+    def test_staircase(self):
+        inst = staircase_instance(3, 2, step=10, window=25)
+        assert len(inst) == 6
+        assert {j.release for j in inst} == {0, 10, 20}
+
+    def test_rolling_batches(self, rng):
+        inst = rolling_batches_instance(rng, 5, 100, (1, 4), (10, 20))
+        assert all(10 <= j.window <= 20 for j in inst)
+
+
+class TestGeneral:
+    def test_poisson_thinned_to_gamma(self, rng):
+        inst = poisson_instance(rng, 500, 0.2, [64, 256], gamma=0.05)
+        assert is_slack_feasible(inst, 0.05)
+
+    def test_poisson_weights(self, rng):
+        inst = poisson_instance(rng, 400, 0.3, [10, 1000], weights=[1.0, 0.0])
+        assert all(j.window == 10 for j in inst)
+
+    def test_uniform_random(self, rng):
+        inst = uniform_random_instance(rng, 50, 1000, (16, 64))
+        assert len(inst) == 50
+        assert all(16 <= j.window <= 64 for j in inst)
+
+    def test_two_scale(self, rng):
+        inst = two_scale_instance(rng, 10, 10, 32, 1024, horizon=500)
+        assert {j.window for j in inst} == {32, 1024}
+
+
+class TestRealistic:
+    def test_sensor_network_periodicity(self, rng):
+        inst = sensor_network_instance(
+            rng, n_sensors=4, period=100, relative_deadline=20, n_periods=3
+        )
+        assert len(inst) == 12
+        assert all(j.window == 20 for j in inst)
+
+    def test_sensor_deadline_within_period(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sensor_network_instance(rng, 2, period=10, relative_deadline=20, n_periods=1)
+
+    def test_alarm_burst(self, rng):
+        inst = alarm_burst_instance(rng, 8, burst_slot=100, window=50)
+        assert len(inst) == 8
+        assert all(j.release == 100 for j in inst)
+
+    def test_mixed_criticality(self, rng):
+        inst = mixed_criticality_instance(rng, 2000, gamma=0.05)
+        assert is_slack_feasible(inst, 0.05)
+        assert {j.window for j in inst} <= {64, 1024}
+
+
+class TestThinning:
+    def test_already_feasible_untouched(self, rng):
+        inst = batch_instance(2, window=100)
+        out = thin_to_density(inst, 0.1, rng)
+        assert len(out) == 2
+
+    def test_overfull_thinned(self, rng):
+        inst = batch_instance(100, window=100)
+        out = thin_to_density(inst, 0.2, rng)
+        assert len(out) <= 20
+        assert is_slack_feasible(out, 0.2)
+
+    def test_empty_ok(self, rng):
+        from repro.sim.instance import Instance
+
+        out = thin_to_density(Instance(()), 0.5, rng)
+        assert len(out) == 0
+
+    def test_gamma_validated(self, rng):
+        with pytest.raises(InvalidParameterError):
+            thin_to_density(batch_instance(1, 10), 0.0, rng)
