@@ -3,11 +3,15 @@
 Not a paper experiment: guards the simulator's own performance so that
 experiment-suite runtimes stay predictable.  Benchmarks the slot
 engine's throughput on the three protocol families plus the vectorized
-fast paths, and records slots/second figures in the archived table.
+fast paths, records slots/second figures in the archived table, and
+emits a machine-readable ``BENCH_engine.json`` so successive PRs can
+track the performance trajectory without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 
 import numpy as np
@@ -16,9 +20,10 @@ from repro.analysis.tables import format_table
 from repro.baselines import beb_factory
 from repro.core.aligned import aligned_factory
 from repro.core.punctual import punctual_factory
+from repro.core.uniform import uniform_factory
 from repro.fastpath import simulate_uniform_fast
 from repro.params import AlignedParams, PunctualParams
-from repro.sim.engine import simulate
+from repro.sim.engine import ENGINE_VERSION, simulate
 from repro.workloads import batch_instance, single_class_instance
 
 ALIGNED = AlignedParams(lam=1, tau=4, min_level=9)
@@ -29,40 +34,64 @@ PUNCTUAL = PunctualParams(
     slingshot_exp=2,
 )
 
-
-def _throughput(fn) -> tuple[float, int]:
-    t0 = time.perf_counter()
-    res = fn()
-    dt = time.perf_counter() - t0
-    return dt, res.slots_simulated
+#: Best-of-N timing; the engine is deterministic, repeats only shake
+#: out scheduler noise.
+REPEATS = 3
 
 
-def test_p1_engine_throughput(benchmark, emit):
+def _throughput(fn) -> tuple[int, float]:
+    """(slots, best slots/second) over ``REPEATS`` identical runs."""
+    best = 0.0
+    slots = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        res = fn()
+        dt = time.perf_counter() - t0
+        slots = res.slots_simulated
+        best = max(best, slots / dt)
+    return slots, best
+
+
+def test_p1_engine_throughput(benchmark, emit, results_dir):
     rows = []
+    machine = {}
 
     aligned_inst = single_class_instance(16, level=10)
-    dt, slots = _throughput(
+    slots, rate = _throughput(
         lambda: simulate(aligned_inst, aligned_factory(ALIGNED), seed=0)
     )
-    rows.append(["engine / ALIGNED (16 jobs, w=1024)", slots, slots / dt])
+    rows.append(["engine / ALIGNED (16 jobs, w=1024)", slots, rate])
+    machine["aligned"] = {"slots": slots, "slots_per_second": rate}
 
     punctual_inst = batch_instance(16, window=8192)
-    dt, slots = _throughput(
+    slots, rate = _throughput(
         lambda: simulate(punctual_inst, punctual_factory(PUNCTUAL), seed=0)
     )
-    rows.append(["engine / PUNCTUAL (16 jobs, w=8192)", slots, slots / dt])
+    rows.append(["engine / PUNCTUAL (16 jobs, w=8192)", slots, rate])
+    machine["punctual"] = {"slots": slots, "slots_per_second": rate}
 
     beb_inst = batch_instance(64, window=8192)
-    dt, slots = _throughput(
+    slots, rate = _throughput(
         lambda: simulate(beb_inst, beb_factory(), seed=0)
     )
-    rows.append(["engine / BEB (64 jobs, w=8192)", slots, slots / dt])
+    rows.append(["engine / BEB (64 jobs, w=8192)", slots, rate])
+    machine["beb"] = {"slots": slots, "slots_per_second": rate}
+
+    uniform_inst = batch_instance(64, window=8192)
+    slots, rate = _throughput(
+        lambda: simulate(uniform_inst, uniform_factory(), seed=0)
+    )
+    rows.append(["engine / UNIFORM (64 jobs, w=8192)", slots, rate])
+    machine["uniform"] = {"slots": slots, "slots_per_second": rate}
 
     big = batch_instance(8192, window=65536)
     t0 = time.perf_counter()
     simulate_uniform_fast(big, np.random.default_rng(0))
     dt = time.perf_counter() - t0
     rows.append(["fastpath / UNIFORM (8192 jobs)", 65536, 65536 / dt])
+    machine["uniform_fastpath"] = {
+        "slots": 65536, "slots_per_second": 65536 / dt,
+    }
 
     emit(
         "P1_engine_perf",
@@ -73,6 +102,13 @@ def test_p1_engine_throughput(benchmark, emit):
             title="P1 — simulator throughput baselines (informational)",
         ),
     )
+
+    payload = {
+        "engine_version": ENGINE_VERSION,
+        "families": machine,
+    }
+    out = pathlib.Path(results_dir) / "BENCH_engine.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     # sanity floors: an order of magnitude below today's numbers
     assert rows[0][2] > 3_000, "ALIGNED engine unexpectedly slow"

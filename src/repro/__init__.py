@@ -44,6 +44,7 @@ from repro.baselines import (
     sawtooth_factory,
     window_scaled_aloha_factory,
 )
+from repro.cache import ResultCache, run_key, stable_digest
 from repro.channel import (
     Feedback,
     MultipleAccessChannel,
@@ -84,6 +85,7 @@ from repro.sim import (
     simulate,
     slack_of,
 )
+from repro.sim.engine import ENGINE_VERSION
 from repro.sim.validate import Certificate, Finding, Severity, certify
 from repro.workloads import (
     aligned_random_instance,
@@ -130,11 +132,16 @@ __all__ = [
     "ReactiveJammer",
     "StochasticJammer",
     # sim
+    "ENGINE_VERSION",
     "Instance",
     "Job",
     "JobStatus",
     "RngFactory",
     "SimulationResult",
+    # cache
+    "ResultCache",
+    "run_key",
+    "stable_digest",
     "is_slack_feasible",
     "peak_density",
     "simulate",

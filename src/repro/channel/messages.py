@@ -14,7 +14,7 @@ All message classes are frozen: a message on the channel is immutable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Optional
 
 __all__ = [
     "Message",
@@ -24,7 +24,19 @@ __all__ = [
     "LeaderClaim",
     "TimekeeperBeacon",
     "EstimateReport",
+    "KIND_DATA",
+    "KIND_CONTROL",
+    "KIND_BEACON",
 ]
+
+#: Message-kind tags, exposed as the class attribute :attr:`Message.kind`.
+#: The engine's delivery bookkeeping dispatches on the tag instead of
+#: ``isinstance`` chains; only these three kinds matter to delivery
+#: (beacons may piggyback a data payload, every other control message
+#: delivers nothing).
+KIND_DATA = 0
+KIND_CONTROL = 1
+KIND_BEACON = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,12 +53,16 @@ class Message:
         model does allow (a transmitter knows whether it succeeded).
     """
 
+    kind: ClassVar[int] = KIND_CONTROL
+
     sender: int
 
 
 @dataclass(frozen=True, slots=True)
 class DataMessage(Message):
     """The unit-length payload a job must deliver within its window."""
+
+    kind: ClassVar[int] = KIND_DATA
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +106,8 @@ class TimekeeperBeacon(ControlMessage):
         The leader's own data message, piggybacked when abdicating or when
         a deposed leader hands over.
     """
+
+    kind: ClassVar[int] = KIND_BEACON
 
     global_time: int
     deadline: int

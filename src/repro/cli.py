@@ -22,8 +22,9 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -116,6 +117,39 @@ def _jammer(args):
     return StochasticJammer(args.jam) if args.jam > 0 else NoJammer()
 
 
+def _cache_knob(args):
+    """Map the ``--cache`` flag onto the library's cache knob."""
+    value = getattr(args, "cache", "")
+    if not value:
+        return None
+    if value == "default":
+        return True
+    return value
+
+
+# -- picklable sweep/compare plumbing ---------------------------------------
+#
+# Multi-process runs ship the builders to worker processes, so they must
+# be module-level callables bound with functools.partial (closures over
+# ``args`` would not pickle).  The argparse namespace travels as a plain
+# dict of its (picklable) values.
+
+
+def _args_state(args: argparse.Namespace) -> Dict[str, Any]:
+    return {k: v for k, v in vars(args).items() if k != "func"}
+
+
+def _build_workload_from_state(state: Dict[str, Any], **params: Any) -> Instance:
+    ns = argparse.Namespace(**state)
+    for key, value in params.items():
+        setattr(ns, key.replace("-", "_"), value)
+    return _build_workload(ns)
+
+
+def _protocol_from_state(state: Dict[str, Any], name: str, instance: Instance):
+    return _protocol_factories(argparse.Namespace(**state), instance)[name]
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     instance = _build_workload(args)
     factories = _protocol_factories(args, instance)
@@ -157,19 +191,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         token = token.strip()
         values.append(float(token) if "." in token else int(token))
 
-    def build(**params):
-        ns = argparse.Namespace(**vars(args))
-        setattr(ns, args.param.replace("-", "_"), params[args.param])
-        return _build_workload(ns)
-
-    def protocol(instance):
-        return _protocol_factories(args, instance)[args.protocol]
-
+    state = _args_state(args)
     sweep = Sweep(
-        build=build,
-        protocol=protocol,
+        build=functools.partial(_build_workload_from_state, state),
+        protocol=functools.partial(_protocol_from_state, state, args.protocol),
         seeds=args.seeds,
         jammer=_jammer(args) if args.jam > 0 else None,
+        processes=args.processes,
+        cache=_cache_knob(args),
     )
     points = sweep.run({args.param: values})
     print(
@@ -185,17 +214,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import run_seeds
+
     instance = _build_workload(args)
     factories = _protocol_factories(args, instance)
+    state = _args_state(args)
+    build = functools.partial(_build_workload_from_state, state)
     rows = []
     for name in sorted(factories):
-        ok = total = 0
-        for s in range(args.seeds):
-            res = simulate(
-                instance, factories[name], jammer=_jammer(args), seed=s
-            )
-            ok += res.n_succeeded
-            total += len(res)
+        digests = run_seeds(
+            build,
+            functools.partial(_protocol_from_state, state, name),
+            seeds=range(args.seeds),
+            jammer=_jammer(args),
+            processes=args.processes,
+            cache=_cache_knob(args),
+        )
+        ok = sum(d.n_succeeded for d in digests)
+        total = sum(d.n_jobs for d in digests)
         rows.append([name, 1.0 - ok / total, total])
     print(
         format_table(
@@ -290,6 +326,14 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_perf_flags(sp) -> None:
+    sp.add_argument("--processes", type=int, default=1,
+                    help="worker processes for seed replication")
+    sp.add_argument("--cache", default="", metavar="DIR",
+                    help="cache results on disk: a directory, or 'default' "
+                         "for $REPRO_CACHE_DIR / ~/.cache/repro")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -340,11 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--values", required=True,
                      help="comma-separated values, e.g. 4,8,16")
     swp.add_argument("--seeds", type=int, default=3)
+    _add_perf_flags(swp)
     swp.set_defaults(func=cmd_sweep)
 
     cmp_ = sub.add_parser("compare", help="run every protocol on one workload")
     add_common(cmp_)
     cmp_.add_argument("--seeds", type=int, default=3)
+    _add_perf_flags(cmp_)
     cmp_.set_defaults(func=cmd_compare)
 
     feas = sub.add_parser("feasibility", help="report a workload's slack")

@@ -8,9 +8,14 @@ from repro.experiments.capacity import (
 )
 from repro.experiments.compare import ProtocolComparison, compare_protocols
 from repro.experiments.parallel import (
+    BoundBuilder,
+    ConstantFactory,
+    ConstantInstance,
     ParallelJob,
     SeedDigest,
+    SeedExecutionError,
     aggregate,
+    compute_chunksize,
     run_seeds,
 )
 from repro.experiments.sweep import Sweep, SweepPoint
@@ -20,9 +25,14 @@ __all__ = [
     "compare_protocols",
     "Sweep",
     "SweepPoint",
+    "BoundBuilder",
+    "ConstantFactory",
+    "ConstantInstance",
     "ParallelJob",
     "SeedDigest",
+    "SeedExecutionError",
     "aggregate",
+    "compute_chunksize",
     "run_seeds",
     "PunctualBudget",
     "aligned_window_demand",

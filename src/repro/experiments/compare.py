@@ -11,14 +11,20 @@ bootstrap confidence intervals over the per-seed success rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.stats import bootstrap_mean_diff
 from repro.analysis.tables import format_table
+from repro.cache import ResultCache
 from repro.channel.jamming import Jammer
-from repro.sim.engine import ProtocolFactory, simulate
+from repro.experiments.parallel import (
+    ConstantFactory,
+    ConstantInstance,
+    run_seeds,
+)
+from repro.sim.engine import ProtocolFactory
 from repro.sim.instance import Instance
 
 __all__ = ["ProtocolComparison", "compare_protocols"]
@@ -94,6 +100,8 @@ def compare_protocols(
     seeds: Sequence[int] = range(8),
     baseline: Optional[str] = None,
     jammer: Optional[Jammer] = None,
+    processes: int = 1,
+    cache: Union[None, bool, str, ResultCache] = None,
 ) -> ProtocolComparison:
     """Run every factory over every seed on one instance.
 
@@ -104,6 +112,11 @@ def compare_protocols(
         instance (EDF) should already be bound to it.
     baseline:
         Contrast target; defaults to the first name.
+    processes:
+        Worker processes per protocol (>1 requires picklable factories).
+    cache:
+        Result-cache knob (see :func:`repro.cache.as_cache`); cached
+        (instance, factory, jammer, seed) runs skip simulation.
     """
     if not factories:
         raise ValueError("need at least one protocol")
@@ -111,13 +124,18 @@ def compare_protocols(
     base = baseline if baseline is not None else names[0]
     if base not in factories:
         raise ValueError(f"baseline {base!r} not among protocols {names}")
+    build = ConstantInstance(instance)
     rates: Dict[str, Tuple[float, ...]] = {}
     for name, factory in factories.items():
-        per_seed = tuple(
-            simulate(instance, factory, jammer=jammer, seed=s).success_rate
-            for s in seeds
+        digests = run_seeds(
+            build,
+            ConstantFactory(factory),
+            seeds=list(seeds),
+            jammer=jammer,
+            processes=processes,
+            cache=cache,
         )
-        rates[name] = per_seed
+        rates[name] = tuple(d.success_rate for d in digests)
     return ProtocolComparison(
         instance_summary=instance.summary(),
         seeds=tuple(seeds),

@@ -1,4 +1,4 @@
-"""Parallel seed replication across processes.
+"""Parallel seed replication across processes, with result caching.
 
 Monte-Carlo experiments here are embarrassingly parallel across seeds:
 every run is deterministic in ``(instance, seed)`` and runs share
@@ -12,29 +12,80 @@ parallelizing the outer loop):
   the instance and protocol from a :class:`ParallelJob` spec, keeping
   everything picklable and the per-task payload tiny;
 * results come back as small :class:`SeedDigest` records (success
-  counts, per-window tallies), not full `SimulationResult` objects, so
-  IPC stays negligible compared to simulation time;
+  counts, per-window tallies, latency sums), not full
+  ``SimulationResult`` objects, so IPC stays negligible compared to
+  simulation time;
+* tasks are submitted in *chunks* (an explicit ``chunksize`` computed
+  from the seed count) so the pool does not pay one IPC round-trip per
+  seed, and results stream back in order as chunks complete — an
+  optional ``progress`` callback observes every completion;
+* worker exceptions are captured with the failing seed attached and
+  re-raised in the parent as :class:`SeedExecutionError`, instead of a
+  bare traceback that has forgotten which task died;
+* with a ``cache=``, each seed's digest is looked up by content address
+  first and only uncached seeds are shipped to workers — a warm re-run
+  performs zero ``simulate`` calls;
 * `processes=1` (the default) runs inline with zero multiprocessing
   overhead — identical results, so tests can compare the two paths.
 """
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.cache import ResultCache, as_cache, run_key
 from repro.channel.jamming import Jammer
+from repro.errors import ReproError
 from repro.sim.engine import ProtocolFactory, simulate
 from repro.sim.instance import Instance
 
-__all__ = ["ParallelJob", "SeedDigest", "run_seeds", "aggregate"]
+__all__ = [
+    "BoundBuilder",
+    "ConstantFactory",
+    "ConstantInstance",
+    "ParallelJob",
+    "SeedDigest",
+    "SeedExecutionError",
+    "aggregate",
+    "compute_chunksize",
+    "run_seeds",
+]
 
 #: Rebuilds the workload; must be a module-level (picklable) callable.
 InstanceBuilder = Callable[[], Instance]
 
 #: Builds the protocol factory for an instance; must be picklable.
 FactoryBuilder = Callable[[Instance], ProtocolFactory]
+
+#: Called after each seed completes: ``progress(done, total)``.
+ProgressCallback = Callable[[int, int], None]
+
+
+class SeedExecutionError(ReproError):
+    """A worker failed while simulating one seed.
+
+    Carries the failing seed plus the worker-side traceback, so a crash
+    in a thousand-seed sweep points at the one reproducible input.
+    """
+
+    def __init__(self, seed: int, worker_traceback: str) -> None:
+        super().__init__(
+            f"seed {seed} failed in a worker:\n{worker_traceback}"
+        )
+        self.seed = seed
+        self.worker_traceback = worker_traceback
 
 
 @dataclass(frozen=True)
@@ -56,10 +107,76 @@ class SeedDigest:
     n_succeeded: int
     by_window: Tuple[Tuple[int, int, int], ...]  # (window, ok, total)
     slots_simulated: int
+    latency_sum: int = 0  # summed latencies of successful jobs
 
     @property
     def success_rate(self) -> float:
         return self.n_succeeded / self.n_jobs if self.n_jobs else 1.0
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.n_succeeded:
+            return float("nan")
+        return self.latency_sum / self.n_succeeded
+
+
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """A captured worker exception (picklable, seed attached)."""
+
+    seed: int
+    formatted: str
+
+
+# -- picklable builder adapters ---------------------------------------------
+#
+# run_seeds ships its builders to workers, so they must pickle.  These
+# small frozen dataclasses adapt the common shapes — a grid point bound
+# to a parametrised builder, a prebuilt instance, a prebuilt protocol
+# factory — while staying picklable whenever their contents are.
+
+
+@dataclass(frozen=True)
+class BoundBuilder:
+    """``build(**params)`` frozen into a zero-argument builder."""
+
+    build: Callable[..., Instance]
+    params: Tuple[Tuple[str, Any], ...]
+
+    def __call__(self) -> Instance:
+        return self.build(**dict(self.params))
+
+
+@dataclass(frozen=True)
+class ConstantInstance:
+    """A zero-argument builder returning a prebuilt instance."""
+
+    instance: Instance
+
+    def __call__(self) -> Instance:
+        return self.instance
+
+
+@dataclass(frozen=True)
+class ConstantFactory:
+    """A factory builder returning a prebuilt protocol factory."""
+
+    factory: ProtocolFactory
+
+    def __call__(self, instance: Instance) -> ProtocolFactory:
+        return self.factory
+
+
+def compute_chunksize(n_tasks: int, processes: int) -> int:
+    """A chunksize that balances IPC overhead against load balance.
+
+    One task per IPC message is pure overhead for sub-second seeds; one
+    giant chunk per worker straggles.  Aim for ~4 chunks per worker,
+    capped so no chunk exceeds 64 tasks.
+    """
+    if n_tasks <= 0 or processes <= 1:
+        return 1
+    return max(1, min(64, -(-n_tasks // (processes * 4))))
 
 
 def _run_one(job: ParallelJob) -> SeedDigest:
@@ -75,7 +192,22 @@ def _run_one(job: ParallelJob) -> SeedDigest:
             (w, ok, tot) for w, (ok, tot) in result.success_by_window().items()
         ),
         slots_simulated=result.slots_simulated,
+        latency_sum=int(result.latencies().sum()),
     )
+
+
+def _run_one_safe(job: ParallelJob) -> Union[SeedDigest, _WorkerFailure]:
+    """Worker entry point: never raises, reports the failing seed."""
+    try:
+        return _run_one(job)
+    except Exception:
+        return _WorkerFailure(seed=job.seed, formatted=traceback.format_exc())
+
+
+def _check(result: Union[SeedDigest, _WorkerFailure]) -> SeedDigest:
+    if isinstance(result, _WorkerFailure):
+        raise SeedExecutionError(result.seed, result.formatted)
+    return result
 
 
 def run_seeds(
@@ -85,18 +217,91 @@ def run_seeds(
     *,
     jammer: Optional[Jammer] = None,
     processes: int = 1,
+    cache: Union[None, bool, str, ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
+    chunksize: Optional[int] = None,
 ) -> List[SeedDigest]:
-    """Run every seed, optionally across a process pool.
+    """Run every seed, optionally across a process pool and a cache.
 
     Results are returned in the order of ``seeds`` regardless of worker
-    scheduling, and are bit-identical to the inline path (each worker
-    derives its randomness from the seed exactly as ``simulate`` does).
+    scheduling or cache hits, and are bit-identical to the inline path
+    (each worker derives its randomness from the seed exactly as
+    ``simulate`` does).
+
+    Parameters
+    ----------
+    processes:
+        Worker count; ``1`` runs inline in this process.
+    cache:
+        Result cache knob (see :func:`repro.cache.as_cache`).  Cached
+        seeds are served without simulating; fresh digests are stored.
+    progress:
+        ``progress(done, total)`` called after every completed seed
+        (cache hits report immediately, before workers start).
+    chunksize:
+        Tasks per IPC message; computed from the seed count when omitted.
     """
-    jobs = [ParallelJob(build, protocol, s, jammer) for s in seeds]
-    if processes <= 1:
-        return [_run_one(j) for j in jobs]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(_run_one, jobs))
+    seeds = list(seeds)
+    total = len(seeds)
+    cache_obj = as_cache(cache)
+
+    results: Dict[int, SeedDigest] = {}  # position -> digest
+    pending: List[Tuple[int, ParallelJob, Optional[str]]] = []
+
+    if cache_obj is not None:
+        # Content address each seed; only misses become worker tasks.
+        instance = build()
+        for pos, s in enumerate(seeds):
+            key = run_key(
+                instance=instance, protocol=protocol, jammer=jammer, seed=s
+            )
+            hit = cache_obj.get(key)
+            if isinstance(hit, SeedDigest) and hit.seed == s:
+                results[pos] = hit
+            else:
+                pending.append(
+                    (pos, ParallelJob(build, protocol, s, jammer), key)
+                )
+    else:
+        pending = [
+            (pos, ParallelJob(build, protocol, s, jammer), None)
+            for pos, s in enumerate(seeds)
+        ]
+
+    done = len(results)
+    if progress is not None and done:
+        progress(done, total)
+
+    def finish(pos: int, key: Optional[str], digest: SeedDigest) -> None:
+        nonlocal done
+        results[pos] = digest
+        if cache_obj is not None and key is not None:
+            cache_obj.put(key, digest)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
+    if pending:
+        if processes <= 1:
+            for pos, job, key in pending:
+                finish(pos, key, _check(_run_one_safe(job)))
+        else:
+            n_chunk = (
+                chunksize
+                if chunksize is not None
+                else compute_chunksize(len(pending), processes)
+            )
+            jobs = [job for _, job, _ in pending]
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                # pool.map streams results back in submission order as
+                # chunks complete; pairing by position keeps bookkeeping
+                # exact even with cache hits interleaved.
+                for (pos, _, key), result in zip(
+                    pending, pool.map(_run_one_safe, jobs, chunksize=n_chunk)
+                ):
+                    finish(pos, key, _check(result))
+
+    return [results[pos] for pos in range(total)]
 
 
 def aggregate(digests: Sequence[SeedDigest]) -> Dict[str, object]:

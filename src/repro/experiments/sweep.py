@@ -7,6 +7,14 @@ seeds, aggregate per-job outcomes, report a table row per grid point.
 intervals on every success rate and deterministic seed derivation, so
 one-off experiment scripts stay ~ten lines.
 
+Seed replication routes through
+:func:`repro.experiments.parallel.run_seeds`, so every sweep picks up
+the result cache (``cache=``) and multi-process execution
+(``processes=``) for free.  Multi-process sweeps require picklable
+``build``/``protocol`` callables (module-level functions, partials of
+them, or the adapter dataclasses in :mod:`repro.experiments.parallel`);
+the default inline path accepts closures as before.
+
 Example
 -------
 >>> from repro.experiments import Sweep
@@ -26,15 +34,26 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.analysis.stats import ProportionEstimate, estimate_proportion
 from repro.analysis.tables import format_table
+from repro.cache import ResultCache
 from repro.channel.jamming import Jammer
-from repro.sim.engine import ProtocolFactory, simulate
+from repro.experiments.parallel import BoundBuilder, run_seeds
+from repro.sim.engine import ProtocolFactory
 from repro.sim.instance import Instance
-from repro.sim.metrics import SimulationResult
 
 __all__ = ["SweepPoint", "Sweep"]
 
@@ -85,6 +104,12 @@ class Sweep:
         Optional channel adversary applied to every run.
     seed_base:
         Offset added to every seed (vary to get fresh randomness).
+    processes:
+        Worker processes per grid point (1 = inline; >1 requires
+        picklable ``build``/``protocol``).
+    cache:
+        Result-cache knob (see :func:`repro.cache.as_cache`); cached
+        seeds skip simulation entirely.
     """
 
     def __init__(
@@ -95,6 +120,8 @@ class Sweep:
         seeds: int = 3,
         jammer: Optional[Jammer] = None,
         seed_base: int = 0,
+        processes: int = 1,
+        cache: Union[None, bool, str, ResultCache] = None,
     ) -> None:
         if seeds < 1:
             raise ValueError("seeds must be >= 1")
@@ -103,27 +130,35 @@ class Sweep:
         self.seeds = seeds
         self.jammer = jammer
         self.seed_base = seed_base
+        self.processes = processes
+        self.cache = cache
 
     def run_point(self, **params: Any) -> SweepPoint:
         """Run one grid point; aggregates across seeds."""
         t0 = time.perf_counter()
         instance = self.build(**params)
-        ok = total = 0
+        point_build = BoundBuilder(
+            self.build, tuple(sorted(params.items(), key=lambda kv: kv[0]))
+        )
+        digests = run_seeds(
+            point_build,
+            self.protocol,
+            seeds=[self.seed_base + s for s in range(self.seeds)],
+            jammer=self.jammer,
+            processes=self.processes,
+            cache=self.cache,
+        )
+        ok = sum(d.n_succeeded for d in digests)
+        total = sum(d.n_jobs for d in digests)
         window_ok: Dict[int, int] = {}
         window_tot: Dict[int, int] = {}
-        latencies: List[int] = []
-        for s in range(self.seeds):
-            factory = self.protocol(instance)
-            res: SimulationResult = simulate(
-                instance, factory, jammer=self.jammer, seed=self.seed_base + s
-            )
-            ok += res.n_succeeded
-            total += len(res)
-            for w, (sw, tw) in res.success_by_window().items():
+        latency_sum = 0
+        for d in digests:
+            for w, sw, tw in d.by_window:
                 window_ok[w] = window_ok.get(w, 0) + sw
                 window_tot[w] = window_tot.get(w, 0) + tw
-            latencies.extend(res.latencies().tolist())
-        mean_latency = sum(latencies) / len(latencies) if latencies else float("nan")
+            latency_sum += d.latency_sum
+        mean_latency = latency_sum / ok if ok else float("nan")
         return SweepPoint(
             params=dict(params),
             n_jobs=len(instance),

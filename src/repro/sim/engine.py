@@ -2,11 +2,11 @@
 
 Drives an :class:`~repro.sim.instance.Instance` of jobs, each running its
 own :class:`~repro.sim.protocolbase.Protocol`, over a shared
-:class:`~repro.channel.channel.MultipleAccessChannel`:
+multiple-access channel:
 
 1. activate jobs whose release slot arrived;
 2. collect each live protocol's action (transmit / listen);
-3. resolve the slot on the channel (jammer included);
+3. resolve the slot (jammer included);
 4. deliver the resulting observation to every live protocol;
 5. retire jobs that succeeded, gave up, or hit their deadline.
 
@@ -16,18 +16,48 @@ directly or piggybacked on a leader's timekeeper beacon), strictly inside
 its window.  Protocol self-reported success is cross-checked against this
 and any disagreement raises :class:`SimulationError`, catching a whole
 class of protocol bugs in every test that runs a simulation.
+
+Hot-path layout
+---------------
+The inner loop is pure Python and bounds every Monte-Carlo experiment in
+the suite, so it is written for throughput:
+
+* live jobs are kept in flat parallel lists (ids, jobs, protocols,
+  pre-bound ``act``/``observe`` methods, deadlines) instead of a dict,
+  compacted only on retirement;
+* slot resolution is inlined (semantically identical to
+  :func:`repro.channel.channel.resolve_slot`), and the jammer callout is
+  skipped entirely for the benign :class:`NoJammer`;
+* observations are shared frozen singletons where their content is
+  identical for every listener (silence / noise), so silent slots cost
+  one bound-method call per live job and nothing else;
+* contention tracking (the per-slot ``last_p`` sum) runs only when a
+  trace is recorded, with a one-time per-protocol capability check
+  instead of a per-slot ``getattr`` probe;
+* message delivery dispatches on the :attr:`Message.kind` tag rather
+  than ``isinstance`` chains.
+
+Any change that alters simulation *semantics* (outcomes, slot counts,
+randomness consumption) must bump :data:`ENGINE_VERSION`, which the
+result cache folds into its content digests.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.channel import MultipleAccessChannel, SlotOutcome
-from repro.channel.jamming import Jammer
-from repro.channel.messages import DataMessage, Message, TimekeeperBeacon
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.jamming import Jammer, NoJammer
+from repro.channel.messages import (
+    KIND_BEACON,
+    KIND_DATA,
+    DataMessage,
+    Message,
+    TimekeeperBeacon,
+)
 from repro.errors import SimulationError
 from repro.sim.instance import Instance
 from repro.sim.job import Job, JobStatus
@@ -36,13 +66,31 @@ from repro.sim.protocolbase import Protocol, ProtocolContext
 from repro.sim.rng import RngFactory
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["ProtocolFactory", "SlotObserver", "simulate"]
+__all__ = ["ENGINE_VERSION", "ProtocolFactory", "SlotObserver", "simulate"]
+
+#: Version of the engine's observable simulation semantics.  Bump whenever
+#: a change can alter any :class:`SimulationResult` for some input — the
+#: content-addressed result cache keys on it, so stale entries invalidate
+#: themselves.
+ENGINE_VERSION = 2
 
 #: Builds the protocol for one job, given the job and its private stream.
 ProtocolFactory = Callable[[Job, np.random.Generator], Protocol]
 
 #: Optional per-slot callback ``(outcome, live_job_ids)`` for instrumentation.
 SlotObserver = Callable[[SlotOutcome, Tuple[int, ...]], None]
+
+# Shared immutable observations; their content is independent of the
+# perceiving job, so one object per (feedback, transmitted) pair serves
+# every listener of every slot.
+_OBS_SILENCE = Observation.silence(False)
+_OBS_SILENCE_TX = Observation.silence(True)
+_OBS_NOISE = Observation.noise(False)
+_OBS_NOISE_TX = Observation.noise(True)
+
+_SILENCE = Feedback.SILENCE
+_SUCCESS = Feedback.SUCCESS
+_NOISE = Feedback.NOISE
 
 
 def _delivered_ids(outcome: SlotOutcome) -> Tuple[int, ...]:
@@ -55,11 +103,12 @@ def _delivered_ids(outcome: SlotOutcome) -> Tuple[int, ...]:
     msg = outcome.message
     if msg is None:
         return ()
-    if isinstance(msg, TimekeeperBeacon):
+    kind = msg.kind
+    if kind == KIND_BEACON:
         if msg.payload is not None:
             return (msg.payload.sender,)
         return ()
-    if isinstance(msg, DataMessage):
+    if kind == KIND_DATA:
         return (msg.sender,)
     return ()
 
@@ -101,21 +150,31 @@ def simulate(
     SimulationResult
     """
     rngs = RngFactory(seed)
-    channel = MultipleAccessChannel(jammer=jammer, rng=rngs.channel_rng())
+    ch_rng = rngs.channel_rng()
+    jam: Jammer = jammer if jammer is not None else NoJammer()
+    no_jam = type(jam) is NoJammer
     recorder = TraceRecorder() if trace else None
+    # SlotOutcome objects are only materialised for instrumentation.
+    need_outcome = recorder is not None or bool(observers)
 
     jobs_sorted = list(instance.by_release)
+    n_total = len(jobs_sorted)
     end = instance.horizon if horizon is None else min(horizon, instance.horizon)
 
-    live: Dict[int, Tuple[Job, Protocol]] = {}
+    # Flat parallel views of the live set (same index across all lists).
+    live_ids: List[int] = []
+    live_jobs: List[Job] = []
+    live_protos: List[Protocol] = []
+    live_act: List[Callable[[int], Optional[Message]]] = []
+    live_observe: List[Callable[[int, Observation], None]] = []
+    live_deadline: List[int] = []
+    live_has_p: List[bool] = []
+
     outcomes: Dict[int, JobOutcome] = {}
     delivered_slot: Dict[int, int] = {}
 
     next_job = 0
     t = jobs_sorted[0].release if jobs_sorted else 0
-    # Fast-forward the channel clock to the first release so slot indices
-    # line up with the instance timeline.
-    channel.now = t
     slots_simulated = 0
 
     def finalize(job: Job, proto: Protocol) -> None:
@@ -134,72 +193,153 @@ def simulate(
             )
         outcomes[job.job_id] = JobOutcome(job, status, comp, proto.transmissions)
 
-    while t < end or live:
-        if t >= end and not live:
+    while t < end or live_protos:
+        if t >= end and not live_protos:
             break
         # 1. activate
-        while next_job < len(jobs_sorted) and jobs_sorted[next_job].release == t:
+        while next_job < n_total and jobs_sorted[next_job].release == t:
             job = jobs_sorted[next_job]
             proto = factory(job, rngs.job_rng(job.job_id))
             proto.begin(t)
-            live[job.job_id] = (job, proto)
+            live_ids.append(job.job_id)
+            live_jobs.append(job)
+            live_protos.append(proto)
+            live_act.append(proto.act)
+            live_observe.append(proto.observe)
+            live_deadline.append(job.deadline)
+            live_has_p.append(hasattr(proto, "last_p"))
             next_job += 1
-        if next_job < len(jobs_sorted) and not live:
+        if next_job < n_total and not live_protos:
             # jump over idle gaps between batches
             t = jobs_sorted[next_job].release
-            channel.now = t
             continue
+
+        n_live = len(live_protos)
 
         # 2. collect actions
         transmissions: List[Tuple[int, Message]] = []
-        contention = 0.0
-        have_contention = False
-        for jid, (job, proto) in live.items():
-            msg = proto.act(t)
+        tx_idx: List[int] = []
+        for i in range(n_live):
+            msg = live_act[i](t)
             if msg is not None:
-                transmissions.append((jid, msg))
-            p = getattr(proto, "last_p", None)
-            if p is not None:
-                contention += float(p)
-                have_contention = True
-
-        # 3. resolve
-        outcome = channel.step(transmissions)
-        slots_simulated += 1
-        for jid in _delivered_ids(outcome):
-            delivered_slot.setdefault(jid, t)
-
-        # 4. observe
-        transmitted_ids = {jid for jid, _ in transmissions}
-        for jid, (job, proto) in live.items():
-            obs = MultipleAccessChannel.observation_for(
-                outcome, jid, jid in transmitted_ids
-            )
-            proto.observe(t, obs)
+                transmissions.append((live_ids[i], msg))
+                tx_idx.append(i)
 
         if recorder is not None:
+            # Contention tracking pays for itself only under tracing.  The
+            # capability check is one-time per protocol, upgraded lazily
+            # for wrappers that grow ``last_p`` on their first act().
+            contention = 0.0
+            have_contention = False
+            for i in range(n_live):
+                if live_has_p[i]:
+                    contention += float(live_protos[i].last_p)  # type: ignore[attr-defined]
+                    have_contention = True
+                else:
+                    p = getattr(live_protos[i], "last_p", None)
+                    if p is not None:
+                        live_has_p[i] = True
+                        contention += float(p)
+                        have_contention = True
+
+        # 3 + 4. resolve the slot and fan the observation out.  Inlined
+        # resolve_slot(): silence when nobody transmits, success when
+        # exactly one transmits un-jammed, noise otherwise.
+        slots_simulated += 1
+        outcome: Optional[SlotOutcome] = None
+        n_tx = len(transmissions)
+        if n_tx == 0:
+            jammed = (not no_jam) and jam.attempt(t, 0, None, ch_rng)
+            obs = _OBS_NOISE if jammed else _OBS_SILENCE
+            if need_outcome:
+                outcome = SlotOutcome(
+                    t, _NOISE if jammed else _SILENCE, None, 0, jammed
+                )
+            for observe in live_observe:
+                observe(t, obs)
+        elif n_tx == 1:
+            jid0, msg0 = transmissions[0]
+            i0 = tx_idx[0]
+            jammed = (not no_jam) and jam.attempt(t, 1, msg0, ch_rng)
+            if jammed:
+                if need_outcome:
+                    outcome = SlotOutcome(t, _NOISE, None, 1, True)
+                for i in range(n_live):
+                    live_observe[i](t, _OBS_NOISE_TX if i == i0 else _OBS_NOISE)
+            else:
+                if need_outcome:
+                    outcome = SlotOutcome(t, _SUCCESS, msg0, 1, False)
+                kind = msg0.kind
+                if kind == KIND_DATA:
+                    delivered_slot.setdefault(msg0.sender, t)
+                elif kind == KIND_BEACON and msg0.payload is not None:
+                    delivered_slot.setdefault(msg0.payload.sender, t)
+                obs_listen = Observation(_SUCCESS, msg0, False, False)
+                obs_tx = Observation(_SUCCESS, msg0, True, msg0.sender == jid0)
+                for i in range(n_live):
+                    live_observe[i](t, obs_tx if i == i0 else obs_listen)
+        else:
+            jammed = (not no_jam) and jam.attempt(t, n_tx, None, ch_rng)
+            if need_outcome:
+                outcome = SlotOutcome(t, _NOISE, None, n_tx, jammed)
+            k = 0
+            for i in range(n_live):
+                if k < n_tx and tx_idx[k] == i:
+                    live_observe[i](t, _OBS_NOISE_TX)
+                    k += 1
+                else:
+                    live_observe[i](t, _OBS_NOISE)
+
+        if recorder is not None:
+            assert outcome is not None
             recorder.record(
                 outcome,
-                n_live=len(live),
+                n_live=n_live,
                 contention=contention if have_contention else float("nan"),
             )
         if observers:
-            ids = tuple(live.keys())
+            assert outcome is not None
+            ids = tuple(live_ids)
             for cb in observers:
                 cb(outcome, ids)
 
         # 5. retire
         t += 1
-        dead = [
-            jid
-            for jid, (job, proto) in live.items()
-            if proto.done or t >= job.deadline
-        ]
-        for jid in dead:
-            job, proto = live.pop(jid)
-            finalize(job, proto)
+        any_dead = False
+        for i in range(n_live):
+            p = live_protos[i]
+            if p.succeeded or p.gave_up or t >= live_deadline[i]:
+                any_dead = True
+                break
+        if any_dead:
+            keep_ids: List[int] = []
+            keep_jobs: List[Job] = []
+            keep_protos: List[Protocol] = []
+            keep_act: List[Callable[[int], Optional[Message]]] = []
+            keep_observe: List[Callable[[int, Observation], None]] = []
+            keep_deadline: List[int] = []
+            keep_has_p: List[bool] = []
+            for i in range(n_live):
+                p = live_protos[i]
+                if p.succeeded or p.gave_up or t >= live_deadline[i]:
+                    finalize(live_jobs[i], p)
+                else:
+                    keep_ids.append(live_ids[i])
+                    keep_jobs.append(live_jobs[i])
+                    keep_protos.append(p)
+                    keep_act.append(live_act[i])
+                    keep_observe.append(live_observe[i])
+                    keep_deadline.append(live_deadline[i])
+                    keep_has_p.append(live_has_p[i])
+            live_ids = keep_ids
+            live_jobs = keep_jobs
+            live_protos = keep_protos
+            live_act = keep_act
+            live_observe = keep_observe
+            live_deadline = keep_deadline
+            live_has_p = keep_has_p
 
-        if next_job >= len(jobs_sorted) and not live:
+        if next_job >= n_total and not live_protos:
             break
 
     # Jobs never activated (horizon cut): mark failed with zero attempts.

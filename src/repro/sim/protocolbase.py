@@ -72,7 +72,22 @@ class Protocol(abc.ABC):
     :meth:`on_observe`; the base class enforces the legal calling order
     and maintains the ``started`` / ``succeeded`` / ``gave_up`` flags and
     the transmission counter.
+
+    The base-class state lives in ``__slots__`` so the engine's per-slot
+    reads of ``succeeded`` / ``gave_up`` / ``transmissions`` skip the
+    instance dict; subclasses without their own ``__slots__`` still get a
+    ``__dict__`` for protocol-specific state.
     """
+
+    __slots__ = (
+        "ctx",
+        "started",
+        "start_slot",
+        "succeeded",
+        "gave_up",
+        "transmissions",
+        "_awaiting_observation",
+    )
 
     def __init__(self, ctx: ProtocolContext) -> None:
         self.ctx = ctx

@@ -8,7 +8,13 @@ import pytest
 
 from repro.core.uniform import uniform_factory
 from repro.channel.jamming import StochasticJammer
-from repro.experiments import aggregate, run_seeds
+from repro.errors import ReproError
+from repro.experiments import (
+    SeedExecutionError,
+    aggregate,
+    compute_chunksize,
+    run_seeds,
+)
 from repro.workloads import batch_instance
 
 
@@ -53,6 +59,10 @@ class TestInline:
         assert all(d.n_succeeded == 0 for d in digests)
 
 
+def build_failing():
+    raise RuntimeError("instance builder exploded")
+
+
 class TestProcessPool:
     def test_pool_matches_inline(self):
         seeds = list(range(6))
@@ -61,6 +71,74 @@ class TestProcessPool:
         assert [(d.seed, d.n_succeeded) for d in inline] == [
             (d.seed, d.n_succeeded) for d in pooled
         ]
+
+    def test_pool_digests_identical_to_inline(self):
+        # regression: chunked submission must not reorder or perturb
+        # anything — the full digest records match field-for-field.
+        seeds = list(range(8))
+        inline = run_seeds(build_sparse, protocol, seeds=seeds, processes=1)
+        pooled = run_seeds(build_sparse, protocol, seeds=seeds, processes=2)
+        assert inline == pooled
+
+    def test_explicit_chunksize_matches(self):
+        seeds = list(range(5))
+        inline = run_seeds(build_sparse, protocol, seeds=seeds)
+        for chunk in (1, 2, 5):
+            pooled = run_seeds(
+                build_sparse, protocol, seeds=seeds,
+                processes=2, chunksize=chunk,
+            )
+            assert pooled == inline
+
+
+class TestChunksize:
+    def test_inline_is_one(self):
+        assert compute_chunksize(100, 1) == 1
+
+    def test_targets_four_chunks_per_worker(self):
+        assert compute_chunksize(80, 2) == 10
+        assert compute_chunksize(8, 2) == 1
+        assert compute_chunksize(9, 2) == 2
+
+    def test_capped(self):
+        assert compute_chunksize(10_000, 2) == 64
+
+    def test_never_zero(self):
+        assert compute_chunksize(0, 4) == 1
+        assert compute_chunksize(1, 4) == 1
+
+
+class TestProgress:
+    def test_progress_reports_every_seed(self):
+        calls = []
+        run_seeds(
+            build_sparse, protocol, seeds=range(4),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_progress_across_pool(self):
+        calls = []
+        run_seeds(
+            build_sparse, protocol, seeds=range(4), processes=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+class TestFailureReporting:
+    def test_inline_failure_names_seed(self):
+        with pytest.raises(SeedExecutionError) as err:
+            run_seeds(build_failing, protocol, seeds=[0, 7])
+        assert err.value.seed == 0
+        assert "instance builder exploded" in err.value.worker_traceback
+        assert isinstance(err.value, ReproError)
+
+    def test_pool_failure_names_seed(self):
+        with pytest.raises(SeedExecutionError) as err:
+            run_seeds(build_failing, protocol, seeds=[3, 4], processes=2)
+        assert err.value.seed == 3
+        assert "instance builder exploded" in err.value.worker_traceback
 
 
 class TestAggregate:
