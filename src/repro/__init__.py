@@ -21,6 +21,10 @@ from scratch:
   ALOHA, and the centralized-EDF genie;
 * :mod:`repro.workloads` — aligned/general/adversarial/realistic
   instance generators;
+* :mod:`repro.faults` — composable fault injection (jamming budgets,
+  feedback corruption, clock skew/drift, job crashes) consulted by the
+  engine, plus the runtime invariant checker in
+  :mod:`repro.sim.invariants`;
 * :mod:`repro.fastpath` — vectorized numpy equivalents of the
   statistically heavy inner loops;
 * :mod:`repro.analysis` — the paper's closed-form bounds, contention
@@ -46,13 +50,17 @@ from repro.baselines import (
 )
 from repro.cache import ResultCache, run_key, stable_digest
 from repro.channel import (
+    BudgetJammer,
+    BurstJammer,
     Feedback,
     MultipleAccessChannel,
     NoJammer,
     Observation,
+    PaperGuaranteeWarning,
     PeriodicJammer,
     ReactiveJammer,
     StochasticJammer,
+    WindowedRateJammer,
 )
 from repro.core import (
     AlignedProtocol,
@@ -69,13 +77,16 @@ from repro.core import (
 from repro.errors import (
     InvalidInstanceError,
     InvalidParameterError,
+    InvariantViolationError,
     ProtocolViolationError,
     ReproError,
     SimulationError,
 )
+from repro.faults import ClockFault, FaultPlan, FeedbackFault, JobFault
 from repro.params import AlignedParams, PunctualParams, UniformParams
 from repro.sim import (
     Instance,
+    InvariantChecker,
     Job,
     JobStatus,
     RngFactory,
@@ -124,16 +135,26 @@ __all__ = [
     "sawtooth_factory",
     "window_scaled_aloha_factory",
     # channel
+    "BudgetJammer",
+    "BurstJammer",
     "Feedback",
     "MultipleAccessChannel",
     "NoJammer",
     "Observation",
+    "PaperGuaranteeWarning",
     "PeriodicJammer",
     "ReactiveJammer",
     "StochasticJammer",
+    "WindowedRateJammer",
+    # faults
+    "ClockFault",
+    "FaultPlan",
+    "FeedbackFault",
+    "JobFault",
     # sim
     "ENGINE_VERSION",
     "Instance",
+    "InvariantChecker",
     "Job",
     "JobStatus",
     "RngFactory",
@@ -162,6 +183,7 @@ __all__ = [
     "ReproError",
     "InvalidInstanceError",
     "InvalidParameterError",
+    "InvariantViolationError",
     "ProtocolViolationError",
     "SimulationError",
 ]

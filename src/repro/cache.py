@@ -192,6 +192,7 @@ def run_key(
     protocol: Any,
     jammer: Any = None,
     seed: int = 0,
+    faults: Any = None,
     extra: Any = None,
 ) -> str:
     """The cache key of one simulation run.
@@ -200,19 +201,39 @@ def run_key(
     a factory callable (closures digest their captured parameters), a
     params dataclass, or a builder object.  ``extra`` lets callers fold
     in additional context (e.g. a digest-record schema version).
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan`.  It is
+    folded into the key only when set and not a no-op, so every key
+    minted before fault injection existed — and every clean run since —
+    keeps its address, while a faulted run can never collide with a
+    clean one.  Stateful jammers (inside the plan or passed via
+    ``jammer=``) are :meth:`~repro.channel.jamming.Jammer.reset` before
+    digesting, so a jammer that already ran digests identically to a
+    fresh one (the engine resets it again before simulating anyway).
     """
-    return stable_digest(
-        (
-            "repro-run",
-            ENGINE_VERSION,
-            CACHE_FORMAT,
-            instance,
-            protocol,
-            jammer,
-            int(seed),
-            extra,
-        )
+    reset = getattr(jammer, "reset", None)
+    if callable(reset):
+        reset()
+    if faults is not None:
+        if getattr(faults, "is_noop", False):
+            faults = None  # the engine ignores no-op plans; so do keys
+        else:
+            reset = getattr(faults, "reset", None)
+            if callable(reset):
+                reset()
+    key: tuple = (
+        "repro-run",
+        ENGINE_VERSION,
+        CACHE_FORMAT,
+        instance,
+        protocol,
+        jammer,
+        int(seed),
+        extra,
     )
+    if faults is not None:
+        key = key + ("faults", faults)
+    return stable_digest(key)
 
 
 # ---------------------------------------------------------------------------

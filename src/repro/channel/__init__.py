@@ -9,11 +9,15 @@ stochastic jamming adversary of Section 3.
 from repro.channel.channel import MultipleAccessChannel, SlotOutcome, resolve_slot
 from repro.channel.feedback import Feedback, Observation
 from repro.channel.jamming import (
+    BudgetJammer,
+    BurstJammer,
     Jammer,
     NoJammer,
+    PaperGuaranteeWarning,
     PeriodicJammer,
     ReactiveJammer,
     StochasticJammer,
+    WindowedRateJammer,
 )
 from repro.channel.masking import (
     FeedbackMaskingProtocol,
@@ -43,9 +47,13 @@ __all__ = [
     "Observation",
     "Jammer",
     "NoJammer",
+    "PaperGuaranteeWarning",
     "StochasticJammer",
     "ReactiveJammer",
     "PeriodicJammer",
+    "BudgetJammer",
+    "BurstJammer",
+    "WindowedRateJammer",
     "Message",
     "DataMessage",
     "ControlMessage",

@@ -11,17 +11,27 @@ that contains a would-be success).  :class:`ReactiveJammer` and
 :class:`PeriodicJammer` are extensions used by the robustness benchmarks:
 the former jams only slots carrying a message matching a predicate, the
 latter jams on a fixed schedule regardless of content.
+
+The *budget-bounded* adversaries model the energy-constrained jammers of
+the related work tracked in PAPERS.md (Bender et al.'s resource-bounded
+setting): :class:`BudgetJammer` may corrupt at most a fixed total number
+of slots, :class:`WindowedRateJammer` is rate-limited per window, and
+:class:`BurstJammer` alternates deterministic on/off bursts.  Budgeted
+jammers carry per-run counters; the engine calls :meth:`Jammer.reset`
+once at the start of every simulation so one jammer object can be reused
+across seeds without leaking spent budget between runs.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.channel.messages import Message
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, PaperGuaranteeWarning
 
 __all__ = [
     "Jammer",
@@ -29,6 +39,9 @@ __all__ = [
     "StochasticJammer",
     "ReactiveJammer",
     "PeriodicJammer",
+    "BudgetJammer",
+    "BurstJammer",
+    "WindowedRateJammer",
 ]
 
 
@@ -51,6 +64,15 @@ class Jammer(abc.ABC):
         rng: np.random.Generator,
     ) -> bool:
         """Return True to jam the slot (its feedback becomes NOISE)."""
+
+    def reset(self) -> None:
+        """Restore per-run state before a simulation starts.
+
+        Stateless jammers (the default) do nothing.  Budgeted jammers
+        restore their counters here so a single jammer object produces
+        identical behavior for every seed of a sweep, and so content
+        digests of a used jammer match those of a fresh one.
+        """
 
 
 class NoJammer(Jammer):
@@ -96,6 +118,16 @@ class StochasticJammer(Jammer):
     def __init__(self, p_jam: float, *, jam_silence: bool = False) -> None:
         if not 0.0 <= p_jam <= 1.0:
             raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+        if p_jam > 0.5:
+            warnings.warn(
+                PaperGuaranteeWarning(
+                    f"StochasticJammer(p_jam={p_jam}) exceeds the p_jam <= 1/2 "
+                    "threshold of Theorem 14; ALIGNED's whp success guarantee "
+                    "no longer applies (legal, but you are charting the "
+                    "breakdown regime)"
+                ),
+                stacklevel=2,
+            )
         self.p_jam = float(p_jam)
         self.jam_silence = bool(jam_silence)
 
@@ -168,3 +200,141 @@ class PeriodicJammer(Jammer):
         rng: np.random.Generator,
     ) -> bool:
         return (slot % self.period) in self.offsets
+
+
+class BudgetJammer(Jammer):
+    """An adaptive adversary with a total jamming budget.
+
+    Spends its budget greedily on would-be successes (the worst-case
+    strategy for the protocols: jamming silence or collisions changes
+    nothing), each attempt succeeding with probability ``p_jam``, until
+    ``budget`` slots have been corrupted.  A failed attempt costs
+    nothing — the budget counts *corrupted slots*, matching the
+    energy-bounded adversaries of the related work.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of slots this jammer may corrupt per run.
+    p_jam:
+        Per-attempt success probability (1.0 = every attempt lands).
+    """
+
+    def __init__(self, budget: int, p_jam: float = 1.0) -> None:
+        if budget < 0:
+            raise InvalidParameterError(f"budget must be >= 0, got {budget}")
+        if not 0.0 <= p_jam <= 1.0:
+            raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+        self.budget = int(budget)
+        self.p_jam = float(p_jam)
+        self.remaining = int(budget)
+
+    def reset(self) -> None:
+        self.remaining = self.budget
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        if self.remaining <= 0 or n_transmitters != 1:
+            return False
+        if self.p_jam < 1.0 and not rng.random() < self.p_jam:
+            return False
+        self.remaining -= 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BudgetJammer(budget={self.budget}, p_jam={self.p_jam})"
+
+
+class BurstJammer(Jammer):
+    """Deterministic on/off interference: jam ``burst`` slots, rest ``gap``.
+
+    Every slot ``t`` with ``(t - start) % (burst + gap) < burst`` (and
+    ``t >= start``) is corrupted regardless of content — a model of
+    duty-cycled interference (radar sweeps, periodic co-channel bursts)
+    that stresses protocols whose schedules can resonate with the burst
+    period.
+    """
+
+    def __init__(self, burst: int, gap: int, *, start: int = 0) -> None:
+        if burst <= 0:
+            raise InvalidParameterError(f"burst must be positive, got {burst}")
+        if gap < 0:
+            raise InvalidParameterError(f"gap must be >= 0, got {gap}")
+        if start < 0:
+            raise InvalidParameterError(f"start must be >= 0, got {start}")
+        self.burst = int(burst)
+        self.gap = int(gap)
+        self.start = int(start)
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        if slot < self.start:
+            return False
+        return (slot - self.start) % (self.burst + self.gap) < self.burst
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"BurstJammer(burst={self.burst}, gap={self.gap}, "
+            f"start={self.start})"
+        )
+
+
+class WindowedRateJammer(Jammer):
+    """An adaptive adversary rate-limited per window of slots.
+
+    May corrupt at most ``max_jams`` slots in every aligned window of
+    ``window`` slots (slots ``[k*window, (k+1)*window)``), and — like
+    :class:`BudgetJammer` — spends them greedily on would-be successes.
+    With ``max_jams/window = 1/2`` this is a budgeted analogue of the
+    ``p_jam = 1/2`` threshold adversary.
+    """
+
+    def __init__(self, window: int, max_jams: int) -> None:
+        if window <= 0:
+            raise InvalidParameterError(f"window must be positive, got {window}")
+        if max_jams < 0:
+            raise InvalidParameterError(
+                f"max_jams must be >= 0, got {max_jams}"
+            )
+        self.window = int(window)
+        self.max_jams = int(max_jams)
+        self.used = 0
+        self.window_index = -1
+
+    def reset(self) -> None:
+        self.used = 0
+        self.window_index = -1
+
+    def attempt(
+        self,
+        slot: int,
+        n_transmitters: int,
+        message: Optional[Message],
+        rng: np.random.Generator,
+    ) -> bool:
+        if n_transmitters != 1 or self.max_jams == 0:
+            return False
+        k = slot // self.window
+        if k != self.window_index:
+            self.window_index = k
+            self.used = 0
+        if self.used >= self.max_jams:
+            return False
+        self.used += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"WindowedRateJammer(window={self.window}, "
+            f"max_jams={self.max_jams})"
+        )

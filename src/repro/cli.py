@@ -117,6 +117,26 @@ def _jammer(args):
     return StochasticJammer(args.jam) if args.jam > 0 else NoJammer()
 
 
+def _fault_plan(args):
+    """Parse ``--fault FAMILY:SEVERITY`` into a FaultPlan (or None)."""
+    spec = getattr(args, "fault", "")
+    if not spec:
+        return None
+    from repro.experiments.robustness import fault_plan
+
+    family, sep, severity = spec.partition(":")
+    if not sep:
+        raise SystemExit(
+            f"--fault expects FAMILY:SEVERITY (e.g. jam:0.5), got {spec!r}"
+        )
+    try:
+        sev = float(severity)
+    except ValueError:
+        raise SystemExit(f"--fault severity must be a number, got {severity!r}")
+    plan = fault_plan(family.strip(), sev)
+    return None if plan.is_noop else plan
+
+
 def _cache_knob(args):
     """Map the ``--cache`` flag onto the library's cache knob."""
     value = getattr(args, "cache", "")
@@ -158,13 +178,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"protocol {args.protocol!r} unavailable for this workload "
             f"(choices: {sorted(factories)})"
         )
+    faults = _fault_plan(args)
+    jammer = _jammer(args)
+    if faults is not None and faults.jammer is not None:
+        if args.jam > 0:
+            raise SystemExit(
+                "--jam conflicts with a --fault family that carries its "
+                "own adversary; pick one"
+            )
+        jammer = None
     result = simulate(
         instance,
         factories[args.protocol],
-        jammer=_jammer(args),
+        jammer=jammer,
         seed=args.seed,
         trace=args.trace or bool(args.export_trace),
+        faults=faults,
+        invariants=args.check_invariants,
     )
+    if faults is not None:
+        print(f"faults: {faults.describe()}")
     print(result.summary())
     if args.trace and result.trace is not None:
         print(f"utilization: {result.trace.utilization():.3f}")
@@ -240,6 +273,79 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"workload: {instance.summary()}",
         )
     )
+    return 0
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    """Sweep fault severity per family; print degradation profiles."""
+    from repro.experiments.robustness import (
+        FAULT_FAMILIES,
+        JAM_THRESHOLD,
+        run_robustness,
+    )
+
+    if args.smoke:
+        # CI chaos smoke: ALIGNED + UNIFORM under a rate-limited
+        # adaptive adversary, invariant checker on, a clean baseline
+        # column to gate on.  Tuned to finish in well under 30 seconds.
+        args.workload = "single-class"
+        args.n = 10
+        args.level = 9
+        args.protocols = "aligned,uniform"
+        args.families = "rate"
+        args.severities = "0,0.5"
+        args.seeds = 3
+
+    instance = _build_workload(args)
+    factories = _protocol_factories(args, instance)
+    names = [n.strip() for n in args.protocols.split(",") if n.strip()]
+    for name in names:
+        if name not in factories:
+            raise SystemExit(
+                f"protocol {name!r} unavailable for this workload "
+                f"(choices: {sorted(factories)})"
+            )
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    for fam in families:
+        if fam not in FAULT_FAMILIES:
+            raise SystemExit(
+                f"unknown fault family {fam!r} "
+                f"(choices: {sorted(FAULT_FAMILIES)})"
+            )
+    severities = [float(tok) for tok in args.severities.split(",")]
+
+    state = _args_state(args)
+    build = functools.partial(_build_workload_from_state, state)
+    protocols = {
+        name: functools.partial(_protocol_from_state, state, name)
+        for name in names
+    }
+    report = run_robustness(
+        build,
+        protocols,
+        families=families,
+        severities=severities,
+        seeds=args.seeds,
+        check_invariants=not args.no_invariants,
+        processes=args.processes,
+        cache=_cache_knob(args),
+        retries=args.retries,
+    )
+    print(report.render())
+    if any(s == JAM_THRESHOLD for s in severities) and "jam" in families:
+        print(
+            f"\nseverity {JAM_THRESHOLD} of family 'jam' is the exact "
+            "p_jam <= 1/2 boundary of Theorem 14."
+        )
+    if args.smoke:
+        # Gate the smoke on the clean baseline: a run that cannot
+        # deliver everything on an unjammed channel is broken, and any
+        # invariant violation has already raised.
+        clean = report.point("rate", "aligned", 0.0)
+        if clean.success.point < 1.0:
+            print("SMOKE FAILURE: clean ALIGNED baseline below 1.0")
+            return 1
+        print("chaos smoke passed (invariants held on every run)")
     return 0
 
 
@@ -363,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--protocol", default="punctual",
                      choices=["punctual", "aligned", "trimmed", "uniform",
                               "beb", "sawtooth", "aloha", "urgency", "edf"])
+    sim.add_argument("--fault", default="", metavar="FAMILY:SEVERITY",
+                     help="inject a fault family at a severity in [0, 1], "
+                          "e.g. jam:0.5, clock:0.25, jobs:0.4")
+    sim.add_argument("--check-invariants", action="store_true",
+                     help="audit every slot with the runtime invariant "
+                          "checker (violations raise)")
     sim.add_argument("--trace", action="store_true")
     sim.add_argument("--require-success", type=float, default=0.0,
                      help="exit nonzero if the success rate is below this")
@@ -392,6 +504,30 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--seeds", type=int, default=3)
     _add_perf_flags(cmp_)
     cmp_.set_defaults(func=cmd_compare)
+
+    rob = sub.add_parser(
+        "robustness",
+        help="sweep fault severity per family; print degradation profiles",
+    )
+    add_common(rob)
+    rob.add_argument("--protocols", default="uniform,aligned,punctual",
+                     help="comma-separated protocol names to profile")
+    rob.add_argument("--families", default="jam,rate,feedback,clock,jobs",
+                     help="comma-separated fault families "
+                          "(jam, rate, burst, feedback, clock, jobs)")
+    rob.add_argument("--severities", default="0,0.1,0.25,0.5,0.75",
+                     help="comma-separated severity ladder in [0, 1]; "
+                          "0.5 lands on the Theorem-14 jamming boundary")
+    rob.add_argument("--seeds", type=int, default=5)
+    rob.add_argument("--retries", type=int, default=0,
+                     help="transient-failure retries per cell")
+    rob.add_argument("--no-invariants", action="store_true",
+                     help="skip the runtime invariant checker")
+    rob.add_argument("--smoke", action="store_true",
+                     help="fast CI chaos smoke: ALIGNED under a budgeted "
+                          "adversary with the invariant checker on")
+    _add_perf_flags(rob)
+    rob.set_defaults(func=cmd_robustness)
 
     feas = sub.add_parser("feasibility", help="report a workload's slack")
     add_common(feas)

@@ -35,3 +35,25 @@ class ProtocolViolationError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an internal inconsistency."""
+
+
+class InvariantViolationError(SimulationError):
+    """A runtime invariant of the simulation was violated.
+
+    Raised by :class:`repro.sim.invariants.InvariantChecker` when a run
+    breaks one of the model's ground rules (a success outside a job's
+    window, a duplicate delivery, non-monotone protocol state, or
+    contention bookkeeping inconsistent with Lemma 2).  Indicates a bug
+    in a protocol or the engine — never a property of the workload.
+    """
+
+
+class PaperGuaranteeWarning(UserWarning):
+    """A configuration leaves the regime covered by the paper's analysis.
+
+    Emitted (not raised) when parameters are legal for experimentation
+    but void a stated guarantee — e.g. a jamming probability above the
+    ``p_jam <= 1/2`` threshold that Theorem 14's whp bound for ALIGNED
+    requires.  Filter with ``warnings.simplefilter`` if the breakdown
+    regime is being charted deliberately.
+    """

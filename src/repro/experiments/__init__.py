@@ -18,11 +18,23 @@ from repro.experiments.parallel import (
     compute_chunksize,
     run_seeds,
 )
+from repro.experiments.robustness import (
+    FAULT_FAMILIES,
+    ProfilePoint,
+    RobustnessReport,
+    fault_plan,
+    run_robustness,
+)
 from repro.experiments.sweep import Sweep, SweepPoint
 
 __all__ = [
     "ProtocolComparison",
     "compare_protocols",
+    "FAULT_FAMILIES",
+    "ProfilePoint",
+    "RobustnessReport",
+    "fault_plan",
+    "run_robustness",
     "Sweep",
     "SweepPoint",
     "BoundBuilder",

@@ -31,10 +31,13 @@ parallelizing the outer loop):
 
 from __future__ import annotations
 
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -45,11 +48,14 @@ from typing import (
     Union,
 )
 
-from repro.cache import ResultCache, as_cache, run_key
+from repro.cache import ResultCache, as_cache, run_key, stable_digest
 from repro.channel.jamming import Jammer
 from repro.errors import ReproError
 from repro.sim.engine import ProtocolFactory, simulate
 from repro.sim.instance import Instance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 __all__ = [
     "BoundBuilder",
@@ -76,16 +82,42 @@ ProgressCallback = Callable[[int, int], None]
 class SeedExecutionError(ReproError):
     """A worker failed while simulating one seed.
 
-    Carries the failing seed plus the worker-side traceback, so a crash
-    in a thousand-seed sweep points at the one reproducible input.
+    Carries the failing seed plus the worker-side traceback — and, when
+    the caller can supply them, the protocol's name and the content
+    digest of the instance that was being simulated — so a crash in a
+    thousand-seed sweep points at the one reproducible input instead of
+    an anonymous traceback.
     """
 
-    def __init__(self, seed: int, worker_traceback: str) -> None:
+    def __init__(
+        self,
+        seed: int,
+        worker_traceback: str,
+        *,
+        protocol: Optional[str] = None,
+        instance_digest: Optional[str] = None,
+    ) -> None:
+        context = [f"seed {seed}"]
+        if protocol is not None:
+            context.append(f"protocol {protocol}")
+        if instance_digest is not None:
+            context.append(f"instance {instance_digest[:12]}")
         super().__init__(
-            f"seed {seed} failed in a worker:\n{worker_traceback}"
+            f"{', '.join(context)} failed in a worker:\n{worker_traceback}"
         )
         self.seed = seed
         self.worker_traceback = worker_traceback
+        self.protocol = protocol
+        self.instance_digest = instance_digest
+
+
+def _protocol_label(protocol: FactoryBuilder) -> str:
+    """A short human-readable name for a protocol builder."""
+    name = getattr(protocol, "__qualname__", None)
+    if name:
+        module = getattr(protocol, "__module__", "")
+        return f"{module}.{name}" if module else name
+    return repr(protocol)
 
 
 @dataclass(frozen=True)
@@ -96,6 +128,8 @@ class ParallelJob:
     protocol: FactoryBuilder
     seed: int
     jammer: Optional[Jammer] = None
+    faults: Optional["FaultPlan"] = None
+    check_invariants: bool = False
 
 
 @dataclass(frozen=True)
@@ -182,7 +216,12 @@ def compute_chunksize(n_tasks: int, processes: int) -> int:
 def _run_one(job: ParallelJob) -> SeedDigest:
     instance = job.build()
     result = simulate(
-        instance, job.protocol(instance), jammer=job.jammer, seed=job.seed
+        instance,
+        job.protocol(instance),
+        jammer=job.jammer,
+        seed=job.seed,
+        faults=job.faults,
+        invariants=job.check_invariants,
     )
     return SeedDigest(
         seed=job.seed,
@@ -210,16 +249,28 @@ def _check(result: Union[SeedDigest, _WorkerFailure]) -> SeedDigest:
     return result
 
 
+def _instance_digest_of(job: ParallelJob) -> Optional[str]:
+    """Content digest of the failing job's instance (best effort)."""
+    try:
+        return stable_digest(job.build())
+    except Exception:
+        return None  # the build itself may be what failed
+
+
 def run_seeds(
     build: InstanceBuilder,
     protocol: FactoryBuilder,
     seeds: Sequence[int],
     *,
     jammer: Optional[Jammer] = None,
+    faults: Optional["FaultPlan"] = None,
+    check_invariants: bool = False,
     processes: int = 1,
     cache: Union[None, bool, str, ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
     chunksize: Optional[int] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.25,
 ) -> List[SeedDigest]:
     """Run every seed, optionally across a process pool and a cache.
 
@@ -230,6 +281,14 @@ def run_seeds(
 
     Parameters
     ----------
+    jammer, faults:
+        Optional channel adversary / :class:`repro.faults.FaultPlan`
+        applied to every run.  Both are folded into cache keys.
+    check_invariants:
+        Run every simulation under
+        :class:`repro.sim.invariants.InvariantChecker`.  Does not change
+        results (a violation raises instead), so it does not change
+        cache keys.
     processes:
         Worker count; ``1`` runs inline in this process.
     cache:
@@ -240,33 +299,48 @@ def run_seeds(
         (cache hits report immediately, before workers start).
     chunksize:
         Tasks per IPC message; computed from the seed count when omitted.
+    retries:
+        How many times to re-run seeds that failed (with exponential
+        backoff ``retry_backoff * 2**attempt`` between rounds).  Only
+        the failed seeds are retried — completed work is kept — so a
+        transient fault (a worker OOM-killed, a broken process pool)
+        costs one backoff, not the whole batch.  Deterministic failures
+        still fail after exhausting retries, raising
+        :class:`SeedExecutionError` with the protocol name and instance
+        digest attached.
     """
     seeds = list(seeds)
     total = len(seeds)
     cache_obj = as_cache(cache)
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
 
     results: Dict[int, SeedDigest] = {}  # position -> digest
     pending: List[Tuple[int, ParallelJob, Optional[str]]] = []
+
+    def job_for(seed: int) -> ParallelJob:
+        return ParallelJob(
+            build, protocol, seed, jammer, faults, check_invariants
+        )
 
     if cache_obj is not None:
         # Content address each seed; only misses become worker tasks.
         instance = build()
         for pos, s in enumerate(seeds):
             key = run_key(
-                instance=instance, protocol=protocol, jammer=jammer, seed=s
+                instance=instance,
+                protocol=protocol,
+                jammer=jammer,
+                seed=s,
+                faults=faults,
             )
             hit = cache_obj.get(key)
             if isinstance(hit, SeedDigest) and hit.seed == s:
                 results[pos] = hit
             else:
-                pending.append(
-                    (pos, ParallelJob(build, protocol, s, jammer), key)
-                )
+                pending.append((pos, job_for(s), key))
     else:
-        pending = [
-            (pos, ParallelJob(build, protocol, s, jammer), None)
-            for pos, s in enumerate(seeds)
-        ]
+        pending = [(pos, job_for(s), None) for pos, s in enumerate(seeds)]
 
     done = len(results)
     if progress is not None and done:
@@ -281,10 +355,18 @@ def run_seeds(
         if progress is not None:
             progress(done, total)
 
-    if pending:
+    attempt = 0
+    while pending:
+        failures: List[
+            Tuple[int, ParallelJob, Optional[str], _WorkerFailure]
+        ] = []
         if processes <= 1:
             for pos, job, key in pending:
-                finish(pos, key, _check(_run_one_safe(job)))
+                result = _run_one_safe(job)
+                if isinstance(result, _WorkerFailure):
+                    failures.append((pos, job, key, result))
+                else:
+                    finish(pos, key, result)
         else:
             n_chunk = (
                 chunksize
@@ -292,14 +374,54 @@ def run_seeds(
                 else compute_chunksize(len(pending), processes)
             )
             jobs = [job for _, job, _ in pending]
-            with ProcessPoolExecutor(max_workers=processes) as pool:
-                # pool.map streams results back in submission order as
-                # chunks complete; pairing by position keeps bookkeeping
-                # exact even with cache hits interleaved.
-                for (pos, _, key), result in zip(
-                    pending, pool.map(_run_one_safe, jobs, chunksize=n_chunk)
-                ):
-                    finish(pos, key, _check(result))
+            try:
+                with ProcessPoolExecutor(max_workers=processes) as pool:
+                    # pool.map streams results back in submission order
+                    # as chunks complete; pairing by position keeps
+                    # bookkeeping exact even with cache hits interleaved.
+                    for (pos, job, key), result in zip(
+                        pending,
+                        pool.map(_run_one_safe, jobs, chunksize=n_chunk),
+                    ):
+                        if isinstance(result, _WorkerFailure):
+                            failures.append((pos, job, key, result))
+                        else:
+                            finish(pos, key, result)
+            except BrokenProcessPool:
+                # A worker died hard (signal/OOM): every task whose
+                # result did not come back is unaccounted for — retry
+                # them all.
+                taken = {f[0] for f in failures}
+                failures.extend(
+                    (
+                        pos,
+                        job,
+                        key,
+                        _WorkerFailure(
+                            seed=job.seed,
+                            formatted=(
+                                "process pool broke before this seed's "
+                                "result was received (worker died)"
+                            ),
+                        ),
+                    )
+                    for pos, job, key in pending
+                    if pos not in results and pos not in taken
+                )
+        if not failures:
+            break
+        if attempt >= retries:
+            pos, job, key, failure = failures[0]
+            raise SeedExecutionError(
+                failure.seed,
+                failure.formatted,
+                protocol=_protocol_label(protocol),
+                instance_digest=_instance_digest_of(job),
+            )
+        attempt += 1
+        if retry_backoff > 0:
+            time.sleep(retry_backoff * (2 ** (attempt - 1)))
+        pending = [(pos, job, key) for pos, job, key, _ in failures]
 
     return [results[pos] for pos in range(total)]
 

@@ -1,0 +1,323 @@
+"""Degradation profiles: protocol success under escalating fault severity.
+
+The paper's claims are robustness claims — ALIGNED keeps its whp
+guarantee against a stochastic adversary up to ``p_jam = 1/2``
+(Theorem 14), PUNCTUAL assumes no global clock at all — so the natural
+experiment is a *degradation profile*: fix a workload, escalate one
+fault family through a severity ladder, and chart each protocol's
+success rate and latency as the channel gets nastier.  This module
+packages that experiment: :data:`FAULT_FAMILIES` maps a family name to a
+``severity -> FaultPlan`` builder, :func:`run_robustness` runs the full
+``family x protocol x severity`` grid through
+:func:`repro.experiments.parallel.run_seeds` (inheriting caching,
+multi-process execution, retries, and the runtime invariant checker),
+and :class:`RobustnessReport` renders one table per family with the
+``p_jam = 1/2`` threshold row flagged.
+
+Severity is a single float in ``[0, 1]`` for every family, so profiles
+are comparable across families:
+
+* ``jam``: the paper's adversary, ``p_jam = severity``;
+* ``rate``: a rate-limited adaptive adversary corrupting at most
+  ``severity`` of every 64-slot window (the budgeted analogue of
+  ``p_jam = severity``);
+* ``burst``: duty-cycled deterministic interference jamming a
+  ``severity`` fraction of each 64-slot period in one burst;
+* ``feedback``: per-listener feedback corruption (SILENCE<->NOISE flips
+  at ``severity/2``, success erasure at ``severity/4``);
+* ``clock``: per-job skew up to ``64 * severity`` slots and drift up to
+  ``0.2 * severity``;
+* ``jobs``: late releases (probability ``severity``, delay up to 256
+  slots) and crash-before-deadline (probability ``severity/2``).
+
+Severity 0 is always the empty plan, so every profile starts from the
+clean baseline measured through exactly the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.stats import ProportionEstimate, estimate_proportion
+from repro.analysis.tables import format_table
+from repro.cache import ResultCache
+from repro.channel.jamming import (
+    BurstJammer,
+    StochasticJammer,
+    WindowedRateJammer,
+)
+from repro.errors import InvalidParameterError
+from repro.experiments.parallel import (
+    FactoryBuilder,
+    InstanceBuilder,
+    run_seeds,
+)
+from repro.faults import ClockFault, FaultPlan, FeedbackFault, JobFault
+
+__all__ = [
+    "FAULT_FAMILIES",
+    "JAM_THRESHOLD",
+    "ProfilePoint",
+    "RobustnessReport",
+    "fault_plan",
+    "run_robustness",
+]
+
+#: Theorem 14's jamming threshold: guarantees hold for p_jam <= 1/2.
+JAM_THRESHOLD = 0.5
+
+#: Reference window for the rate/burst adversaries' duty cycles.
+_ADVERSARY_WINDOW = 64
+
+
+def _jam(severity: float) -> FaultPlan:
+    return FaultPlan(jammer=StochasticJammer(severity))
+
+
+def _rate(severity: float) -> FaultPlan:
+    return FaultPlan(
+        jammer=WindowedRateJammer(
+            _ADVERSARY_WINDOW, round(severity * _ADVERSARY_WINDOW)
+        )
+    )
+
+
+def _burst(severity: float) -> FaultPlan:
+    burst = max(1, round(severity * _ADVERSARY_WINDOW))
+    return FaultPlan(
+        jammer=BurstJammer(burst, max(_ADVERSARY_WINDOW - burst, 0))
+    )
+
+
+def _feedback(severity: float) -> FaultPlan:
+    return FaultPlan(
+        feedback=FeedbackFault(
+            p_silence_to_noise=severity / 2,
+            p_noise_to_silence=severity / 2,
+            p_success_erasure=severity / 4,
+        )
+    )
+
+
+def _clock(severity: float) -> FaultPlan:
+    return FaultPlan(
+        clock=ClockFault(
+            max_skew=round(64 * severity), drift=0.2 * severity
+        )
+    )
+
+
+def _jobs(severity: float) -> FaultPlan:
+    return FaultPlan(
+        jobs=JobFault(
+            p_late=min(severity, 1.0), max_delay=256, p_crash=severity / 2
+        )
+    )
+
+
+#: name -> ``severity -> FaultPlan`` (severity in [0, 1]; 0 = clean).
+FAULT_FAMILIES: Dict[str, Callable[[float], FaultPlan]] = {
+    "jam": _jam,
+    "rate": _rate,
+    "burst": _burst,
+    "feedback": _feedback,
+    "clock": _clock,
+    "jobs": _jobs,
+}
+
+
+def fault_plan(family: str, severity: float) -> FaultPlan:
+    """The :class:`FaultPlan` for one family at one severity.
+
+    ``severity <= 0`` always yields the empty plan, so profiles share a
+    common clean baseline.
+    """
+    if family not in FAULT_FAMILIES:
+        raise InvalidParameterError(
+            f"unknown fault family {family!r} "
+            f"(choices: {sorted(FAULT_FAMILIES)})"
+        )
+    if not 0.0 <= severity <= 1.0:
+        raise InvalidParameterError(
+            f"severity must be in [0, 1], got {severity}"
+        )
+    if severity <= 0.0:
+        return FaultPlan()
+    return FAULT_FAMILIES[family](severity)
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One cell of a degradation profile."""
+
+    family: str
+    protocol: str
+    severity: float
+    success: ProportionEstimate
+    mean_latency: float
+    n_runs: int
+
+    @property
+    def at_threshold(self) -> bool:
+        """True on the Theorem-14 boundary row of the ``jam`` family."""
+        return self.family == "jam" and self.severity == JAM_THRESHOLD
+
+
+@dataclass
+class RobustnessReport:
+    """A full ``family x protocol x severity`` degradation profile."""
+
+    points: List[ProfilePoint]
+
+    def families(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.family)
+        return list(seen)
+
+    def protocols(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.protocol)
+        return list(seen)
+
+    def point(
+        self, family: str, protocol: str, severity: float
+    ) -> ProfilePoint:
+        for p in self.points:
+            if (
+                p.family == family
+                and p.protocol == protocol
+                and p.severity == severity
+            ):
+                return p
+        raise KeyError((family, protocol, severity))
+
+    def table(self, family: str) -> str:
+        """One table per family: severity rows, one column per protocol.
+
+        The ``jam`` family's ``p_jam = 1/2`` row — the exact boundary of
+        Theorem 14's guarantee — is flagged, so the eye lands on where
+        the paper stops promising anything.
+        """
+        protos = self.protocols()
+        severities: Dict[float, Dict[str, ProfilePoint]] = {}
+        for p in self.points:
+            if p.family == family:
+                severities.setdefault(p.severity, {})[p.protocol] = p
+        rows = []
+        for sev in sorted(severities):
+            row: List[Any] = [sev]
+            for name in protos:
+                cell = severities[sev].get(name)
+                row.append("-" if cell is None else round(cell.success.point, 4))
+            note = ""
+            if family == "jam" and sev == JAM_THRESHOLD:
+                note = "<- p_jam = 1/2 (Thm 14 boundary)"
+            elif family == "jam" and sev > JAM_THRESHOLD:
+                note = "beyond paper guarantee"
+            row.append(note)
+            rows.append(row)
+        return format_table(
+            ["severity"] + protos + [""],
+            rows,
+            title=f"fault family: {family}",
+        )
+
+    def render(self) -> str:
+        """Every family's table, separated by blank lines."""
+        return "\n\n".join(self.table(f) for f in self.families())
+
+
+def run_robustness(
+    build: InstanceBuilder,
+    protocols: Mapping[str, FactoryBuilder],
+    *,
+    families: Optional[Sequence[str]] = None,
+    severities: Sequence[float] = (0.0, 0.1, 0.25, 0.5, 0.75),
+    seeds: int = 5,
+    seed_base: int = 0,
+    check_invariants: bool = True,
+    processes: int = 1,
+    cache: Union[None, bool, str, ResultCache] = None,
+    retries: int = 0,
+    progress: Optional[Callable[[str, str, float], None]] = None,
+) -> RobustnessReport:
+    """Chart every protocol's degradation across fault families.
+
+    Parameters
+    ----------
+    build:
+        Zero-argument workload builder (picklable for ``processes > 1``).
+    protocols:
+        ``name -> protocol builder`` (each builder maps an instance to a
+        protocol factory, exactly as in :func:`run_seeds`).
+    families:
+        Fault family names (default: all of :data:`FAULT_FAMILIES`).
+    severities:
+        The severity ladder, each in ``[0, 1]``.  Include 0 for a clean
+        baseline and 0.5 to land exactly on the Theorem-14 boundary of
+        the ``jam`` family.
+    check_invariants:
+        Audit every run with the runtime invariant checker (on by
+        default: a fault that corrupts engine bookkeeping should fail
+        loudly here, not skew a curve silently).
+    progress:
+        Called as ``progress(family, protocol, severity)`` before each
+        cell runs.
+
+    Remaining knobs (``processes``, ``cache``, ``retries``) pass through
+    to :func:`run_seeds` per cell.
+    """
+    chosen = list(families) if families is not None else list(FAULT_FAMILIES)
+    for f in chosen:
+        if f not in FAULT_FAMILIES:
+            raise InvalidParameterError(
+                f"unknown fault family {f!r} "
+                f"(choices: {sorted(FAULT_FAMILIES)})"
+            )
+    seed_list = [seed_base + s for s in range(seeds)]
+    points: List[ProfilePoint] = []
+    for family in chosen:
+        for name, protocol in protocols.items():
+            for severity in severities:
+                if progress is not None:
+                    progress(family, name, severity)
+                plan = fault_plan(family, severity)
+                digests = run_seeds(
+                    build,
+                    protocol,
+                    seeds=seed_list,
+                    faults=None if plan.is_noop else plan,
+                    check_invariants=check_invariants,
+                    processes=processes,
+                    cache=cache,
+                    retries=retries,
+                )
+                ok = sum(d.n_succeeded for d in digests)
+                total = sum(d.n_jobs for d in digests)
+                latency_sum = sum(d.latency_sum for d in digests)
+                points.append(
+                    ProfilePoint(
+                        family=family,
+                        protocol=name,
+                        severity=float(severity),
+                        success=estimate_proportion(ok, max(total, 1)),
+                        mean_latency=(
+                            latency_sum / ok if ok else float("nan")
+                        ),
+                        n_runs=len(digests),
+                    )
+                )
+    return RobustnessReport(points)

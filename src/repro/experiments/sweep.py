@@ -33,9 +33,12 @@ Example
 from __future__ import annotations
 
 import itertools
+import json
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -49,11 +52,14 @@ from typing import (
 
 from repro.analysis.stats import ProportionEstimate, estimate_proportion
 from repro.analysis.tables import format_table
-from repro.cache import ResultCache
+from repro.cache import ResultCache, stable_digest
 from repro.channel.jamming import Jammer
 from repro.experiments.parallel import BoundBuilder, run_seeds
 from repro.sim.engine import ProtocolFactory
 from repro.sim.instance import Instance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultPlan
 
 __all__ = ["SweepPoint", "Sweep"]
 
@@ -87,6 +93,38 @@ class SweepPoint:
             self.mean_latency,
         ]
 
+    # -- checkpoint serialization (JSON round trip) ------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable dict; inverse of :meth:`from_json`."""
+        est = lambda e: [e.successes, e.trials, e.low, e.high]
+        return {
+            "params": self.params,
+            "n_jobs": self.n_jobs,
+            "n_succeeded": self.n_succeeded,
+            "n_runs": self.n_runs,
+            "success": est(self.success),
+            "by_window": {str(w): est(e) for w, e in self.by_window.items()},
+            "mean_latency": self.mean_latency,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SweepPoint":
+        est = lambda v: ProportionEstimate(
+            int(v[0]), int(v[1]), float(v[2]), float(v[3])
+        )
+        return cls(
+            params=dict(data["params"]),
+            n_jobs=int(data["n_jobs"]),
+            n_succeeded=int(data["n_succeeded"]),
+            n_runs=int(data["n_runs"]),
+            success=est(data["success"]),
+            by_window={int(w): est(v) for w, v in data["by_window"].items()},
+            mean_latency=float(data["mean_latency"]),
+            wall_seconds=float(data["wall_seconds"]),
+        )
+
 
 class Sweep:
     """Run a protocol over a parameter grid with seed replication.
@@ -110,6 +148,22 @@ class Sweep:
     cache:
         Result-cache knob (see :func:`repro.cache.as_cache`); cached
         seeds skip simulation entirely.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` applied to every run
+        (folded into cache keys and checkpoint keys).
+    check_invariants:
+        Run every simulation under the runtime invariant checker.
+    retries:
+        Per-point transient-failure retries (see
+        :func:`repro.experiments.parallel.run_seeds`).
+    checkpoint:
+        Path to a JSONL checkpoint file.  Every completed grid point is
+        appended as one line, keyed by a content digest of the sweep
+        configuration plus the point's parameters; a re-run of the same
+        sweep skips points already on disk (a truncated final line from
+        a killed run is ignored and recomputed).  Combine with
+        ``cache=`` so even the recomputed point replays its finished
+        seeds from cache.
     """
 
     def __init__(
@@ -122,6 +176,10 @@ class Sweep:
         seed_base: int = 0,
         processes: int = 1,
         cache: Union[None, bool, str, ResultCache] = None,
+        faults: Optional["FaultPlan"] = None,
+        check_invariants: bool = False,
+        retries: int = 0,
+        checkpoint: Union[None, str, Path] = None,
     ) -> None:
         if seeds < 1:
             raise ValueError("seeds must be >= 1")
@@ -132,6 +190,10 @@ class Sweep:
         self.seed_base = seed_base
         self.processes = processes
         self.cache = cache
+        self.faults = faults
+        self.check_invariants = check_invariants
+        self.retries = retries
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
 
     def run_point(self, **params: Any) -> SweepPoint:
         """Run one grid point; aggregates across seeds."""
@@ -145,8 +207,11 @@ class Sweep:
             self.protocol,
             seeds=[self.seed_base + s for s in range(self.seeds)],
             jammer=self.jammer,
+            faults=self.faults,
+            check_invariants=self.check_invariants,
             processes=self.processes,
             cache=self.cache,
+            retries=self.retries,
         )
         ok = sum(d.n_succeeded for d in digests)
         total = sum(d.n_jobs for d in digests)
@@ -173,12 +238,84 @@ class Sweep:
             wall_seconds=time.perf_counter() - t0,
         )
 
+    def _point_key(self, params: Mapping[str, Any]) -> str:
+        """Checkpoint key: sweep configuration + grid point content."""
+        for obj in (self.jammer, self.faults):
+            reset = getattr(obj, "reset", None)
+            if callable(reset):
+                reset()  # canonicalize stateful jammers before digesting
+        return stable_digest(
+            (
+                "sweep-point",
+                self.build,
+                self.protocol,
+                self.seeds,
+                self.seed_base,
+                self.jammer,
+                self.faults,
+                tuple(sorted(params.items(), key=lambda kv: kv[0])),
+            )
+        )
+
+    def _load_checkpoint(self) -> Dict[str, SweepPoint]:
+        """Completed points from the checkpoint file (corrupt tail skipped)."""
+        done: Dict[str, SweepPoint] = {}
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return done
+        for line in self.checkpoint.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                done[record["key"]] = SweepPoint.from_json(record["point"])
+            except Exception:
+                # A killed run can leave a truncated final line; the
+                # point is simply recomputed (its cached seeds still hit).
+                continue
+        return done
+
+    def _append_checkpoint(self, key: str, point: SweepPoint) -> None:
+        assert self.checkpoint is not None
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        # A killed run can leave a truncated final line with no newline;
+        # appending straight after it would corrupt this record too.
+        needs_newline = (
+            self.checkpoint.exists()
+            and self.checkpoint.stat().st_size > 0
+            and not self.checkpoint.read_bytes().endswith(b"\n")
+        )
+        with open(self.checkpoint, "a") as f:
+            if needs_newline:
+                f.write("\n")
+            f.write(json.dumps({"key": key, "point": point.to_json()}) + "\n")
+            f.flush()
+
     def run(self, grid: Mapping[str, Iterable[Any]]) -> List[SweepPoint]:
-        """Run the full cartesian grid, in deterministic order."""
+        """Run the full cartesian grid, in deterministic order.
+
+        With a ``checkpoint=`` configured, grid points already recorded
+        on disk are returned without simulating, and each freshly
+        computed point is appended (and flushed) as soon as it
+        completes — killing and restarting a sweep loses at most the
+        point in flight.
+        """
         keys = list(grid)
+        done = self._load_checkpoint() if self.checkpoint is not None else {}
         points = []
         for combo in itertools.product(*(list(grid[k]) for k in keys)):
-            points.append(self.run_point(**dict(zip(keys, combo))))
+            params = dict(zip(keys, combo))
+            if self.checkpoint is not None:
+                pkey = self._point_key(params)
+                hit = done.get(pkey)
+                if hit is not None:
+                    points.append(hit)
+                    continue
+                point = self.run_point(**params)
+                self._append_checkpoint(pkey, point)
+            else:
+                point = self.run_point(**params)
+            points.append(point)
         return points
 
     @staticmethod

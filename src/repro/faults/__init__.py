@@ -1,0 +1,16 @@
+"""Fault injection: composable perturbations of channel, clock, and jobs.
+
+The paper's guarantees are robustness claims; this package supplies the
+adversity.  A :class:`FaultPlan` bundles a jamming adversary, per-listener
+feedback corruption, per-job clock skew/drift, and job perturbations
+(late release, crash-before-deadline) into one object that
+:func:`repro.sim.engine.simulate` consults — at zero cost when no plan
+is attached.  See :mod:`repro.experiments.robustness` for severity
+sweeps over these fault families and
+:mod:`repro.sim.invariants` for the runtime checks that verify protocol
+state stays sane under stress.
+"""
+
+from repro.faults.plan import ClockFault, FaultPlan, FeedbackFault, JobFault
+
+__all__ = ["ClockFault", "FaultPlan", "FeedbackFault", "JobFault"]

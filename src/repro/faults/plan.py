@@ -1,0 +1,513 @@
+"""Composable fault plans: everything that can go wrong, in one object.
+
+The paper's headline results are robustness claims — ALIGNED survives a
+stochastic adversary with ``p_jam <= 1/2`` (Theorem 14) and PUNCTUAL
+assumes no global clock — so the simulator needs to *perturb* more than
+it needs to idealize.  A :class:`FaultPlan` bundles up to four
+orthogonal fault families and rides into :func:`repro.sim.engine.simulate`
+as a single optional argument:
+
+* a channel adversary (any :class:`~repro.channel.jamming.Jammer`,
+  including the budget-bounded families);
+* :class:`FeedbackFault` — per-listener corruption of the trinary
+  feedback (SILENCE↔NOISE flips, success erasure) with asymmetric rates;
+* :class:`ClockFault` — per-job clock skew and drift, stressing
+  PUNCTUAL's no-global-clock assumption and ALIGNED's reliance on a
+  shared slot index;
+* :class:`JobFault` — workload perturbations: late release (a job
+  activates after its window opened) and crash-before-deadline (a job
+  silently stops mid-window).
+
+All fault randomness draws from dedicated :class:`~repro.sim.rng.RngFactory`
+streams (``"fault-feedback"`` per run, ``"fault-job"`` per job), so
+attaching a plan never perturbs protocol or jammer randomness — paired
+comparisons of the same seed with and without faults share every other
+stream.  Ground truth is never faulted: the engine still decides
+delivery from real channel outcomes; faults only change what protocols
+*perceive* and when jobs run.
+
+Plans are frozen dataclasses, so they pickle (multi-process sweeps ship
+them to workers) and content-digest stably
+(:func:`repro.cache.run_key` folds them into cache keys — a faulted run
+can never collide with a clean one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.feedback import Feedback, Observation
+from repro.channel.jamming import Jammer
+from repro.errors import InvalidInstanceError, InvalidParameterError
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+from repro.sim.protocolbase import Protocol
+from repro.sim.rng import RngFactory
+
+__all__ = ["ClockFault", "FaultPlan", "FeedbackFault", "JobFault"]
+
+
+def _check_prob(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class FeedbackFault:
+    """Per-listener corruption of the trinary channel feedback.
+
+    Each live job's observation of each slot is corrupted independently
+    (listeners disagree — exactly the failure the paper's common-feedback
+    assumption rules out).  Rates are asymmetric:
+
+    Attributes
+    ----------
+    p_silence_to_noise:
+        A silent slot is perceived as noise (phantom interference).
+    p_noise_to_silence:
+        A collided/jammed slot is perceived as silence (deaf receiver) —
+        the dual of collision detection loss in
+        :mod:`repro.channel.masking`, but stochastic per listener.
+    p_success_erasure:
+        A successful broadcast is perceived as noise and its message
+        content lost to that listener.
+    affect_transmitters:
+        If True, the successful *transmitter's* own observation may also
+        be erased — it then never learns it succeeded and keeps
+        contending (ground-truth delivery is unaffected).  Off by
+        default because it voids the model's acknowledgement guarantee.
+    """
+
+    p_silence_to_noise: float = 0.0
+    p_noise_to_silence: float = 0.0
+    p_success_erasure: float = 0.0
+    affect_transmitters: bool = False
+
+    def __post_init__(self) -> None:
+        _check_prob("p_silence_to_noise", self.p_silence_to_noise)
+        _check_prob("p_noise_to_silence", self.p_noise_to_silence)
+        _check_prob("p_success_erasure", self.p_success_erasure)
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.p_silence_to_noise == 0.0
+            and self.p_noise_to_silence == 0.0
+            and self.p_success_erasure == 0.0
+        )
+
+    def corrupt(
+        self, obs: Observation, rng: np.random.Generator
+    ) -> Observation:
+        """One listener's (possibly corrupted) view of ``obs``.
+
+        Draws from ``rng`` only when the relevant rate is positive, so a
+        zero-rate fault consumes no randomness.
+        """
+        fb = obs.feedback
+        if fb is Feedback.SILENCE:
+            p = self.p_silence_to_noise
+            if p > 0.0 and rng.random() < p:
+                return Observation.noise(obs.transmitted)
+        elif fb is Feedback.NOISE:
+            p = self.p_noise_to_silence
+            if p > 0.0 and rng.random() < p:
+                return Observation.silence(obs.transmitted)
+        else:  # SUCCESS
+            if obs.own_success and not self.affect_transmitters:
+                return obs
+            p = self.p_success_erasure
+            if p > 0.0 and rng.random() < p:
+                return Observation.noise(obs.transmitted)
+        return obs
+
+
+@dataclass(frozen=True)
+class ClockFault:
+    """Per-job clock skew and drift.
+
+    Each job draws ``skew_j`` uniform in ``[-max_skew, max_skew]`` and
+    ``drift_j`` uniform in ``[-drift, drift]``, fixed for the run.  Its
+    protocol always experiences a *contiguous* local timeline (protocols
+    are strict state machines); the mismatch with engine time is
+    absorbed at the channel boundary.  A fast clock (``skew_j > 0`` /
+    ``drift_j > 0``) lives through phantom slots that never reach the
+    real channel — transmissions there are wasted — and hits its local
+    deadline early, giving up with window slack unused.  A slow clock
+    joins the channel late and occasionally stalls (a real slot passes
+    without a local tick), and the engine's hard deadline cuts it off
+    while its local clock still shows time remaining.  PUNCTUAL is
+    *designed* for this setting (no global clock — only local ages
+    matter), while ALIGNED leans on the shared slot index of the aligned
+    model, so clock faults degrade them very differently; that asymmetry
+    is the point of the fault.
+    """
+
+    max_skew: int = 0
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_skew < 0:
+            raise InvalidParameterError(
+                f"max_skew must be >= 0, got {self.max_skew}"
+            )
+        if not 0.0 <= self.drift < 1.0:
+            raise InvalidParameterError(
+                f"drift must be in [0, 1), got {self.drift}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        return self.max_skew == 0 and self.drift == 0.0
+
+
+@dataclass(frozen=True)
+class JobFault:
+    """Workload perturbations applied per job.
+
+    Attributes
+    ----------
+    p_late:
+        Probability a job is released late: activation is delayed by a
+        uniform ``1..max_delay`` slots (capped so at least one window
+        slot remains).  The deadline does not move — lateness eats slack.
+    max_delay:
+        Largest possible release delay, in slots.
+    p_crash:
+        Probability a job crashes strictly before its deadline: at a
+        uniform slot in the remainder of its window it silently stops
+        transmitting and ignores all further feedback.  A crashed job
+        finalizes as ``GAVE_UP`` unless it was already delivered.
+    """
+
+    p_late: float = 0.0
+    max_delay: int = 0
+    p_crash: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_prob("p_late", self.p_late)
+        _check_prob("p_crash", self.p_crash)
+        if self.max_delay < 0:
+            raise InvalidParameterError(
+                f"max_delay must be >= 0, got {self.max_delay}"
+            )
+        if self.p_late > 0.0 and self.max_delay == 0:
+            raise InvalidParameterError(
+                "p_late > 0 requires max_delay >= 1"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        return self.p_late == 0.0 and self.p_crash == 0.0
+
+
+@dataclass(frozen=True)
+class _JobRecord:
+    """Per-job fault decisions, fixed before the run starts.
+
+    ``activation`` is the engine slot at which the job's protocol is
+    constructed; ``begin`` is the *local* slot the protocol perceives at
+    that moment (a slow clock has ``begin < activation``).  ``skew_ff``
+    counts phantom slots a fast clock has already lived through at
+    activation, and ``drift`` is the local clock's rate error.
+    ``crash_slot`` (engine time, ``-1`` = never) silences the job.
+    """
+
+    activation: int
+    begin: int
+    skew_ff: int
+    drift: float
+    crash_slot: int
+
+
+class BoundFaults:
+    """A :class:`FaultPlan` bound to one ``(instance, seed)`` run.
+
+    Precomputes every per-job fault decision from the job's dedicated
+    ``"fault-job"`` stream (so decisions are independent of activation
+    order) and hands the engine cheap per-job wrappers.  Engine-facing
+    surface: :attr:`jammer`, :attr:`feedback` (+ :attr:`feedback_rng`),
+    :attr:`has_job_faults`, :meth:`release_of`, and :meth:`activate`.
+    """
+
+    __slots__ = (
+        "plan",
+        "jammer",
+        "feedback",
+        "feedback_rng",
+        "has_job_faults",
+        "_records",
+    )
+
+    def __init__(self, plan: "FaultPlan", instance: Instance, rngs: RngFactory) -> None:
+        self.plan = plan
+        self.jammer = plan.jammer
+        ff = plan.feedback
+        self.feedback = ff if ff is not None and not ff.is_noop else None
+        self.feedback_rng = (
+            rngs.stream("fault-feedback") if self.feedback is not None else None
+        )
+        jf = plan.jobs if plan.jobs is not None and not plan.jobs.is_noop else None
+        cf = plan.clock if plan.clock is not None and not plan.clock.is_noop else None
+        self.has_job_faults = False
+        self._records: Dict[int, _JobRecord] = {}
+        if jf is None and cf is None:
+            return
+        for job in instance.by_release:
+            rng = rngs.stream("fault-job", job.job_id)
+            begin = job.release
+            if jf is not None and jf.p_late > 0.0:
+                if rng.random() < jf.p_late:
+                    delay = int(rng.integers(1, jf.max_delay + 1))
+                    begin = min(job.release + delay, job.deadline - 1)
+            activation = begin
+            skew_ff = 0
+            drift = 0.0
+            if cf is not None:
+                skew = 0
+                if cf.max_skew > 0:
+                    skew = int(rng.integers(-cf.max_skew, cf.max_skew + 1))
+                if cf.drift > 0.0:
+                    drift = float(rng.uniform(-cf.drift, cf.drift))
+                if skew > 0:
+                    # Fast clock: the protocol already "lived" skew slots
+                    # before the window truly opened.
+                    skew_ff = skew
+                elif skew < 0:
+                    # Slow clock: the job joins late but its local clock
+                    # still reads the release slot.
+                    activation = min(activation - skew, job.deadline - 1)
+            crash_slot = -1
+            if jf is not None and jf.p_crash > 0.0:
+                if rng.random() < jf.p_crash and activation + 1 < job.deadline:
+                    crash_slot = int(rng.integers(activation + 1, job.deadline))
+            if (
+                activation != job.release
+                or begin != activation
+                or skew_ff
+                or drift
+                or crash_slot >= 0
+            ):
+                self._records[job.job_id] = _JobRecord(
+                    activation, begin, skew_ff, drift, crash_slot
+                )
+                if activation != job.release:
+                    self.has_job_faults = True
+
+    def release_of(self, job: Job) -> int:
+        """The job's effective activation slot under the plan."""
+        rec = self._records.get(job.job_id)
+        return job.release if rec is None else rec.activation
+
+    def activate(
+        self, job: Job, proto: Protocol, t: int
+    ) -> Tuple[Callable[[int], object], Callable[[int, Observation], None]]:
+        """Begin ``proto`` at engine slot ``t`` and return (act, observe).
+
+        The returned callables replace the engine's pre-bound
+        ``proto.act`` / ``proto.observe``: they reconcile engine time
+        with the job's (possibly skewed/drifting) local clock and
+        enforce crash-before-deadline.  Jobs with no per-job faults get
+        the raw bound methods back — zero wrapper overhead.
+        """
+        rec = self._records.get(job.job_id)
+        if rec is None:
+            proto.begin(t)
+            return proto.act, proto.observe
+        try:
+            proto.begin(rec.begin)
+        except InvalidInstanceError:
+            # The protocol's model rejects the fault-shifted start slot
+            # (e.g. ALIGNED cannot join its pecking order mid-window
+            # after a late release).  The job fails instead of the run.
+            proto.gave_up = True
+            return (lambda t: None), (lambda t, obs: None)
+        act = proto.act
+        observe = proto.observe
+        if rec.skew_ff or rec.drift or rec.begin != rec.activation:
+            act, observe = self._clock_wrappers(job, proto, act, observe, rec)
+        if rec.crash_slot >= 0:
+            crash_at = rec.crash_slot
+            live_act, live_observe = act, observe
+            crashed = [False]
+
+            def act(t: int):
+                if crashed[0]:
+                    return None
+                if t >= crash_at:
+                    crashed[0] = True
+                    proto.gave_up = True
+                    return None
+                return live_act(t)
+
+            def observe(t: int, obs: Observation) -> None:
+                if not crashed[0]:
+                    live_observe(t, obs)
+        return act, observe
+
+    @staticmethod
+    def _clock_wrappers(
+        job: Job,
+        proto: Protocol,
+        inner_act: Callable[[int], object],
+        inner_observe: Callable[[int, Observation], None],
+        rec: _JobRecord,
+    ) -> Tuple[Callable[[int], object], Callable[[int, Observation], None]]:
+        """Reconcile engine time with the job's faulty local clock.
+
+        Protocols are strict state machines that require a *contiguous*
+        local slot sequence (ALIGNED's schedule view rejects any jump),
+        so a faulty clock cannot be modeled by translating slot labels.
+        Instead the wrapper keeps the protocol's timeline contiguous and
+        absorbs the mismatch at the channel boundary:
+
+        * **Fast clock** (positive skew, positive drift): the protocol
+          lives through *phantom* slots that do not exist on the real
+          channel — any transmission there is wasted (it hears its own
+          noise; pure listening hears silence).  When its local clock
+          reaches the deadline early it stops and gives up, believing
+          its window is over.
+        * **Slow clock** (negative skew, negative drift): the job joins
+          the channel late (activation was shifted in ``_JobRecord``)
+          and occasionally *stalls* — a real slot passes without the
+          protocol ticking, so it neither transmits nor hears that slot,
+          and the engine's hard deadline cuts it off while its local
+          clock still shows time remaining.
+        """
+        t0 = rec.activation
+        base = rec.begin + rec.skew_ff
+        drift = rec.drift
+        deadline = job.deadline
+        # state[0]: local slot of the protocol's next tick;
+        # state[1]: local slot awaiting an observation (-1 = suppress);
+        # state[2]: local clock reached the deadline -> stopped.
+        state = [rec.begin, -1, False]
+
+        def act(t: int):
+            if state[2]:
+                return None
+            target = base + (t - t0)
+            if drift:
+                target += int(drift * (t - t0))
+            nxt = state[0]
+            if target < nxt:
+                # Slow clock stalls: no local tick this engine slot.
+                state[1] = -1
+                return None
+            limit = target if target < deadline else deadline
+            while nxt < limit and not proto.done:
+                # Phantom slots off the real channel.
+                m = inner_act(nxt)
+                inner_observe(
+                    nxt,
+                    Observation.noise(True)
+                    if m is not None
+                    else Observation.silence(False),
+                )
+                nxt += 1
+            if proto.done or target >= deadline:
+                # Local deadline reached early, or the protocol retired
+                # itself during a phantom slot; stop driving it (the
+                # engine retires it at the end of this slot).
+                state[0] = nxt
+                state[1] = -1
+                state[2] = True
+                if not proto.succeeded:
+                    proto.gave_up = True
+                return None
+            msg = inner_act(target)
+            state[0] = target + 1
+            state[1] = target
+            return msg
+
+        def observe(t: int, obs: Observation) -> None:
+            if state[2] or state[1] < 0:
+                return
+            inner_observe(state[1], obs)
+            state[1] = -1
+
+        return act, observe
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable bundle of channel, feedback, clock, and job faults.
+
+    Any subset of the four fields may be set; unset families cost
+    nothing.  The engine treats a no-op plan (all fields ``None`` or
+    individually no-op) exactly like ``faults=None``, so the clean fast
+    path — and its cache keys — are preserved.
+
+    A plan's :attr:`jammer` is mutually exclusive with the ``jammer=``
+    argument of :func:`~repro.sim.engine.simulate`; passing both raises,
+    because silently composing two adversaries would make severity
+    sweeps unreadable.
+    """
+
+    jammer: Optional[Jammer] = None
+    feedback: Optional[FeedbackFault] = None
+    clock: Optional[ClockFault] = None
+    jobs: Optional[JobFault] = None
+
+    @property
+    def is_noop(self) -> bool:
+        """True when attaching this plan cannot change any run."""
+        return (
+            self.jammer is None
+            and (self.feedback is None or self.feedback.is_noop)
+            and (self.clock is None or self.clock.is_noop)
+            and (self.jobs is None or self.jobs.is_noop)
+        )
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two plans; a family set in both is a conflict."""
+        updates = {}
+        for field in ("jammer", "feedback", "clock", "jobs"):
+            mine = getattr(self, field)
+            theirs = getattr(other, field)
+            if mine is not None and theirs is not None:
+                raise InvalidParameterError(
+                    f"cannot merge fault plans: both set {field!r}"
+                )
+            if theirs is not None:
+                updates[field] = theirs
+        return replace(self, **updates)
+
+    def reset(self) -> None:
+        """Restore any per-run jammer state (see :meth:`Jammer.reset`)."""
+        if self.jammer is not None:
+            self.jammer.reset()
+
+    def bind(self, instance: Instance, rngs: RngFactory) -> BoundFaults:
+        """Fix every random fault decision for one ``(instance, seed)``."""
+        return BoundFaults(self, instance, rngs)
+
+    def describe(self) -> str:
+        """A compact one-line summary for tables and logs."""
+        parts = []
+        if self.jammer is not None:
+            parts.append(repr(self.jammer))
+        if self.feedback is not None and not self.feedback.is_noop:
+            parts.append(
+                "feedback(s→n=%g, n→s=%g, erase=%g)"
+                % (
+                    self.feedback.p_silence_to_noise,
+                    self.feedback.p_noise_to_silence,
+                    self.feedback.p_success_erasure,
+                )
+            )
+        if self.clock is not None and not self.clock.is_noop:
+            parts.append(
+                "clock(skew<=%d, drift<=%g)"
+                % (self.clock.max_skew, self.clock.drift)
+            )
+        if self.jobs is not None and not self.jobs.is_noop:
+            parts.append(
+                "jobs(late=%g<=%d, crash=%g)"
+                % (self.jobs.p_late, self.jobs.max_delay, self.jobs.p_crash)
+            )
+        return " + ".join(parts) if parts else "no faults"

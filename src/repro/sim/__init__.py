@@ -14,6 +14,7 @@ from repro.sim.feasibility import (
     verify_edf_schedulable,
 )
 from repro.sim.instance import Instance, WindowKey
+from repro.sim.invariants import InvariantChecker
 from repro.sim.job import Job, JobStatus, is_power_of_two, window_class
 from repro.sim.metrics import JobOutcome, SimulationResult
 from repro.sim.protocolbase import Protocol, ProtocolContext
@@ -30,6 +31,7 @@ __all__ = [
     "ProtocolFactory",
     "SlotObserver",
     "Instance",
+    "InvariantChecker",
     "WindowKey",
     "Job",
     "JobStatus",

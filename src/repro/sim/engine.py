@@ -37,14 +37,28 @@ the suite, so it is written for throughput:
 * message delivery dispatches on the :attr:`Message.kind` tag rather
   than ``isinstance`` chains.
 
+Fault hook
+----------
+A :class:`~repro.faults.plan.FaultPlan` (``faults=``) lets the engine
+perturb feedback, clocks, and job lifecycles, and an
+:class:`~repro.sim.invariants.InvariantChecker` (``invariants=``) audits
+every slot.  Both are strictly pay-for-what-you-use: with neither
+attached the hot loop executes the exact same statements as before (the
+fault branches collapse to a handful of ``is None`` guards outside the
+per-listener fan-out), so results stay bit-identical to
+:data:`ENGINE_VERSION` 2 and throughput is preserved.  Fault randomness
+draws from dedicated RNG streams, never from the channel or job streams.
+
 Any change that alters simulation *semantics* (outcomes, slot counts,
 randomness consumption) must bump :data:`ENGINE_VERSION`, which the
-result cache folds into its content digests.
+result cache folds into its content digests.  Fault-injected runs are
+additionally keyed on their plan (see :func:`repro.cache.run_key`), so
+attaching a plan never needs a version bump.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,13 +72,17 @@ from repro.channel.messages import (
     Message,
     TimekeeperBeacon,
 )
-from repro.errors import SimulationError
+from repro.errors import InvalidParameterError, SimulationError
 from repro.sim.instance import Instance
 from repro.sim.job import Job, JobStatus
 from repro.sim.metrics import JobOutcome, SimulationResult
 from repro.sim.protocolbase import Protocol, ProtocolContext
 from repro.sim.rng import RngFactory
 from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
+    from repro.sim.invariants import InvariantChecker
 
 __all__ = ["ENGINE_VERSION", "ProtocolFactory", "SlotObserver", "simulate"]
 
@@ -122,6 +140,8 @@ def simulate(
     trace: bool = False,
     observers: Sequence[SlotObserver] = (),
     horizon: Optional[int] = None,
+    faults: Optional["FaultPlan"] = None,
+    invariants: Union[bool, "InvariantChecker"] = False,
 ) -> SimulationResult:
     """Run one complete simulation and return per-job outcomes.
 
@@ -144,6 +164,15 @@ def simulate(
     horizon:
         Last slot (exclusive) to simulate; defaults to the instance
         horizon.  Jobs are hard-stopped at their own deadlines regardless.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  A plan may carry
+        its own jammer, mutually exclusive with ``jammer=``.  A no-op
+        plan behaves exactly like ``None``.
+    invariants:
+        ``True`` to audit the run with a fresh
+        :class:`~repro.sim.invariants.InvariantChecker`, or a
+        caller-supplied checker instance (inspect it after the run).
+        Violations raise :class:`repro.errors.InvariantViolationError`.
 
     Returns
     -------
@@ -151,13 +180,55 @@ def simulate(
     """
     rngs = RngFactory(seed)
     ch_rng = rngs.channel_rng()
+
+    bound = None
+    if faults is not None and not faults.is_noop:
+        bound = faults.bind(instance, rngs)
+        if bound.jammer is not None:
+            if jammer is not None:
+                raise InvalidParameterError(
+                    "got a jammer= argument and a FaultPlan with its own "
+                    "jammer; pick one adversary"
+                )
+            jammer = bound.jammer
+
     jam: Jammer = jammer if jammer is not None else NoJammer()
     no_jam = type(jam) is NoJammer
+    if not no_jam:
+        jam.reset()  # budgeted jammers: restore per-run counters
+    corrupt = bound.feedback if bound is not None else None
+    f_rng = bound.feedback_rng if corrupt is not None else None
+
+    checker: Optional["InvariantChecker"]
+    if invariants is True:
+        from repro.sim.invariants import InvariantChecker
+
+        checker = InvariantChecker()
+    elif invariants:
+        checker = invariants  # type: ignore[assignment]
+    else:
+        checker = None
+    if checker is not None and corrupt is not None:
+        if corrupt.p_success_erasure > 0.0 and corrupt.affect_transmitters:
+            # an erased transmitter legitimately re-sends; only the
+            # duplicate-delivery check is relaxed.
+            checker.allow_redelivery = True
+
     recorder = TraceRecorder() if trace else None
     # SlotOutcome objects are only materialised for instrumentation.
     need_outcome = recorder is not None or bool(observers)
 
     jobs_sorted = list(instance.by_release)
+    if bound is not None and bound.has_job_faults:
+        # late releases reorder activation; keep ties in by_release order
+        order = sorted(
+            range(len(jobs_sorted)),
+            key=lambda i: (bound.release_of(jobs_sorted[i]), i),
+        )
+        jobs_sorted = [jobs_sorted[i] for i in order]
+        releases = [bound.release_of(j) for j in jobs_sorted]
+    else:
+        releases = [j.release for j in jobs_sorted]
     n_total = len(jobs_sorted)
     end = instance.horizon if horizon is None else min(horizon, instance.horizon)
 
@@ -174,7 +245,7 @@ def simulate(
     delivered_slot: Dict[int, int] = {}
 
     next_job = 0
-    t = jobs_sorted[0].release if jobs_sorted else 0
+    t = releases[0] if jobs_sorted else 0
     slots_simulated = 0
 
     def finalize(job: Job, proto: Protocol) -> None:
@@ -197,21 +268,28 @@ def simulate(
         if t >= end and not live_protos:
             break
         # 1. activate
-        while next_job < n_total and jobs_sorted[next_job].release == t:
+        while next_job < n_total and releases[next_job] == t:
             job = jobs_sorted[next_job]
             proto = factory(job, rngs.job_rng(job.job_id))
-            proto.begin(t)
+            if bound is None:
+                proto.begin(t)
+                act_fn = proto.act
+                observe_fn = proto.observe
+            else:
+                act_fn, observe_fn = bound.activate(job, proto, t)
+            if checker is not None:
+                checker.on_activate(job, proto, t)
             live_ids.append(job.job_id)
             live_jobs.append(job)
             live_protos.append(proto)
-            live_act.append(proto.act)
-            live_observe.append(proto.observe)
+            live_act.append(act_fn)
+            live_observe.append(observe_fn)
             live_deadline.append(job.deadline)
             live_has_p.append(hasattr(proto, "last_p"))
             next_job += 1
         if next_job < n_total and not live_protos:
             # jump over idle gaps between batches
-            t = jobs_sorted[next_job].release
+            t = releases[next_job]
             continue
 
         n_live = len(live_protos)
@@ -247,6 +325,7 @@ def simulate(
         # exactly one transmits un-jammed, noise otherwise.
         slots_simulated += 1
         outcome: Optional[SlotOutcome] = None
+        delivered_now = -1  # consumed only by the invariant checker
         n_tx = len(transmissions)
         if n_tx == 0:
             jammed = (not no_jam) and jam.attempt(t, 0, None, ch_rng)
@@ -255,8 +334,12 @@ def simulate(
                 outcome = SlotOutcome(
                     t, _NOISE if jammed else _SILENCE, None, 0, jammed
                 )
-            for observe in live_observe:
-                observe(t, obs)
+            if corrupt is None:
+                for observe in live_observe:
+                    observe(t, obs)
+            else:
+                for observe in live_observe:
+                    observe(t, corrupt.corrupt(obs, f_rng))
         elif n_tx == 1:
             jid0, msg0 = transmissions[0]
             i0 = tx_idx[0]
@@ -264,31 +347,65 @@ def simulate(
             if jammed:
                 if need_outcome:
                     outcome = SlotOutcome(t, _NOISE, None, 1, True)
-                for i in range(n_live):
-                    live_observe[i](t, _OBS_NOISE_TX if i == i0 else _OBS_NOISE)
+                if corrupt is None:
+                    for i in range(n_live):
+                        live_observe[i](
+                            t, _OBS_NOISE_TX if i == i0 else _OBS_NOISE
+                        )
+                else:
+                    for i in range(n_live):
+                        live_observe[i](
+                            t,
+                            corrupt.corrupt(
+                                _OBS_NOISE_TX if i == i0 else _OBS_NOISE,
+                                f_rng,
+                            ),
+                        )
             else:
                 if need_outcome:
                     outcome = SlotOutcome(t, _SUCCESS, msg0, 1, False)
                 kind = msg0.kind
                 if kind == KIND_DATA:
                     delivered_slot.setdefault(msg0.sender, t)
+                    delivered_now = msg0.sender
                 elif kind == KIND_BEACON and msg0.payload is not None:
                     delivered_slot.setdefault(msg0.payload.sender, t)
+                    delivered_now = msg0.payload.sender
                 obs_listen = Observation(_SUCCESS, msg0, False, False)
                 obs_tx = Observation(_SUCCESS, msg0, True, msg0.sender == jid0)
-                for i in range(n_live):
-                    live_observe[i](t, obs_tx if i == i0 else obs_listen)
+                if corrupt is None:
+                    for i in range(n_live):
+                        live_observe[i](t, obs_tx if i == i0 else obs_listen)
+                else:
+                    for i in range(n_live):
+                        live_observe[i](
+                            t,
+                            corrupt.corrupt(
+                                obs_tx if i == i0 else obs_listen, f_rng
+                            ),
+                        )
         else:
             jammed = (not no_jam) and jam.attempt(t, n_tx, None, ch_rng)
             if need_outcome:
                 outcome = SlotOutcome(t, _NOISE, None, n_tx, jammed)
             k = 0
-            for i in range(n_live):
-                if k < n_tx and tx_idx[k] == i:
-                    live_observe[i](t, _OBS_NOISE_TX)
-                    k += 1
-                else:
-                    live_observe[i](t, _OBS_NOISE)
+            if corrupt is None:
+                for i in range(n_live):
+                    if k < n_tx and tx_idx[k] == i:
+                        live_observe[i](t, _OBS_NOISE_TX)
+                        k += 1
+                    else:
+                        live_observe[i](t, _OBS_NOISE)
+            else:
+                for i in range(n_live):
+                    if k < n_tx and tx_idx[k] == i:
+                        live_observe[i](t, corrupt.corrupt(_OBS_NOISE_TX, f_rng))
+                        k += 1
+                    else:
+                        live_observe[i](t, corrupt.corrupt(_OBS_NOISE, f_rng))
+
+        if checker is not None:
+            checker.after_slot(t, delivered_now, live_ids, live_protos, tx_idx)
 
         if recorder is not None:
             assert outcome is not None

@@ -1,5 +1,7 @@
 """Unit tests for multiple-access channel resolution."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -41,7 +43,10 @@ class TestResolveSlot:
         assert out.feedback is Feedback.NOISE
 
     def test_certain_jam_turns_success_to_noise(self, rng):
-        out = resolve_slot(0, [(1, DataMessage(1))], StochasticJammer(1.0), rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # deliberately past 1/2
+            jam = StochasticJammer(1.0)
+        out = resolve_slot(0, [(1, DataMessage(1))], jam, rng)
         assert out.feedback is Feedback.NOISE
         assert out.jammed
 

@@ -1,13 +1,19 @@
 """Unit tests for jamming adversaries."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.channel.jamming import (
+    BudgetJammer,
+    BurstJammer,
     NoJammer,
+    PaperGuaranteeWarning,
     PeriodicJammer,
     ReactiveJammer,
     StochasticJammer,
+    WindowedRateJammer,
 )
 from repro.channel.messages import DataMessage, LeaderClaim
 from repro.errors import InvalidParameterError
@@ -34,7 +40,8 @@ class TestStochasticJammer:
             StochasticJammer(1.5)
 
     def test_only_targets_singles_by_default(self, rng):
-        j = StochasticJammer(1.0)
+        with pytest.warns(PaperGuaranteeWarning):
+            j = StochasticJammer(1.0)
         assert j.attempt(0, 1, DataMessage(0), rng)
         assert not j.attempt(0, 0, None, rng)
         assert not j.attempt(0, 2, None, rng)
@@ -45,7 +52,8 @@ class TestStochasticJammer:
         assert 0.27 < hits / 20000 < 0.33
 
     def test_jam_silence_option(self, rng):
-        j = StochasticJammer(1.0, jam_silence=True)
+        with pytest.warns(PaperGuaranteeWarning):
+            j = StochasticJammer(1.0, jam_silence=True)
         assert j.attempt(0, 0, None, rng)
         # collisions still not worth jamming
         assert not j.attempt(0, 3, None, rng)
@@ -77,3 +85,144 @@ class TestPeriodicJammer:
     def test_rejects_bad_period(self):
         with pytest.raises(InvalidParameterError):
             PeriodicJammer(0, [0])
+
+
+class TestPaperGuaranteeWarning:
+    def test_warns_beyond_half(self):
+        with pytest.warns(PaperGuaranteeWarning, match="Theorem 14"):
+            StochasticJammer(0.6)
+
+    def test_silent_at_or_below_half(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            StochasticJammer(0.5)
+            StochasticJammer(0.0)
+
+
+class TestReactiveJammerDispatch:
+    def test_predicate_sees_message_content(self, rng):
+        # "can even look at the contents of the message itself": target
+        # a single sender id and leave everyone else alone.
+        j = ReactiveJammer(
+            lambda m: isinstance(m, DataMessage) and m.sender == 3, 1.0
+        )
+        assert j.attempt(0, 1, DataMessage(3), rng)
+        assert not j.attempt(0, 1, DataMessage(4), rng)
+        assert not j.attempt(0, 1, LeaderClaim(3, deadline=9), rng)
+
+    def test_probability_applies_after_predicate(self):
+        j = ReactiveJammer(lambda m: True, 0.5)
+        r = np.random.default_rng(0)
+        hits = sum(j.attempt(t, 1, DataMessage(0), r) for t in range(4000))
+        assert 0.45 < hits / 4000 < 0.55
+
+    def test_predicate_not_called_on_silence(self, rng):
+        def boom(message):
+            raise AssertionError("predicate must not see None")
+
+        j = ReactiveJammer(boom, 1.0)
+        assert not j.attempt(0, 0, None, rng)
+        assert not j.attempt(0, 2, None, rng)
+
+
+class TestPeriodicJammerEdges:
+    def test_phase_zero_and_period_boundary(self, rng):
+        j = PeriodicJammer(3, [0])
+        got = [j.attempt(t, 1, DataMessage(0), rng) for t in range(7)]
+        assert got == [True, False, False, True, False, False, True]
+
+    def test_full_period_jams_everything(self, rng):
+        j = PeriodicJammer(2, [0, 1])
+        assert all(j.attempt(t, 0, None, rng) for t in range(10))
+
+    def test_deterministic_jammers_consume_no_randomness(self):
+        rng = np.random.default_rng(5)
+        state = rng.bit_generator.state["state"]["state"]
+        PeriodicJammer(4, [1]).attempt(1, 1, DataMessage(0), rng)
+        BurstJammer(2, 6).attempt(0, 1, DataMessage(0), rng)
+        WindowedRateJammer(8, 4).attempt(0, 1, DataMessage(0), rng)
+        assert rng.bit_generator.state["state"]["state"] == state
+
+
+class TestBudgetJammer:
+    def test_budget_decrements_and_exhausts(self, rng):
+        j = BudgetJammer(3)
+        hits = [j.attempt(t, 1, DataMessage(0), rng) for t in range(5)]
+        assert hits == [True, True, True, False, False]
+        assert j.remaining == 0
+
+    def test_reset_restores_budget(self, rng):
+        j = BudgetJammer(2)
+        j.attempt(0, 1, DataMessage(0), rng)
+        j.reset()
+        assert j.remaining == 2
+
+    def test_failed_attempts_cost_nothing(self):
+        j = BudgetJammer(1000, p_jam=0.5)
+        r = np.random.default_rng(1)
+        hits = sum(j.attempt(t, 1, DataMessage(0), r) for t in range(500))
+        assert j.remaining == 1000 - hits  # only landed jams are spent
+
+    def test_ignores_non_single_slots(self, rng):
+        j = BudgetJammer(5)
+        assert not j.attempt(0, 0, None, rng)
+        assert not j.attempt(0, 2, None, rng)
+        assert j.remaining == 5
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(InvalidParameterError):
+            BudgetJammer(-1)
+
+
+class TestBurstJammer:
+    def test_duty_cycle_pattern(self, rng):
+        j = BurstJammer(2, 3)
+        got = [j.attempt(t, 1, DataMessage(0), rng) for t in range(10)]
+        assert got == [True, True, False, False, False] * 2
+
+    def test_start_offset(self, rng):
+        j = BurstJammer(1, 1, start=4)
+        assert not any(j.attempt(t, 1, DataMessage(0), rng) for t in range(4))
+        assert j.attempt(4, 1, DataMessage(0), rng)
+        assert not j.attempt(5, 1, DataMessage(0), rng)
+
+    def test_zero_gap_is_continuous(self, rng):
+        j = BurstJammer(3, 0)
+        assert all(j.attempt(t, 1, DataMessage(0), rng) for t in range(9))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidParameterError):
+            BurstJammer(0, 1)
+        with pytest.raises(InvalidParameterError):
+            BurstJammer(1, -1)
+
+
+class TestWindowedRateJammer:
+    def test_rate_limit_within_window(self, rng):
+        j = WindowedRateJammer(4, 2)
+        got = [j.attempt(t, 1, DataMessage(0), rng) for t in range(8)]
+        assert got == [True, True, False, False, True, True, False, False]
+
+    def test_budget_renews_at_window_boundary(self, rng):
+        j = WindowedRateJammer(4, 1)
+        assert j.attempt(3, 1, DataMessage(0), rng)
+        assert j.attempt(4, 1, DataMessage(0), rng)  # new window, new budget
+        assert not j.attempt(5, 1, DataMessage(0), rng)
+
+    def test_skipping_windows_resets_cleanly(self, rng):
+        j = WindowedRateJammer(4, 1)
+        assert j.attempt(0, 1, DataMessage(0), rng)
+        assert j.attempt(100, 1, DataMessage(0), rng)
+
+    def test_reset_forgets_window_state(self, rng):
+        j = WindowedRateJammer(4, 1)
+        j.attempt(0, 1, DataMessage(0), rng)
+        j.reset()
+        assert j.used == 0 and j.window_index == -1
+        assert j.attempt(0, 1, DataMessage(0), rng)
+
+    def test_zero_max_jams_never_fires(self, rng):
+        j = WindowedRateJammer(4, 0)
+        assert not any(
+            j.attempt(t, 1, DataMessage(0), rng) for t in range(16)
+        )

@@ -1,5 +1,7 @@
 """Unit and end-to-end tests for the ALIGNED protocol (Section 3)."""
 
+import warnings
+
 import collections
 
 import numpy as np
@@ -123,10 +125,13 @@ class TestJamming:
 
     def test_full_jamming_kills_everything(self):
         inst = single_class_instance(8, level=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # deliberately past 1/2
+            jam = StochasticJammer(1.0)
         res = simulate(
             inst,
             aligned_factory(params()),
-            jammer=StochasticJammer(1.0),
+            jammer=jam,
             seed=1,
         )
         assert res.n_succeeded == 0

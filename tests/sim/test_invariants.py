@@ -1,0 +1,172 @@
+"""Runtime invariant checker: unit-level audits and end-to-end catches."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataMessage, Message
+from repro.core.uniform import uniform_factory
+from repro.errors import InvariantViolationError
+from repro.faults import FaultPlan, FeedbackFault
+from repro.sim.engine import simulate
+from repro.sim.invariants import InvariantChecker
+from repro.sim.job import Job
+from repro.sim.protocolbase import Protocol, ProtocolContext
+from repro.workloads import batch_instance
+
+
+def make_job(job_id=0, release=0, deadline=100):
+    return Job(job_id=job_id, release=release, deadline=deadline)
+
+
+class StubProtocol:
+    """Bare attribute bag standing in for a Protocol in unit tests."""
+
+    def __init__(self, succeeded=False, gave_up=False, transmissions=0,
+                 last_p=0.0):
+        self.succeeded = succeeded
+        self.gave_up = gave_up
+        self.transmissions = transmissions
+        self.last_p = last_p
+
+
+class DoubleSendProtocol(Protocol):
+    """Deliberately broken: ignores its own success and keeps sending.
+
+    ``observe`` skips the base class entirely, so ``succeeded`` is never
+    set and the engine keeps driving the machine — it re-transmits its
+    already-delivered message every slot.  The engine's own finalize
+    cross-check cannot see this (ground-truth delivery did happen); only
+    the per-slot audit catches the duplicate delivery.
+    """
+
+    __slots__ = ()
+
+    def act(self, slot: int) -> Optional[Message]:
+        self._awaiting_observation = True
+        return DataMessage(self.ctx.job_id)
+
+    def observe(self, slot: int, obs: Observation) -> None:
+        self._awaiting_observation = False
+
+    def on_act(self, slot: int) -> Optional[Message]:  # pragma: no cover
+        return None
+
+
+class TestUnitChecks:
+    def test_activation_outside_window(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolationError, match="outside its window"):
+            checker.on_activate(make_job(release=10), StubProtocol(), 5)
+
+    def test_delivery_for_unknown_job(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolationError, match="never activated"):
+            checker.after_slot(3, delivered=42, live_ids=[], live_protos=[],
+                              tx_idx=[])
+
+    def test_duplicate_delivery(self):
+        checker = InvariantChecker()
+        proto = StubProtocol()
+        checker.on_activate(make_job(7), proto, 0)
+        checker.after_slot(1, 7, [7], [proto], [])
+        with pytest.raises(InvariantViolationError, match="duplicate delivery"):
+            checker.after_slot(2, 7, [7], [proto], [])
+
+    def test_duplicate_delivery_relaxed_under_erasure(self):
+        checker = InvariantChecker(allow_redelivery=True)
+        proto = StubProtocol()
+        checker.on_activate(make_job(7), proto, 0)
+        checker.after_slot(1, 7, [7], [proto], [])
+        checker.after_slot(2, 7, [7], [proto], [])
+        assert checker.deliveries == {7: 1}  # first delivery wins
+
+    def test_transmission_after_known_success(self):
+        checker = InvariantChecker()
+        proto = StubProtocol(succeeded=True, transmissions=1)
+        checker.on_activate(make_job(3), proto, 0)
+        with pytest.raises(InvariantViolationError, match="double-send"):
+            checker.after_slot(1, -1, [3], [proto], [0])
+
+    def test_succeeded_must_not_revert(self):
+        checker = InvariantChecker()
+        proto = StubProtocol(succeeded=True)
+        checker.on_activate(make_job(1), proto, 0)
+        proto.succeeded = False
+        with pytest.raises(InvariantViolationError, match="reverted"):
+            checker.after_slot(1, -1, [1], [proto], [])
+
+    def test_gave_up_must_not_revert(self):
+        checker = InvariantChecker()
+        proto = StubProtocol(gave_up=True)
+        checker.on_activate(make_job(1), proto, 0)
+        proto.gave_up = False
+        with pytest.raises(InvariantViolationError, match="reverted"):
+            checker.after_slot(1, -1, [1], [proto], [])
+
+    def test_transmission_counter_must_not_decrease(self):
+        checker = InvariantChecker()
+        proto = StubProtocol(transmissions=5)
+        checker.on_activate(make_job(1), proto, 0)
+        proto.transmissions = 4
+        with pytest.raises(InvariantViolationError, match="decreased"):
+            checker.after_slot(1, -1, [1], [proto], [])
+
+    def test_last_p_out_of_range(self):
+        checker = InvariantChecker()
+        proto = StubProtocol(last_p=1.5)
+        checker.on_activate(make_job(1), proto, 0)
+        with pytest.raises(InvariantViolationError, match="last_p"):
+            checker.after_slot(1, -1, [1], [proto], [])
+
+    def test_clean_sequence_passes(self):
+        checker = InvariantChecker()
+        proto = StubProtocol()
+        checker.on_activate(make_job(1), proto, 0)
+        proto.transmissions = 1
+        checker.after_slot(0, -1, [1], [proto], [0])
+        proto.succeeded = True
+        checker.after_slot(1, 1, [1], [proto], [0])
+        assert checker.slots_checked == 2
+        assert checker.deliveries == {1: 1}
+
+
+class TestEndToEnd:
+    def factory(self, job, rng):
+        return DoubleSendProtocol(ProtocolContext.for_job(job, rng))
+
+    def test_checker_catches_double_send_protocol(self):
+        inst = batch_instance(1, window=64)
+        with pytest.raises(InvariantViolationError, match="duplicate delivery"):
+            simulate(inst, self.factory, seed=0, invariants=True)
+
+    def test_without_invariants_bug_goes_unnoticed(self):
+        # The finalize cross-check sees a delivered job and calls it a
+        # success; nothing flags the re-sends.  This contrast is the
+        # reason the runtime audit exists.
+        inst = batch_instance(1, window=64)
+        res = simulate(inst, self.factory, seed=0)
+        assert res.n_succeeded == 1
+
+    def test_clean_protocols_pass_audit(self):
+        inst = batch_instance(12, window=1024)
+        res = simulate(inst, uniform_factory(), seed=1, invariants=True)
+        assert len(res) == 12
+
+    def test_erasure_fault_sets_allow_redelivery(self):
+        # A *correct* transmitter that never learns of its success will
+        # legitimately re-send; with the erasure fault active the engine
+        # must relax only the duplicate-delivery check.
+        inst = batch_instance(6, window=512)
+        plan = FaultPlan(
+            feedback=FeedbackFault(
+                p_success_erasure=1.0, affect_transmitters=True
+            )
+        )
+        res = simulate(
+            inst, uniform_factory(), seed=2, faults=plan, invariants=True
+        )
+        assert res.n_succeeded == len(res)

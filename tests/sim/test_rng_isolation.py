@@ -6,6 +6,8 @@ identical* protocol behaviour, and enabling one that does fire perturbs
 only the outcomes it directly touches.
 """
 
+import warnings
+
 import numpy as np
 
 from repro.channel.jamming import PeriodicJammer, StochasticJammer
@@ -49,10 +51,13 @@ class TestPairedRandomness:
         jamming changes outcomes but not *when* jobs transmit."""
         inst = batch_instance(8, window=128)
         plain = simulate(inst, uniform_factory(), seed=1, trace=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # deliberately past 1/2
+            jam = StochasticJammer(1.0)
         jammed = simulate(
             inst,
             uniform_factory(),
-            jammer=StochasticJammer(1.0),
+            jammer=jam,
             seed=1,
             trace=True,
         )

@@ -7,6 +7,8 @@ different key, and a corrupted entry falls back to recomputation.
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 import repro.experiments.parallel as parallel_mod
@@ -79,6 +81,44 @@ class TestRunKey:
             **{**base, "protocol": lambda instance: uniform_factory()}
         )
 
+    def test_fault_plan_changes_key_and_noop_plan_does_not(self):
+        from repro.channel.jamming import BudgetJammer
+        from repro.faults import FaultPlan, FeedbackFault, JobFault
+
+        base = dict(instance=build_small(), protocol=protocol, seed=3)
+        clean = run_key(**base)
+        # Clean keys are unchanged by the faults parameter existing:
+        # None and a no-op plan both digest exactly like the old layout.
+        assert run_key(**base, faults=None) == clean
+        assert run_key(**base, faults=FaultPlan()) == clean
+        assert run_key(**base, faults=FaultPlan(feedback=FeedbackFault())) == clean
+        # A real plan changes the key; different plans get different keys.
+        faulted = run_key(
+            **base, faults=FaultPlan(feedback=FeedbackFault(0.1))
+        )
+        assert faulted != clean
+        assert faulted != run_key(
+            **base, faults=FaultPlan(feedback=FeedbackFault(0.2))
+        )
+        assert faulted != run_key(
+            **base, faults=FaultPlan(jobs=JobFault(p_crash=0.1))
+        )
+
+    def test_spent_jammer_digests_like_fresh(self):
+        from repro.channel.jamming import BudgetJammer
+        from repro.faults import FaultPlan
+
+        base = dict(instance=build_small(), protocol=protocol, seed=3)
+        spent = BudgetJammer(10)
+        spent.remaining = 0  # as if a previous run consumed it
+        fresh_key = run_key(**base, faults=FaultPlan(jammer=BudgetJammer(10)))
+        assert run_key(**base, faults=FaultPlan(jammer=spent)) == fresh_key
+        direct = BudgetJammer(10)
+        direct.remaining = 3
+        assert run_key(**base, jammer=direct) == run_key(
+            **base, jammer=BudgetJammer(10)
+        )
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
@@ -148,9 +188,11 @@ class TestRunSeedsCaching:
     def test_jammer_change_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
         run_seeds(build_small, protocol, seeds=[0], cache=cache)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # deliberately past 1/2
+            jam = StochasticJammer(1.0)
         run_seeds(
-            build_small, protocol, seeds=[0],
-            jammer=StochasticJammer(1.0), cache=cache,
+            build_small, protocol, seeds=[0], jammer=jam, cache=cache,
         )
         assert cache.puts == 2  # different key, not a hit
 

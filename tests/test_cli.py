@@ -256,3 +256,124 @@ class TestReport:
         )
         assert rc == 0
         assert "# Experiment report" in dest.read_text()
+
+
+class TestSimulateFaults:
+    def test_fault_flag_parsed_and_reported(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--workload", "batch",
+                "--n", "6",
+                "--window", "3000",
+                "--protocol", "uniform",
+                "--fault", "jobs:0.5",
+                "--check-invariants",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "faults:" in out
+
+    def test_fault_flag_rejects_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--workload", "batch",
+                    "--window", "3000",
+                    "--protocol", "uniform",
+                    "--fault", "jobs",
+                ]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--workload", "batch",
+                    "--window", "3000",
+                    "--protocol", "uniform",
+                    "--fault", "jobs:lots",
+                ]
+            )
+
+    def test_jamming_fault_conflicts_with_jam_flag(self):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                [
+                    "simulate",
+                    "--workload", "batch",
+                    "--window", "3000",
+                    "--protocol", "uniform",
+                    "--fault", "jam:0.3",
+                    "--jam", "0.2",
+                ]
+            )
+
+
+class TestRobustness:
+    def test_profile_table(self, capsys):
+        rc = main(
+            [
+                "robustness",
+                "--workload", "batch",
+                "--n", "8",
+                "--window", "4000",
+                "--protocols", "uniform",
+                "--families", "jobs",
+                "--severities", "0,0.5",
+                "--seeds", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault family: jobs" in out
+        assert "uniform" in out
+
+    def test_threshold_note_printed(self, capsys):
+        rc = main(
+            [
+                "robustness",
+                "--workload", "batch",
+                "--n", "8",
+                "--window", "4000",
+                "--protocols", "uniform",
+                "--families", "jam",
+                "--severities", "0,0.5",
+                "--seeds", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Thm 14 boundary" in out
+        assert "boundary of Theorem 14" in out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit, match="unknown fault family"):
+            main(
+                [
+                    "robustness",
+                    "--workload", "batch",
+                    "--window", "3000",
+                    "--protocols", "uniform",
+                    "--families", "gremlins",
+                ]
+            )
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit, match="unavailable"):
+            main(
+                [
+                    "robustness",
+                    "--workload", "batch",
+                    "--window", "3000",
+                    "--protocols", "aligned",  # needs single-class workload
+                    "--families", "jobs",
+                ]
+            )
+
+    def test_smoke_runs_clean(self, capsys):
+        rc = main(["robustness", "--smoke"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault family: rate" in out

@@ -7,7 +7,7 @@ builders used here live at module scope.
 import pytest
 
 from repro.core.uniform import uniform_factory
-from repro.channel.jamming import StochasticJammer
+from repro.channel.jamming import PaperGuaranteeWarning, StochasticJammer
 from repro.errors import ReproError
 from repro.experiments import (
     SeedExecutionError,
@@ -52,15 +52,20 @@ class TestInline:
         assert d.n_succeeded == res.n_succeeded
 
     def test_jammer_forwarded(self):
+        with pytest.warns(PaperGuaranteeWarning):
+            jam = StochasticJammer(1.0)
         digests = run_seeds(
-            build_sparse, protocol, seeds=range(5),
-            jammer=StochasticJammer(1.0),
+            build_sparse, protocol, seeds=range(5), jammer=jam,
         )
         assert all(d.n_succeeded == 0 for d in digests)
 
 
 def build_failing():
     raise RuntimeError("instance builder exploded")
+
+
+def failing_protocol(instance):
+    raise RuntimeError("protocol builder exploded")
 
 
 class TestProcessPool:
@@ -155,3 +160,66 @@ class TestAggregate:
         summary = aggregate([])
         assert summary["runs"] == 0
         assert summary["success_rate"] == 1.0
+
+
+class TestRetries:
+    def test_transient_failures_retried_only_for_failed_seeds(
+        self, monkeypatch
+    ):
+        import repro.experiments.parallel as par
+
+        real = par._run_one
+        calls = {"n": 0}
+        failed_once = set()
+
+        def flaky(job):
+            calls["n"] += 1
+            if job.seed == 2 and job.seed not in failed_once:
+                failed_once.add(job.seed)
+                raise RuntimeError("transient glitch")
+            return real(job)
+
+        monkeypatch.setattr(par, "_run_one", flaky)
+        digests = run_seeds(
+            build_sparse, protocol, seeds=[0, 1, 2],
+            retries=2, retry_backoff=0.0,
+        )
+        assert [d.seed for d in digests] == [0, 1, 2]
+        # three first-round calls + one retry of the single failed seed
+        assert calls["n"] == 4
+
+    def test_deterministic_failure_exhausts_retries(self, monkeypatch):
+        import repro.experiments.parallel as par
+
+        calls = {"n": 0}
+
+        def always_fail(job):
+            calls["n"] += 1
+            raise RuntimeError("permanent failure")
+
+        monkeypatch.setattr(par, "_run_one", always_fail)
+        with pytest.raises(SeedExecutionError):
+            run_seeds(
+                build_sparse, protocol, seeds=[5],
+                retries=3, retry_backoff=0.0,
+            )
+        assert calls["n"] == 4  # initial attempt + 3 retries
+
+    def test_error_carries_protocol_and_instance_digest(self):
+        with pytest.raises(SeedExecutionError) as err:
+            run_seeds(build_sparse, failing_protocol, seeds=[0])
+        assert err.value.seed == 0
+        assert "failing_protocol" in err.value.protocol
+        assert err.value.instance_digest  # content digest of the workload
+        assert err.value.instance_digest[:12] in str(err.value)
+        assert "protocol" in str(err.value)
+
+    def test_builder_failure_still_reports_without_digest(self):
+        with pytest.raises(SeedExecutionError) as err:
+            run_seeds(build_failing, protocol, seeds=[0])
+        assert err.value.instance_digest is None  # instance never built
+        assert err.value.protocol is not None
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_seeds(build_sparse, protocol, seeds=[0], retries=-1)
