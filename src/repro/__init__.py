@@ -27,6 +27,9 @@ from scratch:
   :mod:`repro.sim.invariants`;
 * :mod:`repro.fastpath` — vectorized numpy equivalents of the
   statistically heavy inner loops;
+* :mod:`repro.obs` — run telemetry: a metrics registry, typed protocol
+  lifecycle events, wall-clock spans, and JSONL artifacts summarized by
+  ``repro obs``;
 * :mod:`repro.analysis` — the paper's closed-form bounds, contention
   analyses, statistics, and plain-text tables.
 
@@ -83,6 +86,14 @@ from repro.errors import (
     SimulationError,
 )
 from repro.faults import ClockFault, FaultPlan, FeedbackFault, JobFault
+from repro.obs import (
+    EventLog,
+    EventSink,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryArtifact,
+    read_artifact,
+)
 from repro.params import AlignedParams, PunctualParams, UniformParams
 from repro.sim import (
     Instance,
@@ -151,6 +162,13 @@ __all__ = [
     "FaultPlan",
     "FeedbackFault",
     "JobFault",
+    # observability
+    "EventLog",
+    "EventSink",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryArtifact",
+    "read_artifact",
     # sim
     "ENGINE_VERSION",
     "Instance",

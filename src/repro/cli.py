@@ -6,6 +6,8 @@ Usage (also ``python -m repro ...``)::
     repro compare  --workload sensors --seeds 3
     repro feasibility --workload harmonic --n 256 --gamma 0.5
     repro schedule --small-level 9
+    repro simulate --protocol punctual --telemetry out.jsonl
+    repro obs out.jsonl
 
 Subcommands
 -----------
@@ -17,6 +19,13 @@ Subcommands
     Builds a workload and reports its peak density / slack certificate.
 ``schedule``
     Regenerates a Figure-1-style pecking-order schedule as ASCII art.
+``obs``
+    Summarizes telemetry JSONL artifacts written by ``--telemetry``
+    (available on ``simulate`` / ``sweep`` / ``compare`` /
+    ``robustness``): top metrics, per-phase timing, lifecycle event
+    counts, leader churn, contention percentiles.
+
+``repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -147,6 +156,28 @@ def _cache_knob(args):
     return value
 
 
+def _telemetry_for(args: argparse.Namespace, command: str):
+    """A :class:`~repro.obs.Telemetry` collector when --telemetry is set."""
+    path = getattr(args, "telemetry", "")
+    if not path:
+        return None
+    from repro.obs import Telemetry
+
+    context: Dict[str, Any] = {"command": command}
+    for key in ("workload", "protocol", "protocols", "seed", "seeds", "jam"):
+        value = getattr(args, key, None)
+        if value not in (None, ""):
+            context[key] = value
+    return Telemetry(label=f"repro {command}", context=context)
+
+
+def _write_telemetry(tele, args: argparse.Namespace) -> None:
+    if tele is None:
+        return
+    path = tele.write_jsonl(args.telemetry)
+    print(f"wrote telemetry to {path} (summarize with: repro obs {path})")
+
+
 # -- picklable sweep/compare plumbing ---------------------------------------
 #
 # Multi-process runs ship the builders to worker processes, so they must
@@ -156,7 +187,12 @@ def _cache_knob(args):
 
 
 def _args_state(args: argparse.Namespace) -> Dict[str, Any]:
-    return {k: v for k, v in vars(args).items() if k != "func"}
+    # "telemetry" is observational and must not perturb cache keys
+    # (the state dict is digested into run_key via the build/protocol
+    # partials), so it never enters the state.
+    return {
+        k: v for k, v in vars(args).items() if k not in ("func", "telemetry")
+    }
 
 
 def _build_workload_from_state(state: Dict[str, Any], **params: Any) -> Instance:
@@ -171,7 +207,12 @@ def _protocol_from_state(state: Dict[str, Any], name: str, instance: Instance):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    instance = _build_workload(args)
+    tele = _telemetry_for(args, "simulate")
+    if tele is not None:
+        with tele.span("build"):
+            instance = _build_workload(args)
+    else:
+        instance = _build_workload(args)
     factories = _protocol_factories(args, instance)
     if args.protocol not in factories:
         raise SystemExit(
@@ -195,6 +236,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         trace=args.trace or bool(args.export_trace),
         faults=faults,
         invariants=args.check_invariants,
+        telemetry=tele,
     )
     if faults is not None:
         print(f"faults: {faults.describe()}")
@@ -212,6 +254,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         write_csv(trace_to_records(result.trace), args.export_trace)
         print(f"wrote per-slot trace to {args.export_trace}")
+    _write_telemetry(tele, args)
     return 0 if result.success_rate >= args.require_success else 1
 
 
@@ -224,6 +267,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         token = token.strip()
         values.append(float(token) if "." in token else int(token))
 
+    tele = _telemetry_for(args, "sweep")
     state = _args_state(args)
     sweep = Sweep(
         build=functools.partial(_build_workload_from_state, state),
@@ -232,6 +276,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         jammer=_jammer(args) if args.jam > 0 else None,
         processes=args.processes,
         cache=_cache_knob(args),
+        telemetry=tele,
     )
     points = sweep.run({args.param: values})
     print(
@@ -243,12 +288,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    _write_telemetry(tele, args)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments import run_seeds
 
+    tele = _telemetry_for(args, "compare")
     instance = _build_workload(args)
     factories = _protocol_factories(args, instance)
     state = _args_state(args)
@@ -262,6 +309,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             jammer=_jammer(args),
             processes=args.processes,
             cache=_cache_knob(args),
+            telemetry=tele,
         )
         ok = sum(d.n_succeeded for d in digests)
         total = sum(d.n_jobs for d in digests)
@@ -273,6 +321,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"workload: {instance.summary()}",
         )
     )
+    _write_telemetry(tele, args)
     return 0
 
 
@@ -320,6 +369,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         name: functools.partial(_protocol_from_state, state, name)
         for name in names
     }
+    tele = _telemetry_for(args, "robustness")
     report = run_robustness(
         build,
         protocols,
@@ -330,8 +380,10 @@ def cmd_robustness(args: argparse.Namespace) -> int:
         processes=args.processes,
         cache=_cache_knob(args),
         retries=args.retries,
+        telemetry=tele,
     )
     print(report.render())
+    _write_telemetry(tele, args)
     if any(s == JAM_THRESHOLD for s in severities) and "jam" in families:
         print(
             f"\nseverity {JAM_THRESHOLD} of family 'jam' is the exact "
@@ -432,6 +484,29 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Summarize one or more telemetry JSONL artifacts."""
+    import pathlib
+
+    from repro.obs import read_artifact, render_reports
+
+    artifacts = []
+    for path in args.artifacts:
+        if not pathlib.Path(path).is_file():
+            print(f"no telemetry artifact at {path}")
+            return 1
+        artifacts.append(read_artifact(path))
+    print(render_reports(artifacts))
+    return 0
+
+
+def _add_telemetry_flag(sp) -> None:
+    sp.add_argument("--telemetry", default="", metavar="PATH",
+                    help="write a telemetry JSONL artifact (metrics, "
+                         "lifecycle events, spans) here; summarize it "
+                         "with 'repro obs PATH'")
+
+
 def _add_perf_flags(sp) -> None:
     sp.add_argument("--processes", type=int, default=1,
                     help="worker processes for seed replication")
@@ -441,10 +516,14 @@ def _add_perf_flags(sp) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Contention resolution with message deadlines (SPAA 2020)",
     )
+    p.add_argument("--version", action="version",
+                   version=f"%(prog)s {__version__}")
     sub = p.add_subparsers(dest="command", required=True)
 
     def add_common(sp):
@@ -482,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write per-job outcomes to this CSV")
     sim.add_argument("--export-trace", default="",
                      help="write the per-slot trace to this CSV")
+    _add_telemetry_flag(sim)
     sim.set_defaults(func=cmd_simulate)
 
     swp = sub.add_parser(
@@ -497,12 +577,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated values, e.g. 4,8,16")
     swp.add_argument("--seeds", type=int, default=3)
     _add_perf_flags(swp)
+    _add_telemetry_flag(swp)
     swp.set_defaults(func=cmd_sweep)
 
     cmp_ = sub.add_parser("compare", help="run every protocol on one workload")
     add_common(cmp_)
     cmp_.add_argument("--seeds", type=int, default=3)
     _add_perf_flags(cmp_)
+    _add_telemetry_flag(cmp_)
     cmp_.set_defaults(func=cmd_compare)
 
     rob = sub.add_parser(
@@ -527,7 +609,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fast CI chaos smoke: ALIGNED under a budgeted "
                           "adversary with the invariant checker on")
     _add_perf_flags(rob)
+    _add_telemetry_flag(rob)
     rob.set_defaults(func=cmd_robustness)
+
+    obs = sub.add_parser(
+        "obs", help="summarize telemetry artifacts written by --telemetry"
+    )
+    obs.add_argument("artifacts", nargs="+",
+                     help="telemetry JSONL path(s) to summarize")
+    obs.set_defaults(func=cmd_obs)
 
     feas = sub.add_parser("feasibility", help="report a workload's slack")
     add_common(feas)

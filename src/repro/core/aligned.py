@@ -70,6 +70,13 @@ class AlignedMachine:
         self.last_p = 0.0
         self._my_subphase_slot: int = -1  # drawn at each subphase start
         self._transmitting = False
+        # Optional telemetry sink (repro.obs.events.EventSink); the
+        # embedding protocol propagates it.  Once-per-lifecycle flags keep
+        # phase events from repeating every slot.
+        self.events = None
+        self._ev_agreed = False
+        self._ev_estimating = False
+        self._ev_broadcasting = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -100,12 +107,27 @@ class AlignedMachine:
             # completed run leaves no further steps to take).
             if my_run.done and not self.succeeded:
                 self.gave_up = True
+                if self.events is not None:
+                    self.events.emit(
+                        "aligned.exhausted", v, self.job_id, level=self.level
+                    )
             return None
         if active != self.level:
             return None  # a smaller class holds the channel; wait.
+        if self.events is not None and not self._ev_agreed:
+            self._ev_agreed = True
+            self.events.emit(
+                "aligned.class_agreement", v, self.job_id, level=self.level
+            )
 
         step = my_run.next_step()
         if isinstance(step, EstimationStep):
+            if self.events is not None and not self._ev_estimating:
+                self._ev_estimating = True
+                self.events.emit(
+                    "aligned.estimation_started", v, self.job_id,
+                    level=self.level,
+                )
             p = 1.0 / (1 << step.phase)
             self.last_p = p
             if self.rng.random() < p:
@@ -113,6 +135,16 @@ class AlignedMachine:
                 return EstimateReport(self.job_id, step.phase)
             return None
         assert isinstance(step, BroadcastStep)
+        if self.events is not None and not self._ev_broadcasting:
+            self._ev_broadcasting = True
+            if self._ev_estimating:
+                self.events.emit(
+                    "aligned.estimation_converged", v, self.job_id,
+                    level=self.level,
+                )
+            self.events.emit(
+                "aligned.broadcast_started", v, self.job_id, level=self.level
+            )
         pos = step.position
         if pos.subphase_start:
             self._my_subphase_slot = int(self.rng.integers(pos.length))
@@ -149,6 +181,10 @@ class AlignedProtocol(Protocol):
             ctx.job_id, window_class(ctx.window), params, ctx.rng
         )
         self.last_p = 0.0
+
+    def bind_telemetry(self, sink) -> None:
+        super().bind_telemetry(sink)
+        self.machine.events = sink
 
     def on_begin(self, slot: int) -> None:
         if slot % self.ctx.window != 0:

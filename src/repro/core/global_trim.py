@@ -66,6 +66,9 @@ class TrimmedAlignedProtocol(Protocol):
         self.machine = AlignedMachine(
             self.ctx.job_id, level, self.params, self.ctx.rng
         )
+        if self._events is not None:
+            # bind_telemetry() ran before begin(); hand the sink down.
+            self.machine.events = self._events
         self.machine.begin(lo)
 
     def on_act(self, slot: int) -> Optional[Message]:

@@ -164,6 +164,7 @@ class PunctualProtocol(Protocol):
             last = t + ROUND_LENGTH >= self.eff_end
             if last:
                 self.stage = Stage.FINISHED  # resolved in observe
+                self.emit("punctual.leader_abdicated", t)
                 return TimekeeperBeacon(
                     self.ctx.job_id,
                     global_time=vtime,
@@ -180,6 +181,7 @@ class PunctualProtocol(Protocol):
         if self.stage is Stage.HANDOVER:
             off = self._my_offset if self._my_offset is not None else 0
             self.stage = Stage.FINISHED  # resolved in observe
+            self.emit("punctual.leader_handover", t)
             return TimekeeperBeacon(
                 self.ctx.job_id,
                 global_time=self._local_round(t) + off,
@@ -231,6 +233,7 @@ class PunctualProtocol(Protocol):
             self.sync.observe(slot, obs)
             if self.sync.synced:
                 self.stage = Stage.WAIT_TK
+                self.emit("punctual.synced", slot)
             return
 
         role = self.sync.role(slot)
@@ -276,7 +279,7 @@ class PunctualProtocol(Protocol):
             if lv is not None and lv.deadline_round >= self._my_deadline_round(t):
                 self._enter_follow(t)
             else:
-                self._enter_slingshot()
+                self._enter_slingshot(t)
             return
         # RECHECK: accept a leader covering at least half my deadline.
         start = self.eff_end - self.eff_window
@@ -292,10 +295,12 @@ class PunctualProtocol(Protocol):
             self._enter_follow(t)
         else:
             self.stage = Stage.ANARCHIST
+            self.emit("punctual.anarchist_release", t)
 
-    def _enter_slingshot(self) -> None:
+    def _enter_slingshot(self, t: int) -> None:
         self.stage = Stage.SLINGSHOT
         self.pullback_left = self.params.pullback_duration(self.eff_window)
+        self.emit("punctual.slingshot_entered", t)
 
     def _enter_follow(self, t: int) -> None:
         """Adopt the leader; trim and build the embedded ALIGNED machine.
@@ -307,6 +312,7 @@ class PunctualProtocol(Protocol):
         self.machine = None
         self.trim = None
         self._machine_offset = None
+        self.emit("punctual.follow_entered", t)
         self._try_build_machine(t)
 
     def _try_build_machine(self, t: int) -> None:
@@ -317,6 +323,7 @@ class PunctualProtocol(Protocol):
         v_lo, v_hi = v + 1, v + rounds_left
         if v_hi - v_lo < 2:
             self.stage = Stage.ANARCHIST
+            self.emit("punctual.anarchist_release", t)
             return
         s, e = trimmed_window(v_lo, v_hi)
         level = window_class(e - s)
@@ -324,10 +331,13 @@ class PunctualProtocol(Protocol):
             # trimmed window too small for the embedded schedule — the
             # paper's large-w₀ regime excludes this; simulate via anarchy.
             self.stage = Stage.ANARCHIST
+            self.emit("punctual.anarchist_release", t)
             return
         self.machine = AlignedMachine(
             self.ctx.job_id, level, self.params.aligned, self.ctx.rng
         )
+        if self._events is not None:
+            self.machine.events = self._events
         self.machine.begin(s)
         self.trim = (s, e)
         self._machine_offset = self.tracker.vtime_offset
@@ -346,6 +356,10 @@ class PunctualProtocol(Protocol):
             # are the only source of the vtime offset.)
             self._pending_skip = 1 if self.tracker.vtime_offset is not None else 0
             self.stage = Stage.LEADER_PENDING
+            self.emit(
+                "punctual.leader_elected", t,
+                deadline_round=self._my_deadline_round(t),
+            )
             return
         r = self._local_round(t)
         lv = self.tracker.current(r)
@@ -380,12 +394,14 @@ class PunctualProtocol(Protocol):
             self.machine = None
             self.trim = None
             self.stage = Stage.WAIT_TK
+            self.emit("punctual.leader_lost", t)
             return
         # 4. trimmed window expired without completion: truncation
         if self.machine is not None and self.trim is not None:
             v = self._vnow(t)
             if v is not None and v >= self.trim[1] and not self.machine.finished:
                 self.gave_up = True
+                self.emit("punctual.truncation", t, v_hi=self.trim[1])
 
     def _observe_leader(self, t: int, role: SlotRole, obs: Observation) -> None:
         # A later-deadline claimant deposes me.
@@ -398,6 +414,9 @@ class PunctualProtocol(Protocol):
             r = self._local_round(t)
             claim_deadline = r + obs.message.deadline
             if claim_deadline > self._my_deadline_round(t):
+                self.emit(
+                    "punctual.leader_deposed", t, by=obs.message.sender
+                )
                 if self.stage is Stage.LEADER:
                     self.stage = Stage.HANDOVER
                 else:

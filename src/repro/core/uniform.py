@@ -67,6 +67,7 @@ class UniformProtocol(Protocol):
             and self.local_age(slot) >= max(self.chosen)
         ):
             self.gave_up = True
+            self.emit("uniform.exhausted", slot, attempts=len(self.chosen))
 
 
 def uniform_factory(params: UniformParams = UniformParams()):

@@ -56,6 +56,7 @@ from repro.sim.instance import Instance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultPlan
+    from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "BoundBuilder",
@@ -213,7 +214,9 @@ def compute_chunksize(n_tasks: int, processes: int) -> int:
     return max(1, min(64, -(-n_tasks // (processes * 4))))
 
 
-def _run_one(job: ParallelJob) -> SeedDigest:
+def _run_one(
+    job: ParallelJob, telemetry: Optional["Telemetry"] = None
+) -> SeedDigest:
     instance = job.build()
     result = simulate(
         instance,
@@ -222,6 +225,7 @@ def _run_one(job: ParallelJob) -> SeedDigest:
         seed=job.seed,
         faults=job.faults,
         invariants=job.check_invariants,
+        telemetry=telemetry,
     )
     return SeedDigest(
         seed=job.seed,
@@ -235,10 +239,16 @@ def _run_one(job: ParallelJob) -> SeedDigest:
     )
 
 
-def _run_one_safe(job: ParallelJob) -> Union[SeedDigest, _WorkerFailure]:
+def _run_one_safe(
+    job: ParallelJob, telemetry: Optional["Telemetry"] = None
+) -> Union[SeedDigest, _WorkerFailure]:
     """Worker entry point: never raises, reports the failing seed."""
     try:
-        return _run_one(job)
+        # single-arg call when un-instrumented: _run_one is a documented
+        # monkeypatch seam for failure-injection tests
+        if telemetry is None:
+            return _run_one(job)
+        return _run_one(job, telemetry)
     except Exception:
         return _WorkerFailure(seed=job.seed, formatted=traceback.format_exc())
 
@@ -271,6 +281,7 @@ def run_seeds(
     chunksize: Optional[int] = None,
     retries: int = 0,
     retry_backoff: float = 0.25,
+    telemetry: Optional["Telemetry"] = None,
 ) -> List[SeedDigest]:
     """Run every seed, optionally across a process pool and a cache.
 
@@ -308,12 +319,25 @@ def run_seeds(
         still fail after exhausting retries, raising
         :class:`SeedExecutionError` with the protocol name and instance
         digest attached.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collector.
+        Records a ``run_seeds`` span, cache hit/miss/write deltas,
+        retry-round and worker-failure counters — and, on the inline
+        path (``processes=1``), full per-run engine telemetry.  Worker
+        processes cannot share the collector, so with ``processes>1``
+        only the scheduling-level telemetry is recorded.  Never changes
+        results.
     """
     seeds = list(seeds)
     total = len(seeds)
     cache_obj = as_cache(cache)
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    t_started = time.perf_counter()
+    if telemetry is not None and cache_obj is not None:
+        c_hits, c_misses, c_puts = (
+            cache_obj.hits, cache_obj.misses, cache_obj.puts,
+        )
 
     results: Dict[int, SeedDigest] = {}  # position -> digest
     pending: List[Tuple[int, ParallelJob, Optional[str]]] = []
@@ -362,7 +386,7 @@ def run_seeds(
         ] = []
         if processes <= 1:
             for pos, job, key in pending:
-                result = _run_one_safe(job)
+                result = _run_one_safe(job, telemetry)
                 if isinstance(result, _WorkerFailure):
                     failures.append((pos, job, key, result))
                 else:
@@ -410,6 +434,10 @@ def run_seeds(
                 )
         if not failures:
             break
+        if telemetry is not None:
+            telemetry.metrics.counter("runs.worker_failures").inc(
+                len(failures)
+            )
         if attempt >= retries:
             pos, job, key, failure = failures[0]
             raise SeedExecutionError(
@@ -419,10 +447,20 @@ def run_seeds(
                 instance_digest=_instance_digest_of(job),
             )
         attempt += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("runs.retries").inc()
         if retry_backoff > 0:
             time.sleep(retry_backoff * (2 ** (attempt - 1)))
         pending = [(pos, job, key) for pos, job, key, _ in failures]
 
+    if telemetry is not None:
+        telemetry.add_span("run_seeds", time.perf_counter() - t_started)
+        if cache_obj is not None:
+            telemetry.record_cache(
+                cache_obj.hits - c_hits,
+                cache_obj.misses - c_misses,
+                cache_obj.puts - c_puts,
+            )
     return [results[pos] for pos in range(total)]
 
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -64,6 +65,9 @@ from repro.experiments.parallel import (
     run_seeds,
 )
 from repro.faults import ClockFault, FaultPlan, FeedbackFault, JobFault
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "FAULT_FAMILIES",
@@ -253,6 +257,7 @@ def run_robustness(
     cache: Union[None, bool, str, ResultCache] = None,
     retries: int = 0,
     progress: Optional[Callable[[str, str, float], None]] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> RobustnessReport:
     """Chart every protocol's degradation across fault families.
 
@@ -276,6 +281,11 @@ def run_robustness(
     progress:
         Called as ``progress(family, protocol, severity)`` before each
         cell runs.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collector
+        passed to every cell's :func:`run_seeds` call (fault-plan
+        bindings show up as ``fault.plan_bound`` events on the inline
+        path).
 
     Remaining knobs (``processes``, ``cache``, ``retries``) pass through
     to :func:`run_seeds` per cell.
@@ -304,6 +314,7 @@ def run_robustness(
                     processes=processes,
                     cache=cache,
                     retries=retries,
+                    telemetry=telemetry,
                 )
                 ok = sum(d.n_succeeded for d in digests)
                 total = sum(d.n_jobs for d in digests)

@@ -60,6 +60,7 @@ from repro.sim.instance import Instance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultPlan
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["SweepPoint", "Sweep"]
 
@@ -164,6 +165,12 @@ class Sweep:
         a killed run is ignored and recomputed).  Combine with
         ``cache=`` so even the recomputed point replays its finished
         seeds from cache.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collector.
+        Each grid point is timed as a ``sweep.point`` span, and the
+        point's seed replication passes the collector down to
+        :func:`~repro.experiments.parallel.run_seeds` (engine-level
+        telemetry on the inline path, scheduling-level always).
     """
 
     def __init__(
@@ -180,6 +187,7 @@ class Sweep:
         check_invariants: bool = False,
         retries: int = 0,
         checkpoint: Union[None, str, Path] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         if seeds < 1:
             raise ValueError("seeds must be >= 1")
@@ -194,6 +202,7 @@ class Sweep:
         self.check_invariants = check_invariants
         self.retries = retries
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.telemetry = telemetry
 
     def run_point(self, **params: Any) -> SweepPoint:
         """Run one grid point; aggregates across seeds."""
@@ -212,7 +221,12 @@ class Sweep:
             processes=self.processes,
             cache=self.cache,
             retries=self.retries,
+            telemetry=self.telemetry,
         )
+        if self.telemetry is not None:
+            self.telemetry.add_span(
+                "sweep.point", time.perf_counter() - t0
+            )
         ok = sum(d.n_succeeded for d in digests)
         total = sum(d.n_jobs for d in digests)
         window_ok: Dict[int, int] = {}

@@ -1,0 +1,64 @@
+"""repro.obs — run telemetry: metrics, lifecycle events, spans, reports.
+
+The observability layer for the whole stack.  One
+:class:`~repro.obs.telemetry.Telemetry` object rides through
+``simulate`` / ``run_seeds`` / ``Sweep`` / ``run_robustness`` as an
+optional argument, collecting:
+
+* **metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  / :class:`Timer` in a :class:`MetricsRegistry`;
+* **lifecycle events** — typed, taxonomy-named protocol events (leader
+  elections, estimation convergence, anarchist releases, job fates)
+  through an engine-owned :class:`EventSink`;
+* **spans** — wall-clock phase timings;
+
+and serializing everything to a JSONL artifact that ``repro obs``
+summarizes.  Attaching telemetry never changes simulation results, and
+leaving it off costs the engine nothing (see docs/OBSERVABILITY.md for
+the guarantees and the artifact schema).
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    Event,
+    EventLog,
+    EventSink,
+    NullSink,
+    family_of,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.report import render_report, render_reports
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    SpanRecord,
+    Telemetry,
+    TelemetryArtifact,
+    read_artifact,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "TELEMETRY_SCHEMA",
+    "Counter",
+    "Event",
+    "EventLog",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSink",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetryArtifact",
+    "Timer",
+    "family_of",
+    "read_artifact",
+    "render_report",
+    "render_reports",
+]

@@ -1,0 +1,276 @@
+"""A small metrics registry: counters, gauges, histograms, timers.
+
+The telemetry layer's accounting primitives.  Design constraints, in
+order:
+
+1. **Zero cost when absent** — nothing in this module is imported or
+   instantiated by the simulation engine unless a
+   :class:`~repro.obs.telemetry.Telemetry` object is attached, so the
+   clean fast path never pays for observability.
+2. **Cheap when present** — metrics are plain Python attributes behind
+   ``__slots__``; incrementing a counter is one attribute add, and
+   histograms append raw floats (summaries are computed lazily at
+   export time, never per observation).
+3. **NaN-aware** — histogram reductions skip NaN samples (protocols
+   without a ``last_p`` report contention as NaN; one such protocol
+   must not poison a whole run's percentiles).
+
+All metric types serialize themselves to plain dicts via
+``as_record()`` for the JSONL artifact (see
+:mod:`repro.obs.telemetry`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, slots, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "type": "metric",
+            "metric": "counter",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A point-in-time value (last run's peak live set, a knob setting)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (``set`` only when larger)."""
+        if value > self.value:
+            self.value = float(value)
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "type": "metric",
+            "metric": "gauge",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A distribution of float samples with nan-aware lazy summaries.
+
+    Samples are appended raw (one list append per observation); count,
+    mean, max, and percentiles are computed only when asked, using
+    nan-skipping reductions so unreported samples never poison the
+    summary.
+    """
+
+    __slots__ = ("name", "values")
+
+    #: Percentiles serialized into the JSONL artifact.
+    PERCENTILES: Sequence[float] = (50.0, 90.0, 99.0)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        self.values.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def _valid(self) -> np.ndarray:
+        arr = np.asarray(self.values, dtype=np.float64)
+        return arr[~np.isnan(arr)]
+
+    @property
+    def count(self) -> int:
+        """Number of non-NaN samples."""
+        return int(self._valid().size)
+
+    def mean(self) -> float:
+        v = self._valid()
+        return float(v.mean()) if v.size else float("nan")
+
+    def max(self) -> float:
+        v = self._valid()
+        return float(v.max()) if v.size else float("nan")
+
+    def percentile(self, q: float) -> float:
+        v = self._valid()
+        return float(np.percentile(v, q)) if v.size else float("nan")
+
+    def percentiles(
+        self, qs: Optional[Sequence[float]] = None
+    ) -> Dict[float, float]:
+        qs = list(self.PERCENTILES if qs is None else qs)
+        v = self._valid()
+        if not v.size:
+            return {q: float("nan") for q in qs}
+        vals = np.percentile(v, qs)
+        return {float(q): float(x) for q, x in zip(qs, vals)}
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "type": "metric",
+            "metric": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean(),
+            "max": self.max(),
+            "percentiles": {
+                str(q): v for q, v in self.percentiles().items()
+            },
+        }
+
+
+class Timer:
+    """Accumulated wall-clock timings of one named operation.
+
+    ``time()`` returns a context manager; each exit adds one sample.
+    Only count / total / max are kept (spans carry the individual
+    timings — see :meth:`repro.obs.telemetry.Telemetry.span`).
+    """
+
+    __slots__ = ("name", "count", "total_seconds", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else float("nan")
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "type": "metric",
+            "metric": "timer",
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class _TimerContext:
+    __slots__ = ("timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self.timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.timer.add(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one telemetry session.
+
+    Each name maps to exactly one metric; asking for an existing name
+    with a different type raises, so two subsystems cannot silently
+    alias (say) a counter and a gauge.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, cls: type, name: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(Gauge, name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(Histogram, name)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(Timer, name)
+
+    def get(self, name: str) -> Optional[Any]:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """One serializable dict per metric, sorted by name."""
+        return [
+            self._metrics[name].as_record()
+            for name in sorted(self._metrics)
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``name -> scalar`` for counters/gauges (handy in tests)."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if isinstance(m, (Counter, Gauge)):
+                out[name] = m.value
+        return out

@@ -1,0 +1,188 @@
+"""Render ``repro obs`` reports from telemetry artifacts.
+
+Turns one or more JSONL artifacts (see :mod:`repro.obs.telemetry`) into
+the plain-text summary the CLI prints: top metrics, per-phase timing,
+event counts grouped by protocol family, leader-election churn,
+contention percentiles, and cache / retry / fault counters.  Pure
+functions over loaded :class:`~repro.obs.telemetry.TelemetryArtifact`
+objects — no simulation imports — so reports can be generated anywhere
+the artifact travels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.obs.events import family_of
+from repro.obs.telemetry import TelemetryArtifact
+
+__all__ = ["render_report", "render_reports"]
+
+#: Leader-churn event kinds, in display order.
+_CHURN_KINDS = (
+    "punctual.leader_elected",
+    "punctual.leader_deposed",
+    "punctual.leader_handover",
+    "punctual.leader_abdicated",
+    "punctual.leader_lost",
+    "punctual.anarchist_release",
+)
+
+
+def _fmt(value: Any) -> Any:
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        return round(value, 4)
+    return value
+
+
+def _top_metrics(art: TelemetryArtifact, limit: int = 14) -> str:
+    scalars = [
+        m for m in art.metrics if m.get("metric") in ("counter", "gauge")
+    ]
+    scalars.sort(key=lambda m: (-float(m.get("value", 0)), m["name"]))
+    rows = [
+        [m["name"], m["metric"], _fmt(m.get("value", 0))]
+        for m in scalars[:limit]
+    ]
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(
+        ["metric", "type", "value"], rows, title="top metrics"
+    )
+
+
+def _timing_table(art: TelemetryArtifact) -> str:
+    """Aggregate spans by name into the per-phase timing table."""
+    agg: Dict[str, List[float]] = {}
+    for s in art.spans:
+        agg.setdefault(s["name"], []).append(float(s["seconds"]))
+    if not agg:
+        return "(no spans recorded)"
+    rows = []
+    for name in sorted(agg, key=lambda n: -sum(agg[n])):
+        vals = agg[name]
+        total = sum(vals)
+        rows.append(
+            [name, len(vals), _fmt(total), _fmt(total / len(vals)),
+             _fmt(max(vals))]
+        )
+    return format_table(
+        ["phase", "count", "total s", "mean s", "max s"],
+        rows,
+        title="per-phase timing",
+    )
+
+
+def _event_table(art: TelemetryArtifact) -> str:
+    counts = art.event_counts()
+    if not counts:
+        return "(no events recorded)"
+    rows = []
+    for kind in sorted(counts):
+        rows.append([family_of(kind), kind, counts[kind]])
+    return format_table(
+        ["family", "event", "count"],
+        rows,
+        title="lifecycle events by protocol family",
+    )
+
+
+def _churn_lines(art: TelemetryArtifact) -> Optional[str]:
+    counts = art.event_counts()
+    if not any(family_of(k) == "punctual" for k in counts):
+        return None
+    parts = [
+        f"{kind.split('.', 1)[1]}={counts.get(kind, 0)}"
+        for kind in _CHURN_KINDS
+    ]
+    return "leader-election churn: " + ", ".join(parts)
+
+
+def _contention_lines(art: TelemetryArtifact) -> str:
+    m = art.metric("contention")
+    if m is None or not m.get("count"):
+        return "contention: (no protocol reported transmit probabilities)"
+    pct = m.get("percentiles", {})
+    parts = [f"p{q.split('.')[0]}={_fmt(float(v))}" for q, v in pct.items()]
+    parts.append(f"max={_fmt(float(m.get('max', float('nan'))))}")
+    parts.append(f"mean={_fmt(float(m.get('mean', float('nan'))))}")
+    return (
+        f"contention C(t) over {m['count']} slots: " + ", ".join(parts)
+    )
+
+
+def _cache_fault_lines(art: TelemetryArtifact) -> str:
+    hits = art.counter_value("cache.hits")
+    misses = art.counter_value("cache.misses")
+    puts = art.counter_value("cache.puts")
+    retries = art.counter_value("runs.retries")
+    failures = art.counter_value("runs.worker_failures")
+    faulted = art.counter_value("faults.runs_with_plan")
+    lines = [
+        f"cache: {hits} hits, {misses} misses, {puts} writes",
+        f"retries: {retries} rounds, {failures} worker failures",
+    ]
+    plans = [
+        e.get("data", {}).get("plan")
+        for e in art.events
+        if e.get("kind") == "fault.plan_bound"
+    ]
+    if faulted or plans:
+        uniq = sorted({p for p in plans if p})
+        lines.append(
+            f"faults: {faulted} runs under a plan"
+            + (f" ({'; '.join(uniq)})" if uniq else "")
+        )
+    else:
+        lines.append("faults: none injected")
+    return "\n".join(lines)
+
+
+def render_report(art: TelemetryArtifact) -> str:
+    """The full plain-text report for one artifact."""
+    man = art.manifest or {}
+    header = [f"== telemetry: {art.path} =="]
+    if man:
+        label = man.get("label", "run")
+        header.append(f"label: {label}  (schema {man.get('schema', '?')})")
+        ctx = man.get("context") or {}
+        for key in sorted(ctx):
+            header.append(f"{key}: {ctx[key]}")
+    if art.summary is None:
+        header.append(
+            "WARNING: no summary line — artifact looks truncated"
+        )
+    sections = [
+        "\n".join(header),
+        _top_metrics(art),
+        _timing_table(art),
+        _event_table(art),
+    ]
+    churn = _churn_lines(art)
+    if churn is not None:
+        sections.append(churn)
+    sections.append(_contention_lines(art))
+    sections.append(_cache_fault_lines(art))
+    return "\n\n".join(sections)
+
+
+def render_reports(artifacts: Sequence[TelemetryArtifact]) -> str:
+    """Reports for several artifacts, plus a combined event tally."""
+    parts = [render_report(a) for a in artifacts]
+    if len(artifacts) > 1:
+        combined: Dict[str, int] = {}
+        for a in artifacts:
+            for kind, n in a.event_counts().items():
+                combined[kind] = combined.get(kind, 0) + n
+        rows = [[k, combined[k]] for k in sorted(combined)]
+        parts.append(
+            format_table(
+                ["event", "count"],
+                rows,
+                title=f"combined events across {len(artifacts)} artifacts",
+            )
+        )
+    return "\n\n".join(parts)

@@ -37,17 +37,21 @@ the suite, so it is written for throughput:
 * message delivery dispatches on the :attr:`Message.kind` tag rather
   than ``isinstance`` chains.
 
-Fault hook
-----------
+Fault and telemetry hooks
+-------------------------
 A :class:`~repro.faults.plan.FaultPlan` (``faults=``) lets the engine
-perturb feedback, clocks, and job lifecycles, and an
+perturb feedback, clocks, and job lifecycles, an
 :class:`~repro.sim.invariants.InvariantChecker` (``invariants=``) audits
-every slot.  Both are strictly pay-for-what-you-use: with neither
-attached the hot loop executes the exact same statements as before (the
-fault branches collapse to a handful of ``is None`` guards outside the
-per-listener fan-out), so results stay bit-identical to
-:data:`ENGINE_VERSION` 2 and throughput is preserved.  Fault randomness
-draws from dedicated RNG streams, never from the channel or job streams.
+every slot, and a :class:`~repro.obs.telemetry.Telemetry` object
+(``telemetry=``) collects metrics, lifecycle events, and spans.  All
+three are strictly pay-for-what-you-use: with none attached the hot
+loop executes the exact same statements as before (the hook branches
+collapse to a handful of ``is None`` guards outside the per-listener
+fan-out), so results stay bit-identical to :data:`ENGINE_VERSION` 2 and
+throughput is preserved.  Telemetry draws no randomness and never
+alters results — it only observes — so it is *not* folded into cache
+keys.  Fault randomness draws from dedicated RNG streams, never from
+the channel or job streams.
 
 Any change that alters simulation *semantics* (outcomes, slot counts,
 randomness consumption) must bump :data:`ENGINE_VERSION`, which the
@@ -82,6 +86,7 @@ from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
+    from repro.obs.telemetry import Telemetry
     from repro.sim.invariants import InvariantChecker
 
 __all__ = ["ENGINE_VERSION", "ProtocolFactory", "SlotObserver", "simulate"]
@@ -142,6 +147,7 @@ def simulate(
     horizon: Optional[int] = None,
     faults: Optional["FaultPlan"] = None,
     invariants: Union[bool, "InvariantChecker"] = False,
+    telemetry: Optional["Telemetry"] = None,
 ) -> SimulationResult:
     """Run one complete simulation and return per-job outcomes.
 
@@ -173,6 +179,12 @@ def simulate(
         :class:`~repro.sim.invariants.InvariantChecker`, or a
         caller-supplied checker instance (inspect it after the run).
         Violations raise :class:`repro.errors.InvariantViolationError`.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collector.
+        When attached, the engine records per-slot channel statistics
+        and contention, emits job lifecycle events, binds protocols to
+        the event sink (so they emit their own phase events), and times
+        the run as a ``simulate`` span.  Never changes results.
 
     Returns
     -------
@@ -232,6 +244,26 @@ def simulate(
     n_total = len(jobs_sorted)
     end = instance.horizon if horizon is None else min(horizon, instance.horizon)
 
+    # Telemetry is observational only: it consumes no randomness and
+    # takes no branch a protocol can see, so attaching it keeps results
+    # bit-identical.  With telemetry off, the per-slot cost is a single
+    # ``is None`` check (tele_slot), matching the recorder discipline.
+    tele = telemetry
+    if tele is not None:
+        tele.on_run_start(
+            seed=seed,
+            n_jobs=n_total,
+            horizon=end,
+            jammer=None if no_jam else jam,
+            faults=faults if bound is not None else None,
+        )
+        tele_slot = tele.record_slot
+        tele_events = tele.events
+    else:
+        tele_slot = None
+        tele_events = None
+    track_contention = recorder is not None or tele_slot is not None
+
     # Flat parallel views of the live set (same index across all lists).
     live_ids: List[int] = []
     live_jobs: List[Job] = []
@@ -262,6 +294,19 @@ def simulate(
             raise SimulationError(
                 f"job {job.job_id} claims success but no delivery was observed"
             )
+        if tele_events is not None:
+            if status is JobStatus.SUCCEEDED:
+                tele_events.emit(
+                    "job.success",
+                    comp,
+                    job.job_id,
+                    latency=comp - job.release + 1,
+                    transmissions=proto.transmissions,
+                )
+            elif status is JobStatus.GAVE_UP:
+                tele_events.emit("job.gave_up", -1, job.job_id)
+            else:
+                tele_events.emit("job.deadline_miss", job.deadline, job.job_id)
         outcomes[job.job_id] = JobOutcome(job, status, comp, proto.transmissions)
 
     while t < end or live_protos:
@@ -271,6 +316,15 @@ def simulate(
         while next_job < n_total and releases[next_job] == t:
             job = jobs_sorted[next_job]
             proto = factory(job, rngs.job_rng(job.job_id))
+            if tele_events is not None:
+                # Bind before begin(): protocols that construct inner
+                # machines in on_begin propagate the sink to them.
+                bind = getattr(proto, "bind_telemetry", None)
+                if bind is not None:
+                    bind(tele_events)
+                tele_events.emit(
+                    "job.activated", t, job.job_id, window=job.window
+                )
             if bound is None:
                 proto.begin(t)
                 act_fn = proto.act
@@ -303,10 +357,11 @@ def simulate(
                 transmissions.append((live_ids[i], msg))
                 tx_idx.append(i)
 
-        if recorder is not None:
-            # Contention tracking pays for itself only under tracing.  The
-            # capability check is one-time per protocol, upgraded lazily
-            # for wrappers that grow ``last_p`` on their first act().
+        if track_contention:
+            # Contention tracking pays for itself only under tracing or
+            # telemetry.  The capability check is one-time per protocol,
+            # upgraded lazily for wrappers that grow ``last_p`` on their
+            # first act().
             contention = 0.0
             have_contention = False
             for i in range(n_live):
@@ -407,6 +462,14 @@ def simulate(
         if checker is not None:
             checker.after_slot(t, delivered_now, live_ids, live_protos, tx_idx)
 
+        if tele_slot is not None:
+            tele_slot(
+                n_tx,
+                jammed,
+                n_live,
+                contention if have_contention else float("nan"),
+            )
+
         if recorder is not None:
             assert outcome is not None
             recorder.record(
@@ -465,9 +528,12 @@ def simulate(
             outcomes[job.job_id] = JobOutcome(job, JobStatus.FAILED, -1, 0)
 
     ordered = tuple(outcomes[j.job_id] for j in instance.by_release)
-    return SimulationResult(
+    result = SimulationResult(
         instance=instance,
         outcomes=ordered,
         slots_simulated=slots_simulated,
         trace=recorder,
     )
+    if tele is not None:
+        tele.on_run_end(result)
+    return result

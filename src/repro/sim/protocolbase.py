@@ -87,6 +87,7 @@ class Protocol(abc.ABC):
         "gave_up",
         "transmissions",
         "_awaiting_observation",
+        "_events",
     )
 
     def __init__(self, ctx: ProtocolContext) -> None:
@@ -97,8 +98,28 @@ class Protocol(abc.ABC):
         self.gave_up = False
         self.transmissions = 0
         self._awaiting_observation = False
+        self._events = None  # telemetry sink; bound by the engine
 
     # -- engine-facing lifecycle ------------------------------------------
+
+    def bind_telemetry(self, sink) -> None:
+        """Attach an :class:`~repro.obs.events.EventSink` for lifecycle
+        events.  The engine calls this before :meth:`begin` when a
+        telemetry object is attached; without one, ``_events`` stays
+        ``None`` and :meth:`emit` is never reached (all emission sites
+        guard on the sink), so event work is strictly pay-for-use.
+        """
+        self._events = sink
+
+    def emit(self, kind: str, slot: int = -1, **data) -> None:
+        """Emit one lifecycle event, stamped with this job's id.
+
+        No-op when no sink is bound.  Emission sites on hot paths
+        should guard on ``self._events is not None`` themselves to
+        skip building ``data`` kwargs.
+        """
+        if self._events is not None:
+            self._events.emit(kind, slot, self.ctx.job_id, **data)
 
     def begin(self, slot: int) -> None:
         """Activate the protocol at its job's release slot."""

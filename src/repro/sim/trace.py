@@ -13,8 +13,10 @@ guidance for simulation inner loops.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -55,6 +57,32 @@ class SlotRecord:
     contention: float
     jammed: bool
     message_type: str
+
+    def as_record(self) -> Dict[str, Any]:
+        """JSON-serializable form (contention NaN encodes as ``None``)."""
+        c = self.contention
+        return {
+            "slot": self.slot,
+            "feedback": self.feedback.name,
+            "n_tx": self.n_transmitters,
+            "n_live": self.n_live,
+            "contention": c if c == c else None,
+            "jammed": self.jammed,
+            "message_type": self.message_type,
+        }
+
+    @classmethod
+    def from_record(cls, rec: Dict[str, Any]) -> "SlotRecord":
+        c = rec.get("contention")
+        return cls(
+            slot=int(rec["slot"]),
+            feedback=Feedback[rec["feedback"]],
+            n_transmitters=int(rec["n_tx"]),
+            n_live=int(rec["n_live"]),
+            contention=float("nan") if c is None else float(c),
+            jammed=bool(rec["jammed"]),
+            message_type=rec.get("message_type", ""),
+        )
 
 
 class TraceRecorder:
@@ -118,3 +146,67 @@ class TraceRecorder:
         if not self.records:
             return 0.0
         return float(np.mean(self.feedback_codes() == 2))
+
+    # -- nan-aware contention aggregation ----------------------------------
+    #
+    # Contention is nan in every slot where no live protocol reported a
+    # transmit probability (e.g. listen-only phases), so plain mean/max
+    # would poison the whole trace with one such slot.  All aggregation
+    # here reduces over the reported slots only.
+
+    def mean_contention(self) -> float:
+        """Mean ``C(t)`` over slots where it was reported (nan if none)."""
+        c = self.contentions()
+        if c.size == 0 or np.isnan(c).all():
+            return float("nan")
+        return float(np.nanmean(c))
+
+    def max_contention(self) -> float:
+        """Max ``C(t)`` over slots where it was reported (nan if none)."""
+        c = self.contentions()
+        if c.size == 0 or np.isnan(c).all():
+            return float("nan")
+        return float(np.nanmax(c))
+
+    def contention_percentiles(
+        self, qs: Sequence[float] = (50.0, 90.0, 99.0)
+    ) -> Dict[float, float]:
+        """``q -> percentile of C(t)`` over reported slots (nan if none)."""
+        c = self.contentions()
+        if c.size == 0 or np.isnan(c).all():
+            return {float(q): float("nan") for q in qs}
+        vals = np.nanpercentile(c, list(qs))
+        return {float(q): float(v) for q, v in zip(qs, vals)}
+
+    # -- JSONL round-trip ---------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """All slots in JSON-serializable form, in slot order."""
+        return [r.as_record() for r in self.records]
+
+    @classmethod
+    def from_records(cls, records: Iterable[Dict[str, Any]]) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`to_records` output."""
+        rec = cls()
+        rec.records = [SlotRecord.from_record(r) for r in records]
+        return rec
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """One JSON object per slot; reload with :meth:`read_jsonl`."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as f:
+            for r in self.records:
+                f.write(json.dumps(r.as_record()) + "\n")
+        return path
+
+    @classmethod
+    def read_jsonl(cls, path: Union[str, Path]) -> "TraceRecorder":
+        """Load a trace written by :meth:`write_jsonl`."""
+        records = (
+            json.loads(line)
+            for line in Path(path).read_text().splitlines()
+            if line.strip()
+        )
+        return cls.from_records(records)

@@ -1,0 +1,185 @@
+"""Engine-telemetry contract: bit-identical results, zero cost when off."""
+
+import numpy as np
+import pytest
+
+from repro.channel.jamming import StochasticJammer
+from repro.core.aligned import aligned_factory
+from repro.core.punctual import punctual_factory
+from repro.core.uniform import uniform_factory
+from repro.faults import FaultPlan, JobFault
+from repro.obs import Telemetry
+from repro.obs.events import EventLog
+from repro.obs.telemetry import Telemetry as _Telemetry
+from repro.params import AlignedParams, PunctualParams
+from repro.sim import engine as engine_mod
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+
+def _punctual():
+    return punctual_factory(PunctualParams())
+
+
+def _mixed_instance():
+    jobs = [Job(i, 0, 512) for i in range(6)]
+    jobs += [Job(6 + i, 128, 128 + 1024) for i in range(4)]
+    return Instance(jobs)
+
+
+def _outcome_tuples(result):
+    return [
+        (o.job.job_id, o.status, o.completion_slot, o.transmissions)
+        for o in result.outcomes
+    ]
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            uniform_factory(),
+            _punctual(),
+        ],
+        ids=["uniform", "punctual"],
+    )
+    def test_telemetry_never_changes_outcomes(self, factory):
+        inst = _mixed_instance()
+        plain = simulate(inst, factory, seed=11)
+        observed = simulate(inst, factory, seed=11, telemetry=Telemetry())
+        assert _outcome_tuples(plain) == _outcome_tuples(observed)
+        assert plain.slots_simulated == observed.slots_simulated
+
+    def test_bit_identical_under_jamming_and_trace(self):
+        inst = _mixed_instance()
+        jam = StochasticJammer(0.3)
+        plain = simulate(inst, _punctual(), seed=3, jammer=jam, trace=True)
+        jam2 = StochasticJammer(0.3)
+        observed = simulate(
+            inst, _punctual(), seed=3, jammer=jam2, trace=True,
+            telemetry=Telemetry(),
+        )
+        assert _outcome_tuples(plain) == _outcome_tuples(observed)
+        c1 = plain.trace.contentions()
+        c2 = observed.trace.contentions()
+        assert np.array_equal(c1, c2, equal_nan=True)
+
+    def test_bit_identical_under_faults(self):
+        inst = _mixed_instance()
+        plan = FaultPlan(jobs=JobFault(p_late=0.5, max_delay=64))
+        plain = simulate(inst, _punctual(), seed=5, faults=plan)
+        observed = simulate(
+            inst, _punctual(), seed=5, faults=plan, telemetry=Telemetry()
+        )
+        assert _outcome_tuples(plain) == _outcome_tuples(observed)
+
+
+class TestZeroCostWhenOff:
+    def test_plain_run_touches_no_telemetry_objects(self, monkeypatch):
+        """The telemetry-off path must allocate no per-slot telemetry
+        objects: no events, no slot stats, no SlotOutcome."""
+        calls = {"emit": 0, "slot": 0, "outcome": 0}
+
+        def counting_emit(self, *a, **k):
+            calls["emit"] += 1
+
+        def counting_slot(self, *a, **k):
+            calls["slot"] += 1
+
+        real_outcome = engine_mod.SlotOutcome
+
+        def counting_outcome(*a, **k):
+            calls["outcome"] += 1
+            return real_outcome(*a, **k)
+
+        monkeypatch.setattr(EventLog, "emit", counting_emit)
+        monkeypatch.setattr(_Telemetry, "record_slot", counting_slot)
+        monkeypatch.setattr(engine_mod, "SlotOutcome", counting_outcome)
+
+        result = simulate(_mixed_instance(), _punctual(), seed=11)
+        assert result.slots_simulated > 0
+        assert calls == {"emit": 0, "slot": 0, "outcome": 0}
+
+    def test_telemetry_on_uses_the_hooks(self, monkeypatch):
+        """Sanity check for the guard above: with telemetry attached the
+        same counters do fire (so the zero counts are meaningful)."""
+        calls = {"slot": 0}
+        real = _Telemetry.record_slot
+
+        def counting_slot(self, *a, **k):
+            calls["slot"] += 1
+            return real(self, *a, **k)
+
+        monkeypatch.setattr(_Telemetry, "record_slot", counting_slot)
+        result = simulate(
+            _mixed_instance(), _punctual(), seed=11, telemetry=Telemetry()
+        )
+        assert calls["slot"] == result.slots_simulated
+
+
+class TestLifecycleEvents:
+    def test_job_events_cover_every_job(self):
+        tele = Telemetry()
+        inst = _mixed_instance()
+        result = simulate(inst, _punctual(), seed=11, telemetry=tele)
+        counts = tele.events.counts
+        assert counts["job.activated"] == len(inst)
+        fates = (
+            counts.get("job.success", 0)
+            + counts.get("job.gave_up", 0)
+            + counts.get("job.deadline_miss", 0)
+        )
+        assert fates == len(inst)
+        assert counts.get("job.success", 0) == result.n_succeeded
+        assert counts["run.started"] == counts["run.finished"] == 1
+
+    def test_success_events_carry_latency(self):
+        tele = Telemetry()
+        result = simulate(_mixed_instance(), _punctual(), seed=11, telemetry=tele)
+        by_job = {o.job.job_id: o for o in result.outcomes}
+        for ev in tele.events.of_kind("job.success"):
+            assert ev.data["latency"] == by_job[ev.job_id].latency
+            assert ev.slot == by_job[ev.job_id].completion_slot
+
+    def test_punctual_emits_phase_events(self):
+        tele = Telemetry()
+        simulate(_mixed_instance(), _punctual(), seed=11, telemetry=tele)
+        fams = tele.events.counts_by_family()
+        assert "punctual" in fams
+        assert fams["punctual"].get("punctual.synced", 0) > 0
+        assert fams["punctual"].get("punctual.slingshot_entered", 0) > 0
+
+    def test_aligned_emits_phase_events(self):
+        tele = Telemetry()
+        inst = Instance([Job(i, 0, 1024) for i in range(6)])
+        simulate(
+            inst,
+            aligned_factory(AlignedParams(lam=1, tau=4, min_level=10)),
+            seed=2,
+            telemetry=tele,
+        )
+        fams = tele.events.counts_by_family()
+        assert "aligned" in fams
+        assert fams["aligned"].get("aligned.class_agreement", 0) > 0
+        assert fams["aligned"].get("aligned.estimation_started", 0) > 0
+
+    def test_uniform_emits_exhausted(self):
+        tele = Telemetry()
+        # many jobs in a tiny shared window: collisions guarantee that
+        # some job burns its chosen slot without delivering
+        inst = Instance([Job(i, 0, 8) for i in range(8)])
+        result = simulate(inst, uniform_factory(), seed=0, telemetry=tele)
+        gave_up = sum(1 for o in result.outcomes if o.status.name == "GAVE_UP")
+        assert tele.events.counts.get("uniform.exhausted", 0) == gave_up
+        assert gave_up > 0
+
+    def test_fault_plan_bound_event(self):
+        tele = Telemetry()
+        plan = FaultPlan(jobs=JobFault(p_late=0.5, max_delay=64))
+        simulate(_mixed_instance(), _punctual(), seed=5, faults=plan,
+                 telemetry=tele)
+        events = tele.events.of_kind("fault.plan_bound")
+        assert len(events) == 1
+        assert "late" in events[0].data["plan"]
+        assert tele.metrics.snapshot()["faults.runs_with_plan"] == 1

@@ -1,0 +1,52 @@
+"""Unit tests for the event taxonomy and sinks."""
+
+from repro.obs import EVENT_KINDS, Event, EventLog, EventSink, NullSink, family_of
+
+
+class TestTaxonomy:
+    def test_every_kind_is_dotted(self):
+        for kind in EVENT_KINDS:
+            assert "." in kind, kind
+
+    def test_family_of(self):
+        assert family_of("punctual.leader_elected") == "punctual"
+        assert family_of("job.success") == "job"
+
+    def test_families_are_the_documented_set(self):
+        families = {family_of(k) for k in EVENT_KINDS}
+        assert families == {
+            "job", "run", "fault", "aligned", "punctual", "uniform",
+        }
+
+
+class TestSinks:
+    def test_base_and_null_sinks_drop(self):
+        for sink in (EventSink(), NullSink()):
+            sink.emit("job.success", 3, 1, latency=4)  # no-op, no error
+
+    def test_event_log_buffers_and_counts(self):
+        log = EventLog()
+        log.emit("job.activated", 0, 1)
+        log.emit("job.activated", 5, 2)
+        log.emit("job.success", 9, 1, latency=10)
+        assert len(log) == 3
+        assert log.counts == {"job.activated": 2, "job.success": 1}
+        assert [e.job_id for e in log.of_kind("job.activated")] == [1, 2]
+
+    def test_counts_by_family(self):
+        log = EventLog()
+        log.emit("punctual.synced", 1, 0)
+        log.emit("punctual.leader_elected", 2, 0)
+        log.emit("job.success", 3, 0)
+        by_family = log.counts_by_family()
+        assert set(by_family) == {"punctual", "job"}
+        assert by_family["punctual"] == {
+            "punctual.synced": 1,
+            "punctual.leader_elected": 1,
+        }
+
+    def test_as_record_drops_empty_payload(self):
+        assert "data" not in Event("job.gave_up", 1, 2).as_record()
+        rec = Event("job.success", 1, 2, {"latency": 7}).as_record()
+        assert rec["data"] == {"latency": 7}
+        assert rec["type"] == "event"

@@ -1,0 +1,106 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, Timer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_registry_get_or_create(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        m.counter("a").inc()
+        assert m.counter("a").value == 1
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.max(1.0)
+        assert g.value == 3.0
+        g.max(7.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_summaries(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean() == pytest.approx(2.5)
+        assert h.max() == 4.0
+        assert h.percentile(50) == pytest.approx(2.5)
+
+    def test_nan_values_are_excluded(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.observe(float("nan"))
+        h.observe(4.0)
+        assert h.count == 2
+        assert h.mean() == pytest.approx(3.0)
+        assert h.max() == 4.0
+
+    def test_empty_histogram_is_nan_not_an_error(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert math.isnan(h.mean())
+        assert math.isnan(h.max())
+
+    def test_as_record_has_no_raw_samples(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        rec = h.as_record()
+        assert rec["metric"] == "histogram"
+        assert "values" not in rec
+        assert rec["count"] == 1
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer("t")
+        t.add(0.5)
+        t.add(0.25)
+        assert t.count == 2
+        assert t.total_seconds == pytest.approx(0.75)
+        assert t.max_seconds == 0.5
+
+    def test_context_manager_times(self):
+        t = Timer("t")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total_seconds >= 0.0
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError):
+            m.gauge("x")
+
+    def test_as_records_sorted_by_name(self):
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc()
+        names = [r["name"] for r in m.as_records()]
+        assert names == sorted(names)
+
+    def test_snapshot_scalars(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(3)
+        m.gauge("g").set(2.5)
+        snap = m.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 2.5

@@ -1,0 +1,116 @@
+"""Telemetry bundle: JSONL round-trip, truncation tolerance, reports."""
+
+import json
+
+import pytest
+
+from repro.core.uniform import uniform_factory
+from repro.obs import (
+    TELEMETRY_SCHEMA,
+    Telemetry,
+    read_artifact,
+    render_report,
+    render_reports,
+)
+from repro.sim.engine import simulate
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+
+def _run(tele, seed=0):
+    inst = Instance([Job(i, 0, 64) for i in range(4)])
+    return simulate(inst, uniform_factory(), seed=seed, telemetry=tele)
+
+
+class TestRoundTrip:
+    def test_artifact_round_trips(self, tmp_path):
+        tele = Telemetry("trip", context={"who": "test"})
+        _run(tele)
+        path = tele.write_jsonl(tmp_path / "t.jsonl")
+        art = read_artifact(path)
+        assert art.manifest["schema"] == TELEMETRY_SCHEMA
+        assert art.manifest["label"] == "trip"
+        assert art.manifest["context"] == {"who": "test"}
+        assert art.summary is not None
+        assert art.counter_value("runs.total") == 1
+        assert art.counter_value("jobs.total") == 4
+        assert art.event_counts()["run.started"] == 1
+        # spans include the engine-recorded simulate span
+        assert any(s["name"] == "simulate" for s in art.spans)
+
+    def test_manifest_first_summary_last(self, tmp_path):
+        tele = Telemetry()
+        _run(tele)
+        path = tele.write_jsonl(tmp_path / "t.jsonl")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "manifest"
+        assert lines[-1]["type"] == "summary"
+
+    def test_truncated_artifact_still_loads(self, tmp_path):
+        tele = Telemetry()
+        _run(tele)
+        path = tele.write_jsonl(tmp_path / "t.jsonl")
+        # simulate a killed writer: drop the summary and corrupt the tail
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + '\n{"type": "ev')
+        art = read_artifact(path)
+        assert art.summary is None
+        assert art.manifest  # the intact prefix survives
+        assert "truncated" in render_report(art)
+
+    def test_multiple_runs_accumulate(self, tmp_path):
+        tele = Telemetry()
+        _run(tele, seed=0)
+        _run(tele, seed=1)
+        art = read_artifact(tele.write_jsonl(tmp_path / "t.jsonl"))
+        assert art.counter_value("runs.total") == 2
+        assert art.counter_value("jobs.total") == 8
+
+
+class TestCacheHook:
+    def test_record_cache_folds_deltas(self):
+        tele = Telemetry()
+        tele.record_cache(2, 3, 1)
+        tele.record_cache(1, 0, 0)
+        snap = tele.metrics.snapshot()
+        assert snap["cache.hits"] == 3
+        assert snap["cache.misses"] == 3
+        assert snap["cache.puts"] == 1
+
+
+class TestReport:
+    def test_report_sections(self, tmp_path):
+        tele = Telemetry("sectioned")
+        _run(tele)
+        art = read_artifact(tele.write_jsonl(tmp_path / "t.jsonl"))
+        text = render_report(art)
+        assert "top metrics" in text
+        assert "per-phase timing" in text
+        assert "lifecycle events by protocol family" in text
+        assert "contention C(t)" in text
+        assert "cache:" in text
+        # no punctual events -> no churn line
+        assert "leader-election churn" not in text
+
+    def test_combined_report_tallies_events(self, tmp_path):
+        arts = []
+        for i in range(2):
+            tele = Telemetry(f"r{i}")
+            _run(tele, seed=i)
+            arts.append(read_artifact(tele.write_jsonl(tmp_path / f"{i}.jsonl")))
+        text = render_reports(arts)
+        assert "combined events across 2 artifacts" in text
+
+
+class TestSpans:
+    def test_span_context_manager(self):
+        tele = Telemetry()
+        with tele.span("phase"):
+            pass
+        assert [s.name for s in tele.spans] == ["phase"]
+        assert tele.metrics.timer("time.phase").count == 1
+
+    def test_add_span(self):
+        tele = Telemetry()
+        tele.add_span("ext", 0.5)
+        assert tele.spans[0].seconds == 0.5

@@ -1,0 +1,132 @@
+"""CLI telemetry flags, the ``repro obs`` report, and ``--version``."""
+
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.obs import read_artifact
+
+
+def _simulate_with_telemetry(path, extra=()):
+    return main(
+        [
+            "simulate",
+            "--workload", "batch",
+            "--n", "6",
+            "--window", "3000",
+            "--protocol", "punctual",
+            "--min-level", "10",
+            "--telemetry", str(path),
+            *extra,
+        ]
+    )
+
+
+class TestTelemetryFlag:
+    def test_simulate_writes_artifact(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        rc = _simulate_with_telemetry(path)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrote telemetry to" in out
+        art = read_artifact(path)
+        assert art.summary is not None
+        assert art.counter_value("runs.total") == 1
+        assert art.manifest["context"]["protocol"] == "punctual"
+
+    def test_sweep_accepts_telemetry(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        rc = main(
+            [
+                "sweep",
+                "--workload", "batch",
+                "--protocol", "uniform",
+                "--param", "n",
+                "--values", "2,4",
+                "--window", "128",
+                "--seeds", "2",
+                "--telemetry", str(path),
+            ]
+        )
+        assert rc == 0
+        art = read_artifact(path)
+        assert art.counter_value("runs.total") == 4  # 2 points x 2 seeds
+        assert any(s["name"] == "sweep.point" for s in art.spans)
+
+    def test_telemetry_does_not_perturb_cache_keys(self, tmp_path):
+        """--telemetry is observational: a cache warmed by a plain run
+        must fully hit from an instrumented one."""
+        cache = tmp_path / "cache"
+        argv = [
+            "sweep",
+            "--workload", "batch",
+            "--protocol", "uniform",
+            "--param", "n",
+            "--values", "2,4",
+            "--window", "128",
+            "--seeds", "2",
+            "--cache", str(cache),
+        ]
+        assert main(argv) == 0  # plain warm-up
+        path = tmp_path / "warm.jsonl"
+        assert main(argv + ["--telemetry", str(path)]) == 0
+        art = read_artifact(path)
+        assert art.counter_value("cache.hits") == 4
+        assert art.counter_value("cache.misses") == 0
+
+
+class TestObsCommand:
+    def test_obs_renders_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert _simulate_with_telemetry(path) == 0
+        capsys.readouterr()
+        rc = main(["obs", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "top metrics" in out
+        assert "per-phase timing" in out
+        assert "lifecycle events by protocol family" in out
+
+    def test_obs_missing_file_fails(self, tmp_path, capsys):
+        rc = main(["obs", str(tmp_path / "absent.jsonl")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "no telemetry artifact" in out
+
+    def test_obs_combines_artifacts(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for p in paths:
+            assert _simulate_with_telemetry(p) == 0
+        capsys.readouterr()
+        rc = main(["obs", str(paths[0]), str(paths[1])])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "combined events across 2 artifacts" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_version_matches_pyproject(self):
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        meta = tomllib.loads(pyproject.read_text())
+        assert repro.__version__ == meta["project"]["version"]
+
+    def test_python_dash_m_version(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(Path(repro.__file__).parents[1]), "PATH": ""},
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == f"repro {repro.__version__}"

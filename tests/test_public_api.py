@@ -31,6 +31,7 @@ SUBPACKAGES = [
     "repro.fastpath",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
