@@ -11,6 +11,10 @@ from scratch:
 
 * :mod:`repro.channel` — the slotted channel with collision detection,
   trinary feedback, and jamming adversaries;
+* :mod:`repro.adversary` — *reactive* adversaries that observe trinary
+  channel feedback through a sanctioned read-only view and adapt their
+  jamming, plus the breaking-point certification harness in
+  :mod:`repro.experiments.certify`;
 * :mod:`repro.sim` — jobs, instances, γ-slack feasibility, the slot
   engine, traces, and metrics;
 * :mod:`repro.core` — the paper's protocols: **UNIFORM** (Section 2),
@@ -43,6 +47,14 @@ Quick start::
     print(result.summary())
 """
 
+from repro.adversary import (
+    AdaptiveBudgetJammer,
+    ChannelView,
+    FeedbackReactiveJammer,
+    LeaderAssassinJammer,
+    ReactiveAdversary,
+    StructureTargetedJammer,
+)
 from repro.baselines import (
     aloha_factory,
     beb_factory,
@@ -109,6 +121,7 @@ from repro.sim import (
 )
 from repro.sim.engine import ENGINE_VERSION
 from repro.sim.validate import Certificate, Finding, Severity, certify
+from repro.sim.watchdog import Watchdog, WatchdogTrip
 from repro.workloads import (
     aligned_random_instance,
     batch_instance,
@@ -157,6 +170,13 @@ __all__ = [
     "ReactiveJammer",
     "StochasticJammer",
     "WindowedRateJammer",
+    # reactive adversaries
+    "AdaptiveBudgetJammer",
+    "ChannelView",
+    "FeedbackReactiveJammer",
+    "LeaderAssassinJammer",
+    "ReactiveAdversary",
+    "StructureTargetedJammer",
     # faults
     "ClockFault",
     "FaultPlan",
@@ -177,6 +197,8 @@ __all__ = [
     "JobStatus",
     "RngFactory",
     "SimulationResult",
+    "Watchdog",
+    "WatchdogTrip",
     # cache
     "ResultCache",
     "run_key",

@@ -1,0 +1,30 @@
+"""Reactive, feedback-aware adversaries beyond the paper's oblivious model.
+
+The attackers here listen to the channel through the sanctioned
+:class:`~repro.adversary.view.ChannelView` (trinary feedback, decoded
+successes, own jam history — nothing else) and aim their budget where it
+hurts: at recent activity, at PUNCTUAL's structural slots, at the
+decoded leader, or in banked bursts.  They are ordinary
+:class:`~repro.channel.jamming.Jammer` subclasses, composable with
+:class:`~repro.faults.FaultPlan` and the result cache, and exercised by
+:mod:`repro.experiments.certify` to chart each protocol's degradation
+frontier against smarter-than-analysed interference.
+"""
+
+from repro.adversary.reactive import (
+    AdaptiveBudgetJammer,
+    FeedbackReactiveJammer,
+    LeaderAssassinJammer,
+    ReactiveAdversary,
+    StructureTargetedJammer,
+)
+from repro.adversary.view import ChannelView
+
+__all__ = [
+    "AdaptiveBudgetJammer",
+    "ChannelView",
+    "FeedbackReactiveJammer",
+    "LeaderAssassinJammer",
+    "ReactiveAdversary",
+    "StructureTargetedJammer",
+]

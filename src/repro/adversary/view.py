@@ -1,0 +1,186 @@
+"""The sanctioned read-only channel view reactive adversaries observe.
+
+The paper's stochastic adversary (Section 3) may inspect the slot about
+to be broadcast — "even the contents of the message itself" — and the
+robustness literature it cites (adaptive-jamming MAC protocols,
+resource-bounded jammers) goes further: the attacker *listens* and
+reacts to what the protocols do.  :class:`ChannelView` is the complete
+and only information surface we grant such attackers:
+
+* the trinary feedback of every past slot (SILENCE / SUCCESS / NOISE),
+  exactly what any listener on the channel hears;
+* the decoded message of a *successful* slot (an eavesdropper decodes
+  what any receiver decodes) — collisions yield noise, not a roster of
+  transmitters;
+* the adversary's own jamming decisions (it knows what it corrupted).
+
+Nothing else.  No protocol internals, no job identities beyond message
+``sender`` fields, no transmitter counts in collided slots, no access
+to engine bookkeeping or RNG streams.  Strategies in
+:mod:`repro.adversary.reactive` receive this view plus the current
+slot's pre-jam content and decide; the view also pre-digests two
+signals every implemented attacker wants:
+
+* **round-phase inference** — the same busy/busy/silent round-start
+  detection PUNCTUAL's own :class:`~repro.core.rounds.RoundSynchronizer`
+  uses, so a structure-aware attacker can lock onto the 10-slot round
+  grid from channel activity alone (the period is a *guess* supplied by
+  the attacker, not read out of the protocol);
+* **leader tracking** — the sender of the last successfully decoded
+  leader claim or timekeeper beacon, so an assassin knows whom to
+  silence.
+
+The view is deliberately cheap: O(1) state, no per-slot allocation, and
+fully restored by :meth:`reset` so a used adversary content-digests
+identically to a fresh one (see :func:`repro.cache.run_key`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channel.feedback import Feedback
+from repro.channel.messages import KIND_BEACON, Message
+
+__all__ = ["ChannelView"]
+
+#: Message classes that identify a leader on the wire.  Matched by class
+#: name rather than imported type so this package depends only on the
+#: channel layer (an eavesdropper recognises the frame format, it does
+#: not link against the protocol).
+_LEADER_MESSAGE_NAMES = ("LeaderClaim", "TimekeeperBeacon")
+
+
+class ChannelView:
+    """What a listening adversary knows after each slot.
+
+    Fed by :class:`~repro.adversary.reactive.ReactiveAdversary` once per
+    slot via :meth:`record`; strategies read the public attributes and
+    never mutate them.
+
+    Attributes
+    ----------
+    slots_heard:
+        Number of slots observed so far.
+    last_slot:
+        Index of the most recently observed slot (-1 before any).
+    last_busy_slot:
+        Most recent slot with any activity (success or noise), -1 if
+        none yet.  "Busy" is judged *pre-jam*: the adversary reacts to
+        what the protocols did, not to its own interference.
+    last_success_slot:
+        Most recent slot that would have carried a successful broadcast
+        absent jamming, -1 if none.
+    jams:
+        Total slots this adversary has corrupted.
+    round_origin:
+        Inferred slot index of a round start (see
+        :meth:`observe_phase`), or ``None`` while unknown.
+    leader_id:
+        Sender id of the last successfully decoded leader claim or
+        timekeeper beacon, or ``None`` while no leader has been heard.
+    leader_slot:
+        Slot at which :attr:`leader_id` was last heard (-1 if never).
+    """
+
+    __slots__ = (
+        "slots_heard",
+        "last_slot",
+        "last_busy_slot",
+        "last_success_slot",
+        "jams",
+        "round_origin",
+        "leader_id",
+        "leader_slot",
+        "_busy_pattern",  # (slot, busy) of the last three observed slots
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget everything (new run); restores construction state."""
+        self.slots_heard = 0
+        self.last_slot = -1
+        self.last_busy_slot = -1
+        self.last_success_slot = -1
+        self.jams = 0
+        self.round_origin: Optional[int] = None
+        self.leader_id: Optional[int] = None
+        self.leader_slot = -1
+        self._busy_pattern: tuple = ()
+
+    # -- feeding (called by ReactiveAdversary.attempt only) ------------------
+
+    def record(
+        self,
+        slot: int,
+        feedback: Feedback,
+        message: Optional[Message],
+        jammed: bool,
+    ) -> None:
+        """Fold one resolved slot into the view.
+
+        ``feedback`` and ``message`` describe the slot *before* jamming
+        (the adversary inspected it to decide); ``jammed`` is its own
+        decision for the slot.
+        """
+        self.slots_heard += 1
+        self.last_slot = slot
+        busy = feedback is not Feedback.SILENCE
+        if busy:
+            self.last_busy_slot = slot
+        if feedback is Feedback.SUCCESS:
+            self.last_success_slot = slot
+            if message is not None and (
+                type(message).__name__ in _LEADER_MESSAGE_NAMES
+                or message.kind == KIND_BEACON
+            ):
+                self.leader_id = message.sender
+                self.leader_slot = slot
+        if jammed:
+            self.jams += 1
+        # Round-start inference: a start is two busy slots followed by a
+        # silent guard (PUNCTUAL's own strengthened detection rule).
+        # Keep the last three (slot, busy) observations; contiguity is
+        # checked so idle-gap jumps never fake a pattern.
+        pattern = self._busy_pattern
+        if pattern and pattern[-1][0] == slot - 1:
+            pattern = pattern[-2:] + ((slot, busy),)
+        else:
+            pattern = ((slot, busy),)
+        self._busy_pattern = pattern
+        if (
+            len(pattern) == 3
+            and pattern[0][1]
+            and pattern[1][1]
+            and not pattern[2][1]
+        ):
+            self.round_origin = pattern[0][0]
+
+    # -- queries -------------------------------------------------------------
+
+    def heard_activity_within(self, slot: int, memory: int) -> bool:
+        """True when some pre-jam activity occurred in the last ``memory``
+        slots strictly before ``slot``."""
+        return (
+            self.last_busy_slot >= 0
+            and slot - self.last_busy_slot <= memory
+        )
+
+    def phase_of(self, slot: int, period: int) -> Optional[int]:
+        """``slot``'s index within the attacker's guessed round grid.
+
+        ``None`` until a round origin has been inferred from channel
+        activity.
+        """
+        if self.round_origin is None:
+            return None
+        return (slot - self.round_origin) % period
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ChannelView(slots_heard={self.slots_heard}, "
+            f"origin={self.round_origin}, leader={self.leader_id}, "
+            f"jams={self.jams})"
+        )

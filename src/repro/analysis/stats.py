@@ -21,6 +21,7 @@ __all__ = [
     "estimate_proportion",
     "failure_exponent",
     "bootstrap_mean_diff",
+    "bootstrap_proportion",
 ]
 
 
@@ -119,3 +120,36 @@ def bootstrap_mean_diff(
         )
     lo, hi = np.quantile(diffs, [alpha / 2, 1 - alpha / 2])
     return (point, float(lo), float(hi))
+
+
+def bootstrap_proportion(
+    per_run: Sequence[Tuple[int, int]],
+    rng: np.random.Generator,
+    n_boot: int = 2000,
+    alpha: float = 0.05,
+) -> ProportionEstimate:
+    """Bootstrap CI for a success proportion pooled over clustered runs.
+
+    Success counts from one seed's jobs are *not* independent (they
+    share one channel and one adversary realization), so the Wilson
+    interval over pooled jobs is anti-conservative.  This resamples the
+    *runs* — ``per_run`` is a sequence of ``(successes, trials)`` pairs,
+    one per seed — and returns the pooled estimate with percentile
+    bounds, packaged as a :class:`ProportionEstimate` so callers can
+    swap it in wherever a Wilson estimate is reported.
+    """
+    pairs = np.asarray(per_run, dtype=float)
+    if pairs.ndim != 2 or pairs.shape[1] != 2 or pairs.shape[0] == 0:
+        raise ValueError("per_run must be a non-empty sequence of (ok, n)")
+    ok = int(pairs[:, 0].sum())
+    n = int(pairs[:, 1].sum())
+    if n <= 0:
+        raise ValueError("total trials must be positive")
+    n_runs = pairs.shape[0]
+    rates = np.empty(n_boot)
+    for i in range(n_boot):
+        pick = pairs[rng.integers(0, n_runs, n_runs)]
+        tot = pick[:, 1].sum()
+        rates[i] = pick[:, 0].sum() / tot if tot > 0 else 1.0
+    lo, hi = np.quantile(rates, [alpha / 2, 1 - alpha / 2])
+    return ProportionEstimate(ok, n, float(lo), float(hi))

@@ -53,7 +53,8 @@ __all__ = [
 ]
 
 #: Bump when the stored record layout changes (keys then stop matching).
-CACHE_FORMAT = 1
+#: 2: SeedDigest grew ``watchdog_reason`` (run-watchdog support).
+CACHE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------

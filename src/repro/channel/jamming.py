@@ -42,7 +42,36 @@ __all__ = [
     "BudgetJammer",
     "BurstJammer",
     "WindowedRateJammer",
+    "warn_beyond_guarantee",
 ]
+
+#: Theorem 14 tolerates an adversary that corrupts at most this fraction
+#: of (success-carrying) slots.  Any adversary whose sustained corruption
+#: rate exceeds it leaves the paper's analysed regime.
+_GUARANTEE_FRACTION = 0.5
+
+
+def warn_beyond_guarantee(description: str, fraction: float) -> None:
+    """Warn when an adversary's sustained jamming rate voids Theorem 14.
+
+    Every adversary constructor in this module (and in
+    :mod:`repro.adversary`) funnels through here, so exceeding the
+    paper's ``p_jam <= 1/2`` budget warns uniformly regardless of *how*
+    the budget is spent — stochastic, rate-limited, duty-cycled, or
+    reactive.  ``fraction`` is the adversary's worst-case sustained
+    fraction of corrupted slots.
+    """
+    if fraction > _GUARANTEE_FRACTION:
+        warnings.warn(
+            PaperGuaranteeWarning(
+                f"{description} sustains a jamming rate of {fraction:g} > "
+                f"{_GUARANTEE_FRACTION:g}, beyond the p_jam <= 1/2 budget "
+                "of Theorem 14; the paper's whp success guarantee no "
+                "longer applies (legal, but you are charting the "
+                "breakdown regime)"
+            ),
+            stacklevel=3,
+        )
 
 
 class Jammer(abc.ABC):
@@ -118,16 +147,7 @@ class StochasticJammer(Jammer):
     def __init__(self, p_jam: float, *, jam_silence: bool = False) -> None:
         if not 0.0 <= p_jam <= 1.0:
             raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
-        if p_jam > 0.5:
-            warnings.warn(
-                PaperGuaranteeWarning(
-                    f"StochasticJammer(p_jam={p_jam}) exceeds the p_jam <= 1/2 "
-                    "threshold of Theorem 14; ALIGNED's whp success guarantee "
-                    "no longer applies (legal, but you are charting the "
-                    "breakdown regime)"
-                ),
-                stacklevel=2,
-            )
+        warn_beyond_guarantee(f"StochasticJammer(p_jam={p_jam})", p_jam)
         self.p_jam = float(p_jam)
         self.jam_silence = bool(jam_silence)
 
@@ -267,6 +287,9 @@ class BurstJammer(Jammer):
             raise InvalidParameterError(f"gap must be >= 0, got {gap}")
         if start < 0:
             raise InvalidParameterError(f"start must be >= 0, got {start}")
+        warn_beyond_guarantee(
+            f"BurstJammer(burst={burst}, gap={gap})", burst / (burst + gap)
+        )
         self.burst = int(burst)
         self.gap = int(gap)
         self.start = int(start)
@@ -306,6 +329,10 @@ class WindowedRateJammer(Jammer):
             raise InvalidParameterError(
                 f"max_jams must be >= 0, got {max_jams}"
             )
+        warn_beyond_guarantee(
+            f"WindowedRateJammer(window={window}, max_jams={max_jams})",
+            max_jams / window,
+        )
         self.window = int(window)
         self.max_jams = int(max_jams)
         self.used = 0

@@ -19,11 +19,16 @@ Subcommands
     Builds a workload and reports its peak density / slack certificate.
 ``schedule``
     Regenerates a Figure-1-style pecking-order schedule as ASCII art.
+``certify``
+    Bisects each protocol's empirical breaking point per adversary
+    family (oblivious and reactive), prints the degradation frontier,
+    and checks the Theorem-14 boundary (PUNCTUAL's stochastic-jamming
+    threshold must sit at ``p_jam ~ 1/2``).
 ``obs``
     Summarizes telemetry JSONL artifacts written by ``--telemetry``
     (available on ``simulate`` / ``sweep`` / ``compare`` /
-    ``robustness``): top metrics, per-phase timing, lifecycle event
-    counts, leader churn, contention percentiles.
+    ``robustness`` / ``certify``): top metrics, per-phase timing,
+    lifecycle event counts, leader churn, contention percentiles.
 
 ``repro --version`` prints the package version.
 """
@@ -401,6 +406,91 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_certify(args: argparse.Namespace) -> int:
+    """Bisect breaking points per adversary family; print the frontier."""
+    from repro.experiments.certify import ADVERSARY_FAMILIES, run_certification
+    from repro.experiments.robustness import JAM_THRESHOLD
+
+    if args.smoke:
+        # Nightly CI smoke: the Theorem-14 anchor plus the two sharpest
+        # reactive attackers, a coarse bisection, modest replication.
+        # Gates: PUNCTUAL's stochastic threshold must not drift below
+        # --min-jam-threshold, and some reactive family must break
+        # strictly earlier.  Tuned to finish in well under a minute.
+        args.protocols = "punctual"
+        args.families = "jam,struct-delivery,banked"
+        args.seeds = 12
+        args.tol = 0.05
+
+    instance = _build_workload(args)
+    factories = _protocol_factories(args, instance)
+    names = [n.strip() for n in args.protocols.split(",") if n.strip()]
+    for name in names:
+        if name not in factories:
+            raise SystemExit(
+                f"protocol {name!r} unavailable for this workload "
+                f"(choices: {sorted(factories)})"
+            )
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    for fam in families:
+        if fam not in ADVERSARY_FAMILIES:
+            raise SystemExit(
+                f"unknown adversary family {fam!r} "
+                f"(choices: {sorted(ADVERSARY_FAMILIES)})"
+            )
+
+    state = _args_state(args)
+    build = functools.partial(_build_workload_from_state, state)
+    protocols = {
+        name: functools.partial(_protocol_from_state, state, name)
+        for name in names
+    }
+    tele = _telemetry_for(args, "certify")
+    report = run_certification(
+        build,
+        protocols,
+        families=families,
+        seeds=args.seeds,
+        target=args.target,
+        tol=args.tol,
+        processes=args.processes,
+        cache=_cache_knob(args),
+        retries=args.retries,
+        telemetry=tele,
+    )
+    print(report.render())
+    if args.artifact:
+        n = report.to_jsonl(args.artifact)
+        print(f"\nwrote {n} breaking-point records to {args.artifact}")
+    _write_telemetry(tele, args)
+
+    status = 0
+    if "jam" in families and args.min_jam_threshold > 0:
+        for name in names:
+            dev = report.theorem14_deviation(name)
+            if dev is None:
+                continue
+            threshold = JAM_THRESHOLD + dev
+            if name == "punctual" and threshold < args.min_jam_threshold:
+                print(
+                    f"CERTIFY FAILURE: punctual stochastic-jamming "
+                    f"threshold {threshold:.3f} drifted below "
+                    f"{args.min_jam_threshold:g}"
+                )
+                status = 1
+    if args.smoke:
+        lower = report.reactive_strictly_lower("punctual")
+        if lower is not True:
+            print(
+                "CERTIFY FAILURE: no reactive adversary broke punctual "
+                "strictly below the oblivious jam threshold"
+            )
+            status = 1
+        if status == 0:
+            print("\ncertify smoke passed (Theorem 14 boundary in place)")
+    return status
+
+
 def cmd_feasibility(args: argparse.Namespace) -> int:
     from repro.sim.validate import certify
 
@@ -611,6 +701,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_flags(rob)
     _add_telemetry_flag(rob)
     rob.set_defaults(func=cmd_robustness)
+
+    cert = sub.add_parser(
+        "certify",
+        help="bisect empirical breaking points per adversary family",
+    )
+    add_common(cert)
+    # Calibrated certification workload: small enough that the cliff
+    # sits inside [0, 1] and sharp enough that the jam family crosses
+    # the target within +-0.05 of the Theorem-14 boundary.
+    cert.set_defaults(n=12, window=1024, min_level=8)
+    cert.add_argument("--protocols", default="punctual",
+                      help="comma-separated protocol names to certify")
+    cert.add_argument("--families", default="jam,rate,burst,reactive,"
+                      "struct-control,struct-delivery,assassin,banked",
+                      help="comma-separated adversary families (oblivious: "
+                           "jam, rate, burst; reactive: reactive, "
+                           "struct-control, struct-delivery, assassin, "
+                           "banked)")
+    cert.add_argument("--seeds", type=int, default=30,
+                      help="Monte-Carlo replication per probed severity")
+    cert.add_argument("--target", type=float, default=0.9,
+                      help="success rate defining 'broken'")
+    cert.add_argument("--tol", type=float, default=0.02,
+                      help="bisection bracket width")
+    cert.add_argument("--retries", type=int, default=0,
+                      help="transient-failure retries per probe")
+    cert.add_argument("--artifact", default="", metavar="PATH",
+                      help="write the frontier as JSONL here")
+    cert.add_argument("--min-jam-threshold", type=float, default=0.4,
+                      help="exit nonzero if punctual's stochastic threshold "
+                           "falls below this (0 disables the gate)")
+    cert.add_argument("--smoke", action="store_true",
+                      help="nightly CI smoke: coarse ladder, jam + two "
+                           "reactive families, hard gates")
+    _add_perf_flags(cert)
+    _add_telemetry_flag(cert)
+    cert.set_defaults(func=cmd_certify)
 
     obs = sub.add_parser(
         "obs", help="summarize telemetry artifacts written by --telemetry"

@@ -6,6 +6,14 @@ from repro.experiments.capacity import (
     max_feasible_gamma,
     punctual_overheads,
 )
+from repro.experiments.certify import (
+    ADVERSARY_FAMILIES,
+    BisectResult,
+    BreakingPoint,
+    CertificationReport,
+    bisect_breaking_point,
+    run_certification,
+)
 from repro.experiments.compare import ProtocolComparison, compare_protocols
 from repro.experiments.parallel import (
     BoundBuilder,
@@ -28,6 +36,12 @@ from repro.experiments.robustness import (
 from repro.experiments.sweep import Sweep, SweepPoint
 
 __all__ = [
+    "ADVERSARY_FAMILIES",
+    "BisectResult",
+    "BreakingPoint",
+    "CertificationReport",
+    "bisect_breaking_point",
+    "run_certification",
     "ProtocolComparison",
     "compare_protocols",
     "FAULT_FAMILIES",

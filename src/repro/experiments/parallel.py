@@ -31,6 +31,7 @@ parallelizing the outer loop):
 
 from __future__ import annotations
 
+import random
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -53,12 +54,14 @@ from repro.channel.jamming import Jammer
 from repro.errors import ReproError
 from repro.sim.engine import ProtocolFactory, simulate
 from repro.sim.instance import Instance
+from repro.sim.watchdog import REASON_WALL, Watchdog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultPlan
     from repro.obs.telemetry import Telemetry
 
 __all__ = [
+    "BACKOFF_CAP_SECONDS",
     "BoundBuilder",
     "ConstantFactory",
     "ConstantInstance",
@@ -78,6 +81,11 @@ FactoryBuilder = Callable[[Instance], ProtocolFactory]
 
 #: Called after each seed completes: ``progress(done, total)``.
 ProgressCallback = Callable[[int, int], None]
+
+#: Upper bound on one retry-backoff sleep, in seconds.  Exponential
+#: growth past this point only delays recovery; transient faults either
+#: clear within seconds or need human attention anyway.
+BACKOFF_CAP_SECONDS = 10.0
 
 
 class SeedExecutionError(ReproError):
@@ -131,11 +139,19 @@ class ParallelJob:
     jammer: Optional[Jammer] = None
     faults: Optional["FaultPlan"] = None
     check_invariants: bool = False
+    watchdog: Optional[Watchdog] = None
 
 
 @dataclass(frozen=True)
 class SeedDigest:
-    """The small result shipped back from a worker."""
+    """The small result shipped back from a worker.
+
+    ``watchdog_reason`` is ``None`` for a run that completed normally;
+    otherwise it is the :class:`~repro.sim.watchdog.WatchdogTrip` reason
+    and the digest's counts are *partial* (live jobs at the cut counted
+    as failures).  Wall-clock trips are nondeterministic, so their
+    digests are never written to the result cache.
+    """
 
     seed: int
     n_jobs: int
@@ -143,6 +159,12 @@ class SeedDigest:
     by_window: Tuple[Tuple[int, int, int], ...]  # (window, ok, total)
     slots_simulated: int
     latency_sum: int = 0  # summed latencies of successful jobs
+    watchdog_reason: Optional[str] = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether this digest reproduces for equal inputs (see above)."""
+        return self.watchdog_reason != REASON_WALL
 
     @property
     def success_rate(self) -> float:
@@ -226,6 +248,7 @@ def _run_one(
         faults=job.faults,
         invariants=job.check_invariants,
         telemetry=telemetry,
+        watchdog=job.watchdog,
     )
     return SeedDigest(
         seed=job.seed,
@@ -236,6 +259,9 @@ def _run_one(
         ),
         slots_simulated=result.slots_simulated,
         latency_sum=int(result.latencies().sum()),
+        watchdog_reason=(
+            result.watchdog.reason if result.watchdog is not None else None
+        ),
     )
 
 
@@ -275,6 +301,7 @@ def run_seeds(
     jammer: Optional[Jammer] = None,
     faults: Optional["FaultPlan"] = None,
     check_invariants: bool = False,
+    watchdog: Optional[Watchdog] = None,
     processes: int = 1,
     cache: Union[None, bool, str, ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
@@ -300,6 +327,13 @@ def run_seeds(
         :class:`repro.sim.invariants.InvariantChecker`.  Does not change
         results (a violation raises instead), so it does not change
         cache keys.
+    watchdog:
+        Optional :class:`repro.sim.watchdog.Watchdog` applied to every
+        run.  Cancelled runs come back as *partial* digests (their
+        :attr:`SeedDigest.watchdog_reason` set) instead of hanging a
+        worker.  A watchdog can change results, so it is folded into
+        cache keys when set — and wall-clock trips, being
+        nondeterministic, are never cached.
     processes:
         Worker count; ``1`` runs inline in this process.
     cache:
@@ -311,8 +345,11 @@ def run_seeds(
     chunksize:
         Tasks per IPC message; computed from the seed count when omitted.
     retries:
-        How many times to re-run seeds that failed (with exponential
-        backoff ``retry_backoff * 2**attempt`` between rounds).  Only
+        How many times to re-run seeds that failed (with jittered
+        exponential backoff between rounds: ``retry_backoff *
+        2**attempt``, capped at :data:`BACKOFF_CAP_SECONDS` and scaled
+        by a uniform 0.5-1.5x factor so parallel callers do not retry
+        in lockstep).  Only
         the failed seeds are retried — completed work is kept — so a
         transient fault (a worker OOM-killed, a broken process pool)
         costs one backoff, not the whole batch.  Deterministic failures
@@ -342,14 +379,19 @@ def run_seeds(
     results: Dict[int, SeedDigest] = {}  # position -> digest
     pending: List[Tuple[int, ParallelJob, Optional[str]]] = []
 
+    wd = watchdog if watchdog is not None and watchdog.enabled else None
+
     def job_for(seed: int) -> ParallelJob:
         return ParallelJob(
-            build, protocol, seed, jammer, faults, check_invariants
+            build, protocol, seed, jammer, faults, check_invariants, wd
         )
 
     if cache_obj is not None:
         # Content address each seed; only misses become worker tasks.
+        # A watchdog changes results (it can truncate runs), so it joins
+        # the key when set; clean runs keep their historical addresses.
         instance = build()
+        wd_extra = ("watchdog", wd) if wd is not None else None
         for pos, s in enumerate(seeds):
             key = run_key(
                 instance=instance,
@@ -357,6 +399,7 @@ def run_seeds(
                 jammer=jammer,
                 seed=s,
                 faults=faults,
+                extra=wd_extra,
             )
             hit = cache_obj.get(key)
             if isinstance(hit, SeedDigest) and hit.seed == s:
@@ -373,7 +416,9 @@ def run_seeds(
     def finish(pos: int, key: Optional[str], digest: SeedDigest) -> None:
         nonlocal done
         results[pos] = digest
-        if cache_obj is not None and key is not None:
+        if digest.watchdog_reason is not None and telemetry is not None:
+            telemetry.metrics.counter("runs.watchdog_trips").inc()
+        if cache_obj is not None and key is not None and digest.cacheable:
             cache_obj.put(key, digest)
         done += 1
         if progress is not None:
@@ -450,7 +495,13 @@ def run_seeds(
         if telemetry is not None:
             telemetry.metrics.counter("runs.retries").inc()
         if retry_backoff > 0:
-            time.sleep(retry_backoff * (2 ** (attempt - 1)))
+            # Cap the exponential curve (unbounded growth just delays
+            # recovery) and jitter by 0.5-1.5x so many callers sharing a
+            # recovering resource do not hammer it in synchronized waves.
+            delay = min(
+                retry_backoff * (2 ** (attempt - 1)), BACKOFF_CAP_SECONDS
+            )
+            time.sleep(delay * (0.5 + random.random()))
         pending = [(pos, job, key) for pos, job, key, _ in failures]
 
     if telemetry is not None:
@@ -468,7 +519,9 @@ def aggregate(digests: Sequence[SeedDigest]) -> Dict[str, object]:
     """Combine per-seed digests into one summary dictionary.
 
     Keys: ``runs``, ``jobs``, ``succeeded``, ``success_rate``,
-    ``by_window`` (``{window: (ok, total)}``), ``slots``.
+    ``by_window`` (``{window: (ok, total)}``), ``slots``,
+    ``watchdog_trips`` (runs cancelled by a watchdog; their partial
+    counts are included in the totals).
     """
     jobs = sum(d.n_jobs for d in digests)
     ok = sum(d.n_succeeded for d in digests)
@@ -485,4 +538,7 @@ def aggregate(digests: Sequence[SeedDigest]) -> Dict[str, object]:
         "success_rate": ok / jobs if jobs else 1.0,
         "by_window": {w: (s, t) for w, (s, t) in sorted(by_window.items())},
         "slots": sum(d.slots_simulated for d in digests),
+        "watchdog_trips": sum(
+            1 for d in digests if d.watchdog_reason is not None
+        ),
     }

@@ -10,7 +10,8 @@ experiments and tests lemma-level visibility without any protocol
 exposing its private state.
 
 Event kinds are dotted strings, ``<family>.<what>``; the family prefix
-(``job``, ``aligned``, ``punctual``, ``uniform``, ``run``, ``fault``)
+(``job``, ``aligned``, ``punctual``, ``uniform``, ``run``, ``fault``,
+``watchdog``)
 groups events in the ``repro obs`` report.  The full taxonomy lives in
 :data:`EVENT_KINDS` and docs/OBSERVABILITY.md.
 
@@ -49,6 +50,10 @@ EVENT_KINDS: Dict[str, str] = {
     "run.started": "one simulate() call began",
     "run.finished": "one simulate() call completed",
     "fault.plan_bound": "a FaultPlan was bound to this run",
+    # watchdog cancellations (emitted by the engine; see sim/watchdog.py)
+    "watchdog.slot_budget": "run cancelled: simulated-slot budget exhausted",
+    "watchdog.wall_clock": "run cancelled: wall-clock budget exhausted",
+    "watchdog.stall": "run cancelled: no delivery progress for the stall budget",
     # ALIGNED internals (slot = machine slot; virtual time under PUNCTUAL)
     "aligned.estimation_started": "my class began its size-estimation phase",
     "aligned.estimation_converged": "my class's estimate is fixed (Lemma 9)",

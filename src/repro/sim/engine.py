@@ -42,9 +42,11 @@ Fault and telemetry hooks
 A :class:`~repro.faults.plan.FaultPlan` (``faults=``) lets the engine
 perturb feedback, clocks, and job lifecycles, an
 :class:`~repro.sim.invariants.InvariantChecker` (``invariants=``) audits
-every slot, and a :class:`~repro.obs.telemetry.Telemetry` object
-(``telemetry=``) collects metrics, lifecycle events, and spans.  All
-three are strictly pay-for-what-you-use: with none attached the hot
+every slot, a :class:`~repro.obs.telemetry.Telemetry` object
+(``telemetry=``) collects metrics, lifecycle events, and spans, and a
+:class:`~repro.sim.watchdog.Watchdog` (``watchdog=``) cancels runaway
+adversarial runs gracefully with a partial result.  All
+four are strictly pay-for-what-you-use: with none attached the hot
 loop executes the exact same statements as before (the hook branches
 collapse to a handful of ``is None`` guards outside the per-listener
 fan-out), so results stay bit-identical to :data:`ENGINE_VERSION` 2 and
@@ -62,6 +64,7 @@ attaching a plan never needs a version bump.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -83,6 +86,14 @@ from repro.sim.metrics import JobOutcome, SimulationResult
 from repro.sim.protocolbase import Protocol, ProtocolContext
 from repro.sim.rng import RngFactory
 from repro.sim.trace import TraceRecorder
+from repro.sim.watchdog import (
+    REASON_SLOTS,
+    REASON_STALL,
+    REASON_WALL,
+    WALL_CHECK_PERIOD,
+    Watchdog,
+    WatchdogTrip,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
@@ -148,6 +159,7 @@ def simulate(
     faults: Optional["FaultPlan"] = None,
     invariants: Union[bool, "InvariantChecker"] = False,
     telemetry: Optional["Telemetry"] = None,
+    watchdog: Optional[Watchdog] = None,
 ) -> SimulationResult:
     """Run one complete simulation and return per-job outcomes.
 
@@ -185,6 +197,15 @@ def simulate(
         and contention, emits job lifecycle events, binds protocols to
         the event sink (so they emit their own phase events), and times
         the run as a ``simulate`` span.  Never changes results.
+    watchdog:
+        Optional :class:`~repro.sim.watchdog.Watchdog`.  When one of its
+        limits trips, the run is cancelled *gracefully*: live jobs are
+        finalized as failed (like a horizon cut), a ``watchdog.*``
+        telemetry event is emitted when telemetry is attached, and the
+        partial result carries the :class:`~repro.sim.watchdog.WatchdogTrip`
+        in :attr:`~repro.sim.metrics.SimulationResult.watchdog`.  Nothing
+        is raised.  Absent (or with no limits set) the hot loop pays one
+        ``is None`` guard per slot and results are bit-identical.
 
     Returns
     -------
@@ -280,6 +301,22 @@ def simulate(
     t = releases[0] if jobs_sorted else 0
     slots_simulated = 0
 
+    # Watchdog limits (see sim/watchdog.py).  All state lives in locals;
+    # with no watchdog the per-slot cost is a single ``is None`` guard.
+    wd = watchdog if watchdog is not None and watchdog.enabled else None
+    wd_trip: Optional[WatchdogTrip] = None
+    if wd is not None:
+        wd_slot_limit = wd.max_slots
+        wd_deadline = (
+            time.perf_counter() + wd.max_seconds
+            if wd.max_seconds is not None
+            else None
+        )
+        wd_stall_limit = wd.stall_slots(
+            max((j.window for j in jobs_sorted), default=1)
+        )
+        wd_progress_mark = 0  # slots_simulated at the last progress sign
+
     def finalize(job: Job, proto: Protocol) -> None:
         if job.job_id in delivered_slot:
             status = JobStatus.SUCCEEDED
@@ -313,6 +350,8 @@ def simulate(
         if t >= end and not live_protos:
             break
         # 1. activate
+        if wd is not None and next_job < n_total and releases[next_job] == t:
+            wd_progress_mark = slots_simulated  # activation counts as progress
         while next_job < n_total and releases[next_job] == t:
             job = jobs_sorted[next_job]
             proto = factory(job, rngs.job_rng(job.job_id))
@@ -519,8 +558,58 @@ def simulate(
             live_deadline = keep_deadline
             live_has_p = keep_has_p
 
+        if wd is not None:
+            if delivered_now >= 0:
+                wd_progress_mark = slots_simulated
+            if wd_slot_limit is not None and slots_simulated >= wd_slot_limit:
+                wd_trip = WatchdogTrip(
+                    REASON_SLOTS,
+                    t - 1,
+                    slots_simulated,
+                    f"max_slots={wd_slot_limit}",
+                )
+            elif (
+                wd_stall_limit is not None
+                and live_protos
+                and slots_simulated - wd_progress_mark >= wd_stall_limit
+            ):
+                wd_trip = WatchdogTrip(
+                    REASON_STALL,
+                    t - 1,
+                    slots_simulated,
+                    f"no delivery for {wd_stall_limit} slots "
+                    f"(stall_factor={wd.stall_factor:g})",
+                )
+            elif (
+                wd_deadline is not None
+                and slots_simulated % WALL_CHECK_PERIOD == 0
+                and time.perf_counter() > wd_deadline
+            ):
+                wd_trip = WatchdogTrip(
+                    REASON_WALL,
+                    t - 1,
+                    slots_simulated,
+                    f"max_seconds={wd.max_seconds:g}",
+                )
+            if wd_trip is not None:
+                break
+
         if next_job >= n_total and not live_protos:
             break
+
+    if wd_trip is not None:
+        # Graceful cancellation: jobs still live at the cut become failures
+        # (exactly the horizon-cut semantics) and the result is partial.
+        for i in range(len(live_protos)):
+            finalize(live_jobs[i], live_protos[i])
+        if tele_events is not None:
+            tele_events.emit(
+                wd_trip.event_kind,
+                wd_trip.slot,
+                -1,
+                slots_simulated=wd_trip.slots_simulated,
+                detail=wd_trip.detail,
+            )
 
     # Jobs never activated (horizon cut): mark failed with zero attempts.
     for job in jobs_sorted:
@@ -533,6 +622,7 @@ def simulate(
         outcomes=ordered,
         slots_simulated=slots_simulated,
         trace=recorder,
+        watchdog=wd_trip,
     )
     if tele is not None:
         tele.on_run_end(result)

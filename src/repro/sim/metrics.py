@@ -18,6 +18,7 @@ import numpy as np
 from repro.sim.instance import Instance
 from repro.sim.job import Job, JobStatus
 from repro.sim.trace import TraceRecorder
+from repro.sim.watchdog import WatchdogTrip
 
 __all__ = ["JobOutcome", "SimulationResult"]
 
@@ -58,12 +59,19 @@ class JobOutcome:
 
 @dataclass
 class SimulationResult:
-    """All outcomes of one simulation run plus aggregates."""
+    """All outcomes of one simulation run plus aggregates.
+
+    ``watchdog`` is ``None`` for a run that completed normally; a
+    :class:`~repro.sim.watchdog.WatchdogTrip` marks a run cancelled by
+    an attached :class:`~repro.sim.watchdog.Watchdog` — outcomes are
+    then *partial*: jobs still live at the cut are recorded as failed.
+    """
 
     instance: Instance
     outcomes: Tuple[JobOutcome, ...]
     slots_simulated: int
     trace: Optional[TraceRecorder] = None
+    watchdog: Optional[WatchdogTrip] = None
 
     def __post_init__(self) -> None:
         self._by_id: Dict[int, JobOutcome] = {

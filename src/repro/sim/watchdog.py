@@ -1,0 +1,155 @@
+"""Run watchdogs: graceful cancellation of runaway adversarial runs.
+
+The engine always terminates — every job dies at its deadline, so a run
+is bounded by the instance horizon — but against a strong adversary that
+bound can be astronomically far away while nothing useful happens.  A
+certification sweep bisecting severities cannot afford a worker that
+spends minutes grinding out a foregone conclusion.  A :class:`Watchdog`
+attached to :func:`~repro.sim.engine.simulate` cuts such runs short:
+
+* ``max_slots`` — a hard budget on simulated slots;
+* ``max_seconds`` — a wall-clock budget (checked every
+  :data:`WALL_CHECK_PERIOD` slots, so overshoot is bounded and cheap);
+* ``stall_factor`` — a *stall detector*: trip when no delivery progress
+  has been made for ``stall_factor`` times the feasibility bound (the
+  largest job window in the instance, i.e. the longest any single job
+  could legitimately need).
+
+A tripped watchdog never raises.  The engine finalizes live jobs as
+failed (exactly like a horizon cut), returns the partial
+:class:`~repro.sim.metrics.SimulationResult` with its
+:attr:`~repro.sim.metrics.SimulationResult.watchdog` field set to a
+:class:`WatchdogTrip`, and emits a ``watchdog.<reason>`` telemetry
+event when telemetry is attached — sweep workers keep their schema and
+their lives.
+
+Determinism and caching
+-----------------------
+Slot-budget and stall trips are deterministic functions of the run, so
+results with a watchdog attached are reproducible and cacheable — the
+experiment layer folds the watchdog into cache keys (see
+:func:`repro.cache.run_key`'s ``extra``).  Wall-clock trips are *not*
+deterministic; digests from wall-tripped runs are therefore never
+written to the result cache (:mod:`repro.experiments.parallel` checks
+:attr:`WatchdogTrip.deterministic`).  Attaching no watchdog costs the
+hot loop exactly one ``is None`` guard per slot, and results stay
+bit-identical to a detached run unless the watchdog actually trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["WALL_CHECK_PERIOD", "Watchdog", "WatchdogTrip"]
+
+#: Wall-clock is sampled once per this many simulated slots — frequent
+#: enough to bound overshoot, rare enough that ``perf_counter`` never
+#: shows up in a profile.
+WALL_CHECK_PERIOD = 512
+
+#: Trip reasons (the suffix of the emitted ``watchdog.*`` event kind).
+REASON_SLOTS = "slot_budget"
+REASON_WALL = "wall_clock"
+REASON_STALL = "stall"
+
+
+@dataclass(frozen=True)
+class WatchdogTrip:
+    """Why, where, and how a watchdog cancelled a run."""
+
+    #: One of ``"slot_budget"``, ``"wall_clock"``, ``"stall"``.
+    reason: str
+    #: Slot at which the run was cut.
+    slot: int
+    #: Slots actually simulated before the cut.
+    slots_simulated: int
+    #: Human-readable limit description (e.g. ``"max_slots=100000"``).
+    detail: str
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether this trip reproduces for equal (inputs, seed).
+
+        Slot-budget and stall trips depend only on simulated content;
+        wall-clock trips depend on machine load and must never be
+        cached.
+        """
+        return self.reason != REASON_WALL
+
+    @property
+    def event_kind(self) -> str:
+        """The telemetry event kind this trip emits (``watchdog.*``)."""
+        return f"watchdog.{self.reason}"
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Limits on one simulation run; any subset may be enabled.
+
+    Parameters
+    ----------
+    max_slots:
+        Cancel after this many simulated slots (deterministic).
+    max_seconds:
+        Cancel once the run has consumed this much wall-clock time
+        (nondeterministic; checked every :data:`WALL_CHECK_PERIOD`
+        slots).
+    stall_factor:
+        Cancel when no job has been delivered for
+        ``stall_factor * max(job windows)`` consecutive simulated slots
+        while jobs were live (deterministic).  The largest window is
+        the feasibility bound: any single job that can succeed at all
+        can succeed within its own window, so ``stall_factor`` is "how
+        many times over the worst-case feasible wait do we tolerate
+        zero progress".  Values below 1 would cancel runs the paper's
+        guarantees still cover; a small integer (2-4) is typical.
+    """
+
+    max_slots: Optional[int] = None
+    max_seconds: Optional[float] = None
+    stall_factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_slots is not None and self.max_slots <= 0:
+            raise InvalidParameterError(
+                f"max_slots must be positive, got {self.max_slots}"
+            )
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise InvalidParameterError(
+                f"max_seconds must be positive, got {self.max_seconds}"
+            )
+        if self.stall_factor is not None and self.stall_factor <= 0:
+            raise InvalidParameterError(
+                f"stall_factor must be positive, got {self.stall_factor}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one limit is set."""
+        return (
+            self.max_slots is not None
+            or self.max_seconds is not None
+            or self.stall_factor is not None
+        )
+
+    def stall_slots(self, max_window: int) -> Optional[int]:
+        """The concrete no-progress budget for an instance, in slots."""
+        if self.stall_factor is None:
+            return None
+        return max(1, int(self.stall_factor * max_window))
+
+    def describe(self) -> str:
+        parts = []
+        if self.max_slots is not None:
+            parts.append(f"max_slots={self.max_slots}")
+        if self.max_seconds is not None:
+            parts.append(f"max_seconds={self.max_seconds:g}")
+        if self.stall_factor is not None:
+            parts.append(f"stall_factor={self.stall_factor:g}")
+        return "Watchdog(" + ", ".join(parts) + ")" if parts else "Watchdog()"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.describe()

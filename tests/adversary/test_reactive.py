@@ -1,0 +1,279 @@
+"""Reactive adversaries: the sanctioned view and each strategy's aim."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdaptiveBudgetJammer,
+    ChannelView,
+    FeedbackReactiveJammer,
+    LeaderAssassinJammer,
+    StructureTargetedJammer,
+)
+from repro.channel.feedback import Feedback
+from repro.channel.messages import DataMessage, LeaderClaim, TimekeeperBeacon
+from repro.core.uniform import uniform_factory
+from repro.errors import PaperGuaranteeWarning
+from repro.faults import FaultPlan
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance
+
+
+def quiet(cls, *args, **kwargs):
+    """Construct a beyond-guarantee adversary without the warning noise."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return cls(*args, **kwargs)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def outcome_tuples(result):
+    return [
+        (o.job.job_id, o.status, o.completion_slot, o.transmissions)
+        for o in result.outcomes
+    ]
+
+
+class TestChannelView:
+    def test_fresh_view_knows_nothing(self):
+        v = ChannelView()
+        assert v.slots_heard == 0
+        assert v.last_busy_slot == -1
+        assert v.round_origin is None
+        assert v.leader_id is None
+        assert not v.heard_activity_within(5, 100)
+        assert v.phase_of(7, 10) is None
+
+    def test_record_tracks_activity_and_jams(self):
+        v = ChannelView()
+        v.record(0, Feedback.SILENCE, None, False)
+        v.record(1, Feedback.NOISE, None, False)
+        v.record(2, Feedback.SUCCESS, DataMessage(4), True)
+        assert v.slots_heard == 3
+        assert v.last_busy_slot == 2
+        assert v.last_success_slot == 2
+        assert v.jams == 1
+        assert v.heard_activity_within(4, 2)
+        assert not v.heard_activity_within(9, 2)
+
+    def test_round_origin_from_busy_busy_silent(self):
+        v = ChannelView()
+        v.record(10, Feedback.NOISE, None, False)
+        v.record(11, Feedback.NOISE, None, False)
+        v.record(12, Feedback.SILENCE, None, False)
+        assert v.round_origin == 10
+        assert v.phase_of(23, 10) == 3
+
+    def test_gap_breaks_the_pattern(self):
+        v = ChannelView()
+        v.record(10, Feedback.NOISE, None, False)
+        v.record(11, Feedback.NOISE, None, False)
+        v.record(13, Feedback.SILENCE, None, False)  # non-contiguous
+        assert v.round_origin is None
+
+    def test_leader_decoded_from_claims_and_beacons(self):
+        v = ChannelView()
+        v.record(0, Feedback.SUCCESS, DataMessage(3), False)
+        assert v.leader_id is None  # data never names a leader
+        v.record(1, Feedback.SUCCESS, LeaderClaim(7, deadline=64), False)
+        assert v.leader_id == 7
+        v.record(2, Feedback.SUCCESS, TimekeeperBeacon(9, global_time=1, deadline=64), False)
+        assert v.leader_id == 9
+        assert v.leader_slot == 2
+
+    def test_reset_restores_construction_state(self):
+        v = ChannelView()
+        v.record(0, Feedback.SUCCESS, LeaderClaim(7, deadline=64), True)
+        v.reset()
+        fresh = ChannelView()
+        for name in ChannelView.__slots__:
+            assert getattr(v, name) == getattr(fresh, name), name
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("cls", [
+        FeedbackReactiveJammer,
+        StructureTargetedJammer,
+        LeaderAssassinJammer,
+        AdaptiveBudgetJammer,
+    ])
+    def test_severity_validated(self, cls):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            cls(-0.1)
+        with pytest.raises(InvalidParameterError):
+            cls(1.5)
+
+    @pytest.mark.parametrize("cls", [
+        FeedbackReactiveJammer,
+        StructureTargetedJammer,
+        LeaderAssassinJammer,
+        AdaptiveBudgetJammer,
+    ])
+    def test_beyond_guarantee_warns(self, cls):
+        with pytest.warns(PaperGuaranteeWarning):
+            cls(0.75)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cls(0.5)  # at the boundary: inside the guarantee, no warning
+
+
+class TestFeedbackReactive:
+    def test_sleeps_through_silence(self):
+        j = quiet(FeedbackReactiveJammer, 1.0, memory=2)
+        r = rng()
+        for slot in range(10):
+            assert not j.attempt(slot, 0, None, r)
+        # First success after a long silence passes: nothing heard yet.
+        assert not j.attempt(10, 1, DataMessage(0), r)
+        # ...but now it is awake and jams the next one for sure.
+        assert j.attempt(11, 1, DataMessage(0), r)
+
+    def test_never_jams_non_success_slots(self):
+        j = quiet(FeedbackReactiveJammer, 1.0)
+        r = rng()
+        j.attempt(0, 2, None, r)  # collision wakes it up
+        assert not j.attempt(1, 2, None, r)
+        assert not j.attempt(2, 0, None, r)
+
+
+class TestStructureTargeted:
+    def test_dormant_until_phase_locks(self):
+        j = StructureTargetedJammer(0.2, targets=(3,))
+        r = rng()
+        assert not j.attempt(3, 1, DataMessage(0), r)  # origin unknown
+        # Feed the busy/busy/silent signature at slots 10-12.
+        j.attempt(10, 2, None, r)
+        j.attempt(11, 2, None, r)
+        j.attempt(12, 0, None, r)
+        assert j.view.round_origin == 10
+        # Phase 3 of the inferred grid is slot 13; p_slot = 1.0 there.
+        assert j.attempt(13, 1, DataMessage(0), r)
+        assert not j.attempt(14, 1, DataMessage(0), r)
+
+    def test_budget_compression(self):
+        j = StructureTargetedJammer(0.2, period=10, targets=(3, 7))
+        assert j.p_slot == pytest.approx(1.0)
+        j2 = StructureTargetedJammer(0.1, period=10, targets=(3, 7))
+        assert j2.p_slot == pytest.approx(0.5)
+
+    def test_jams_structural_slots_regardless_of_content(self):
+        j = StructureTargetedJammer(0.2, targets=(3,))
+        r = rng()
+        j.attempt(0, 2, None, r)
+        j.attempt(1, 2, None, r)
+        j.attempt(2, 0, None, r)
+        # Even an empty targeted slot is "jammed" (denied to listeners).
+        assert j.attempt(3, 0, None, r)
+
+
+class TestLeaderAssassin:
+    def test_waits_for_a_throat_to_cut(self):
+        j = quiet(LeaderAssassinJammer, 1.0)
+        r = rng()
+        assert not j.attempt(0, 1, DataMessage(5), r)
+        assert not j.attempt(1, 1, LeaderClaim(7, deadline=64), r)
+        assert j.view.leader_id == 7
+        # Now the leader's traffic dies...
+        assert j.attempt(2, 1, TimekeeperBeacon(7, global_time=2, deadline=64), r)
+        assert j.attempt(3, 1, DataMessage(7), r)
+        # ...and so does a would-be successor's claim...
+        assert j.attempt(4, 1, LeaderClaim(8, deadline=32), r)
+        # ...while bystander data passes.
+        assert not j.attempt(5, 1, DataMessage(5), r)
+
+
+class TestAdaptiveBudget:
+    def test_banks_quiet_windows(self):
+        j = AdaptiveBudgetJammer(0.25, window=4, max_bank=2)
+        r = rng()
+        # Two quiet windows bank 2 * 0.25 * 4 = 2 credits (= the cap).
+        for slot in range(8):
+            j.attempt(slot, 0, None, r)
+        assert j._credits == pytest.approx(2.0)
+
+    def test_spend_is_probabilistic_and_burns_credit(self):
+        j = quiet(AdaptiveBudgetJammer, 1.0, window=4, max_bank=1)
+        r = rng()
+        j.attempt(0, 0, None, r)  # earn 4 credits
+        assert j._credits == pytest.approx(4.0)
+        # A full bank means p = credits/window = 1: a certain jam.
+        assert j.attempt(1, 1, DataMessage(0), r)
+        assert j._credits == pytest.approx(3.0)
+        # Below a full bank the spend is probabilistic, one credit a jam.
+        jams = sum(j.attempt(s, 1, DataMessage(0), r) for s in (2, 3))
+        assert j._credits == pytest.approx(3.0 - jams)
+
+    def test_sustained_spend_bounded_by_severity(self):
+        j = AdaptiveBudgetJammer(0.2, window=32, max_bank=2)
+        r = rng()
+        n_slots = 32 * 64
+        for slot in range(n_slots):  # saturated traffic
+            j.attempt(slot, 1, DataMessage(0), r)
+        # Earned at most (64 + max_bank) windows of credit; spent <= earned.
+        assert j.view.jams <= 0.2 * 32 * (64 + 2)
+
+    def test_reset_clears_the_bank(self):
+        j = AdaptiveBudgetJammer(0.5, window=4)
+        r = rng()
+        for slot in range(8):
+            j.attempt(slot, 0, None, r)
+        assert j._credits > 0
+        j.reset()
+        assert j._credits == 0.0
+        assert j.view.slots_heard == 0
+
+
+class TestEngineIntegration:
+    def test_absent_adversary_is_bit_identical(self):
+        inst = batch_instance(8, window=1024)
+        a = simulate(inst, uniform_factory(), seed=11)
+        b = simulate(inst, uniform_factory(), seed=11)
+        assert outcome_tuples(a) == outcome_tuples(b)
+
+    def test_reactive_jammer_hurts_via_jammer_argument(self):
+        inst = batch_instance(8, window=1024)
+        clean = simulate(inst, uniform_factory(), seed=11)
+        # UNIFORM's traffic is sparse (gaps beyond the default memory),
+        # so listen far enough back that the sleeper actually wakes.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            jam = FeedbackReactiveJammer(1.0, memory=256)
+        hurt = simulate(inst, uniform_factory(), seed=11, jammer=jam)
+        assert hurt.n_succeeded < clean.n_succeeded
+        assert jam.view.jams > 0
+
+    def test_composes_with_fault_plan(self):
+        inst = batch_instance(6, window=1024)
+        jam = StructureTargetedJammer(0.3, targets=(5, 9))
+        res = simulate(
+            inst, uniform_factory(), seed=3, faults=FaultPlan(jammer=jam)
+        )
+        assert res.slots_simulated > 0
+
+    def test_engine_reset_gives_reproducible_runs(self):
+        inst = batch_instance(6, window=1024)
+        jam = AdaptiveBudgetJammer(0.4)
+        a = simulate(inst, uniform_factory(), seed=5, jammer=jam)
+        b = simulate(inst, uniform_factory(), seed=5, jammer=jam)
+        assert outcome_tuples(a) == outcome_tuples(b)
+
+    def test_content_digest_ignores_accumulated_view(self):
+        from repro.cache import stable_digest
+
+        fresh = FeedbackReactiveJammer(0.3)
+        used = FeedbackReactiveJammer(0.3)
+        simulate(
+            batch_instance(4, window=512), uniform_factory(),
+            seed=0, jammer=used,
+        )
+        used.reset()
+        assert stable_digest(fresh) == stable_digest(used)

@@ -16,6 +16,7 @@ class TestTaxonomy:
         families = {family_of(k) for k in EVENT_KINDS}
         assert families == {
             "job", "run", "fault", "aligned", "punctual", "uniform",
+            "watchdog",
         }
 
 

@@ -1,0 +1,94 @@
+"""Property-based tests for the breaking-point bisector.
+
+The bisector's contract on a monotone degradation ladder: whenever a
+crossing of the target exists inside ``[lo, hi]``, the returned bracket
+straddles it (at/above target on the left end, below on the right) and
+the reported threshold lies inside the bracket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.certify import bisect_breaking_point
+
+# A monotone non-increasing ladder: success stays at 1 until a hidden
+# break severity, then drops to a floor below any sensible target.
+break_points = st.floats(min_value=0.0, max_value=1.0,
+                         allow_nan=False, allow_infinity=False)
+targets = st.floats(min_value=0.05, max_value=0.95)
+tols = st.floats(min_value=0.005, max_value=0.2)
+
+
+def step_measure(break_at: float, floor: float = 0.0):
+    calls = []
+
+    def measure(s: float) -> float:
+        calls.append(s)
+        return 1.0 if s < break_at else floor
+
+    return measure, calls
+
+
+@given(break_points, targets, tols)
+@settings(max_examples=200, deadline=None)
+def test_threshold_brackets_the_hidden_break(break_at, target, tol):
+    measure, _ = step_measure(break_at)
+    res = bisect_breaking_point(measure, target=target, tol=tol)
+    if break_at <= 0.0:
+        # Broken from the start: flagged, threshold pinned at lo.
+        assert res.threshold == 0.0 and res.broke_below_lo
+    elif break_at > 1.0:
+        assert res.threshold is None
+    else:
+        assert res.threshold is not None
+        assert res.bracket_lo <= res.threshold <= res.bracket_hi
+        # The bracket straddles the hidden break severity.
+        assert res.bracket_lo < break_at
+        assert res.bracket_hi >= break_at - 1e-12
+        assert res.bracket_hi - res.bracket_lo <= max(tol, 1e-9)
+        assert abs(res.threshold - break_at) <= max(tol, 1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=3, max_size=12,
+    ),
+    targets, tols,
+)
+@settings(max_examples=200, deadline=None)
+def test_monotone_ladders_always_bracket(values, target, tol):
+    """Any non-increasing measure: the bracket ends straddle the target."""
+    ladder = sorted(values, reverse=True)
+    grid = [i / (len(ladder) - 1) for i in range(len(ladder))]
+
+    def measure(s: float) -> float:
+        # Right-continuous step interpolation of the ladder.
+        i = min(bisect_right(grid, s) - 1, len(ladder) - 1)
+        return ladder[max(i, 0)]
+
+    res = bisect_breaking_point(measure, target=target, tol=tol)
+    if res.threshold is None:
+        assert measure(1.0) >= target
+    elif res.broke_below_lo:
+        assert measure(0.0) < target
+    else:
+        assert measure(res.bracket_lo) >= target
+        assert measure(res.bracket_hi) < target
+        assert res.bracket_lo <= res.threshold <= res.bracket_hi
+
+
+@given(break_points, targets, tols)
+@settings(max_examples=100, deadline=None)
+def test_probe_count_is_logarithmic(break_at, target, tol):
+    measure, calls = step_measure(break_at)
+    bisect_breaking_point(measure, target=target, tol=tol)
+    import math
+
+    # 2 endpoint probes + ceil(log2(range/tol)) bisection steps, +1 slack.
+    bound = 2 + math.ceil(math.log2(max(1.0 / tol, 1.0))) + 1
+    assert len(calls) <= bound

@@ -1,0 +1,80 @@
+"""Property-based tests for :meth:`repro.faults.FaultPlan.merged`."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.jamming import BudgetJammer
+from repro.faults import ClockFault, FaultPlan, FeedbackFault, JobFault
+
+FIELDS = ("jammer", "feedback", "clock", "jobs")
+
+
+def _value_for(field: str):
+    """A distinctive non-None value for one FaultPlan field."""
+    return {
+        "jammer": BudgetJammer(7),
+        "feedback": FeedbackFault(p_success_erasure=0.25),
+        "clock": ClockFault(max_skew=3),
+        "jobs": JobFault(p_crash=0.5),
+    }[field]
+
+
+def plan_with(fields) -> FaultPlan:
+    return FaultPlan(**{f: _value_for(f) for f in fields})
+
+
+def set_fields(plan: FaultPlan):
+    return frozenset(f for f in FIELDS if getattr(plan, f) is not None)
+
+
+field_subsets = st.frozensets(st.sampled_from(FIELDS))
+
+
+@given(field_subsets)
+@settings(max_examples=50, deadline=None)
+def test_merging_noop_is_identity(fields):
+    plan = plan_with(fields)
+    for merged in (plan.merged(FaultPlan()), FaultPlan().merged(plan)):
+        assert set_fields(merged) == set_fields(plan)
+        for f in fields:
+            assert getattr(merged, f) is getattr(plan, f)
+
+
+@given(field_subsets, field_subsets)
+@settings(max_examples=100, deadline=None)
+def test_merge_on_disjoint_fields_commutes(a_fields, b_fields):
+    from repro.errors import InvalidParameterError
+
+    import pytest
+
+    a, b = plan_with(a_fields), plan_with(b_fields)
+    overlap = a_fields & b_fields
+    if overlap:
+        # A family set in both directions is a conflict both ways round.
+        with pytest.raises(InvalidParameterError):
+            a.merged(b)
+        with pytest.raises(InvalidParameterError):
+            b.merged(a)
+        return
+    ab, ba = a.merged(b), b.merged(a)
+    assert set_fields(ab) == set_fields(ba) == (a_fields | b_fields)
+    for f in a_fields | b_fields:
+        assert getattr(ab, f) is getattr(ba, f)
+
+
+@given(field_subsets, field_subsets)
+@settings(max_examples=100, deadline=None)
+def test_merge_never_drops_or_invents_families(a_fields, b_fields):
+    if a_fields & b_fields:
+        return  # conflicting merges raise; covered above
+    merged = plan_with(a_fields).merged(plan_with(b_fields))
+    assert set_fields(merged) == a_fields | b_fields
+
+
+@given(field_subsets)
+@settings(max_examples=50, deadline=None)
+def test_noop_detection_matches_fields(fields):
+    plan = plan_with(fields)
+    assert plan.is_noop == (not fields)

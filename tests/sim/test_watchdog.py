@@ -1,0 +1,188 @@
+"""Run watchdogs: graceful cancellation with partial results."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.baselines import aloha_factory
+from repro.channel.jamming import StochasticJammer
+from repro.core.uniform import uniform_factory
+from repro.errors import InvalidParameterError
+from repro.obs import Telemetry
+from repro.sim.engine import simulate
+from repro.sim.watchdog import (
+    REASON_SLOTS,
+    REASON_STALL,
+    REASON_WALL,
+    WALL_CHECK_PERIOD,
+    Watchdog,
+    WatchdogTrip,
+)
+from repro.workloads import batch_instance
+
+UNIFORM = uniform_factory()
+
+
+def total_jammer(p: float = 1.0) -> StochasticJammer:
+    """A beyond-guarantee jammer without the warning noise."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return StochasticJammer(p)
+
+
+def outcome_tuples(result):
+    return [
+        (o.job.job_id, o.status, o.completion_slot, o.transmissions)
+        for o in result.outcomes
+    ]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Watchdog(max_slots=0)
+        with pytest.raises(InvalidParameterError):
+            Watchdog(max_seconds=-1.0)
+        with pytest.raises(InvalidParameterError):
+            Watchdog(stall_factor=0.0)
+
+    def test_enabled(self):
+        assert not Watchdog().enabled
+        assert Watchdog(max_slots=10).enabled
+        assert Watchdog(max_seconds=1.0).enabled
+        assert Watchdog(stall_factor=2.0).enabled
+
+    def test_stall_slots_scales_with_window(self):
+        wd = Watchdog(stall_factor=2.5)
+        assert wd.stall_slots(100) == 250
+        assert wd.stall_slots(0) == 1  # floor of one slot
+        assert Watchdog(max_slots=5).stall_slots(100) is None
+
+    def test_describe_lists_enabled_limits(self):
+        s = Watchdog(max_slots=7, stall_factor=2.0).describe()
+        assert "max_slots=7" in s and "stall_factor=2" in s
+        assert Watchdog().describe() == "Watchdog()"
+
+
+class TestTrip:
+    def test_determinism_flags(self):
+        slot = WatchdogTrip(REASON_SLOTS, 9, 10, "max_slots=10")
+        stall = WatchdogTrip(REASON_STALL, 9, 10, "stall")
+        wall = WatchdogTrip(REASON_WALL, 9, 10, "max_seconds=1")
+        assert slot.deterministic and stall.deterministic
+        assert not wall.deterministic
+
+    def test_event_kind_is_in_taxonomy(self):
+        from repro.obs import EVENT_KINDS
+
+        for reason in (REASON_SLOTS, REASON_STALL, REASON_WALL):
+            trip = WatchdogTrip(reason, 0, 0, "")
+            assert trip.event_kind in EVENT_KINDS
+
+
+class TestEngineIntegration:
+    def test_non_tripping_watchdog_is_bit_identical(self):
+        inst = batch_instance(8, window=1024)
+        clean = simulate(inst, UNIFORM, seed=3)
+        guarded = simulate(
+            inst, UNIFORM, seed=3,
+            watchdog=Watchdog(max_slots=10**7, stall_factor=50.0),
+        )
+        assert guarded.watchdog is None
+        assert outcome_tuples(clean) == outcome_tuples(guarded)
+        assert clean.slots_simulated == guarded.slots_simulated
+
+    def test_disabled_watchdog_is_like_none(self):
+        inst = batch_instance(4, window=512)
+        clean = simulate(inst, UNIFORM, seed=1)
+        guarded = simulate(inst, UNIFORM, seed=1, watchdog=Watchdog())
+        assert guarded.watchdog is None
+        assert outcome_tuples(clean) == outcome_tuples(guarded)
+
+    def test_slot_budget_trips_exactly(self):
+        inst = batch_instance(6, window=4096)
+        res = simulate(
+            inst, UNIFORM, seed=0, jammer=total_jammer(),
+            watchdog=Watchdog(max_slots=100),
+        )
+        trip = res.watchdog
+        assert trip is not None and trip.reason == REASON_SLOTS
+        assert trip.slots_simulated == 100
+        assert res.slots_simulated == 100
+
+    def test_partial_result_has_every_job_and_does_not_raise(self):
+        inst = batch_instance(6, window=4096)
+        res = simulate(
+            inst, UNIFORM, seed=0, jammer=total_jammer(),
+            watchdog=Watchdog(max_slots=100),
+        )
+        assert len(res) == 6  # every job got a (failed) outcome
+        assert res.n_succeeded == 0
+
+    def test_stall_detector_trips_under_total_jamming(self):
+        inst = batch_instance(6, window=4096)
+        res = simulate(
+            inst, UNIFORM, seed=0, jammer=total_jammer(),
+            watchdog=Watchdog(stall_factor=0.25),
+        )
+        trip = res.watchdog
+        assert trip is not None and trip.reason == REASON_STALL
+        assert trip.deterministic
+        # Cut far earlier than the horizon the jammed run would grind to.
+        assert res.slots_simulated < 4096
+
+    def test_stall_detector_quiet_on_healthy_run(self):
+        inst = batch_instance(8, window=1024)
+        res = simulate(
+            inst, UNIFORM, seed=2, watchdog=Watchdog(stall_factor=4.0)
+        )
+        assert res.watchdog is None
+        assert res.n_succeeded == len(res)
+
+    def test_wall_clock_trip_is_marked_nondeterministic(self):
+        inst = batch_instance(6, window=8192)
+        res = simulate(
+            inst, UNIFORM, seed=0, jammer=total_jammer(),
+            watchdog=Watchdog(max_seconds=1e-9),
+        )
+        trip = res.watchdog
+        assert trip is not None and trip.reason == REASON_WALL
+        assert not trip.deterministic
+        # Sampled on the check grid, so the cut lands on a multiple of it.
+        assert trip.slots_simulated % WALL_CHECK_PERIOD == 0
+
+    def test_trip_emits_watchdog_event(self):
+        tele = Telemetry(label="wd-test")
+        inst = batch_instance(6, window=4096)
+        res = simulate(
+            inst, UNIFORM, seed=0, jammer=total_jammer(),
+            watchdog=Watchdog(max_slots=64), telemetry=tele,
+        )
+        assert res.watchdog is not None
+        kinds = tele.events.counts
+        assert kinds.get("watchdog.slot_budget") == 1
+
+    def test_no_event_without_trip(self):
+        tele = Telemetry(label="wd-test")
+        inst = batch_instance(4, window=1024)
+        simulate(
+            inst, UNIFORM, seed=0,
+            watchdog=Watchdog(max_slots=10**7), telemetry=tele,
+        )
+        assert not any(k.startswith("watchdog.") for k in tele.events.counts)
+
+    def test_deterministic_trip_reproduces(self):
+        inst = batch_instance(6, window=4096)
+        runs = [
+            simulate(
+                inst, aloha_factory(0.1), seed=7, jammer=total_jammer(),
+                watchdog=Watchdog(stall_factor=0.5),
+            )
+            for _ in range(2)
+        ]
+        trips = [r.watchdog for r in runs]
+        assert trips[0] is not None
+        assert trips[0] == trips[1]
+        assert outcome_tuples(runs[0]) == outcome_tuples(runs[1])

@@ -1,0 +1,191 @@
+"""Breaking-point certification: the bisector, the harness, the report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.punctual import punctual_factory
+from repro.core.uniform import uniform_factory
+from repro.errors import InvalidParameterError
+from repro.experiments.certify import (
+    ADVERSARY_FAMILIES,
+    OBLIVIOUS_FAMILIES,
+    REACTIVE_FAMILIES,
+    BisectResult,
+    BreakingPoint,
+    CertificationReport,
+    bisect_breaking_point,
+    run_certification,
+)
+from repro.experiments.parallel import ConstantFactory, ConstantInstance
+from repro.experiments.robustness import JAM_THRESHOLD
+from repro.params import AlignedParams, PunctualParams
+from repro.workloads import batch_instance
+
+
+class TestFamilies:
+    def test_catalogue_is_the_union(self):
+        assert set(ADVERSARY_FAMILIES) == (
+            set(OBLIVIOUS_FAMILIES) | set(REACTIVE_FAMILIES)
+        )
+        assert "jam" in OBLIVIOUS_FAMILIES
+        assert "struct-delivery" in REACTIVE_FAMILIES
+
+    @pytest.mark.parametrize("family", sorted(ADVERSARY_FAMILIES))
+    def test_every_family_builds_a_jammer(self, family):
+        from repro.channel.jamming import Jammer
+
+        jam = ADVERSARY_FAMILIES[family](0.25)
+        assert isinstance(jam, Jammer)
+
+
+class TestBisector:
+    def test_step_function_is_bracketed(self):
+        res = bisect_breaking_point(
+            lambda s: 1.0 if s < 0.37 else 0.0, tol=0.01
+        )
+        assert res.threshold == pytest.approx(0.37, abs=0.01)
+        assert res.bracket_lo <= res.threshold <= res.bracket_hi
+        assert res.bracket_hi - res.bracket_lo <= 0.01
+
+    def test_no_breaking_point_in_range(self):
+        res = bisect_breaking_point(lambda s: 1.0, tol=0.01)
+        assert res.threshold is None
+        assert res.bracket_lo == res.bracket_hi == 1.0
+        assert len(res.evaluations) == 2  # both endpoint probes, no more
+
+    def test_already_broken_at_lo(self):
+        res = bisect_breaking_point(lambda s: 0.0, tol=0.01)
+        assert res.threshold == 0.0
+        assert res.broke_below_lo
+        assert len(res.evaluations) == 1
+
+    def test_evaluations_record_probe_order(self):
+        probes = []
+
+        def measure(s):
+            probes.append(s)
+            return 1.0 if s < 0.5 else 0.0
+
+        res = bisect_breaking_point(measure, tol=0.1)
+        assert [s for s, _ in res.evaluations] == probes
+        assert probes[0] == 0.0 and probes[1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bisect_breaking_point(lambda s: 1.0, lo=0.5, hi=0.5)
+        with pytest.raises(InvalidParameterError):
+            bisect_breaking_point(lambda s: 1.0, tol=0.0)
+
+    def test_custom_range(self):
+        res = bisect_breaking_point(
+            lambda s: 1.0 if s < 0.3 else 0.0, lo=0.2, hi=0.4, tol=0.01
+        )
+        assert res.threshold == pytest.approx(0.3, abs=0.01)
+
+
+class TestReport:
+    def points(self):
+        return [
+            BreakingPoint("punctual", "jam", 0.9, 0.52, 0.51, 0.53),
+            BreakingPoint("punctual", "struct-delivery", 0.9, 0.11, 0.10, 0.12),
+            BreakingPoint("punctual", "assassin", 0.9, None, 1.0, 1.0),
+        ]
+
+    def test_theorem14_deviation(self):
+        rep = CertificationReport(self.points(), 0.9)
+        assert rep.theorem14_deviation("punctual") == pytest.approx(
+            0.52 - JAM_THRESHOLD
+        )
+        assert rep.theorem14_deviation("aligned") is None
+
+    def test_sharpest_reactive_and_strictly_lower(self):
+        rep = CertificationReport(self.points(), 0.9)
+        best = rep.sharpest_reactive("punctual")
+        assert best is not None and best.family == "struct-delivery"
+        assert rep.reactive_strictly_lower("punctual") is True
+
+    def test_frontier_orders_by_threshold(self):
+        rep = CertificationReport(self.points(), 0.9)
+        table = rep.frontier_table("punctual")
+        assert table.index("struct-delivery") < table.index("jam")
+        assert "none in [0,1]" in table  # the assassin row
+        assert "Thm 14 boundary" in table
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        rep = CertificationReport(self.points(), 0.9)
+        path = tmp_path / "frontier.jsonl"
+        n = rep.to_jsonl(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert n == len(lines) == 3
+        assert lines[0]["type"] == "breaking_point"
+        assert lines[1]["reactive"] is True
+        assert lines[2]["threshold"] is None
+
+
+UNIFORM_BUILD = ConstantInstance(batch_instance(10, window=768))
+UNIFORM_PROTO = ConstantFactory(uniform_factory())
+
+
+def punctual_proto():
+    params = PunctualParams(
+        aligned=AlignedParams(lam=1, tau=2, min_level=8),
+        lam=2,
+        pullback_exp=1,
+        slingshot_exp=2,
+    )
+    return ConstantFactory(punctual_factory(params))
+
+
+class TestRunCertification:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(InvalidParameterError):
+            run_certification(
+                UNIFORM_BUILD, {"uniform": UNIFORM_PROTO},
+                families=["jam", "nope"], seeds=2,
+            )
+
+    def test_machinery_on_a_cheap_cell(self):
+        rep = run_certification(
+            UNIFORM_BUILD,
+            {"uniform": UNIFORM_PROTO},
+            families=["jam"],
+            seeds=4,
+            tol=0.1,
+        )
+        cell = rep.cell("uniform", "jam")
+        assert cell.estimates  # every probe kept its bootstrap estimate
+        for est in cell.estimates.values():
+            assert 0.0 <= est.low <= est.point <= est.high <= 1.0
+        assert rep.as_records()[0]["family"] == "jam"
+
+    def test_certification_is_deterministic(self):
+        runs = [
+            run_certification(
+                UNIFORM_BUILD, {"uniform": UNIFORM_PROTO},
+                families=["jam"], seeds=4, tol=0.1,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].as_records() == runs[1].as_records()
+
+
+@pytest.mark.slow
+class TestPunctualAcceptance:
+    """The ISSUE's acceptance criteria, at smoke resolution."""
+
+    def test_jam_threshold_near_half_and_reactive_strictly_lower(self):
+        rep = run_certification(
+            ConstantInstance(batch_instance(12, window=1024)),
+            {"punctual": punctual_proto()},
+            families=["jam", "struct-delivery"],
+            seeds=12,
+            tol=0.05,
+        )
+        jam = rep.cell("punctual", "jam")
+        assert jam.threshold == pytest.approx(0.5, abs=0.05)
+        assert rep.reactive_strictly_lower("punctual") is True
+        struct = rep.cell("punctual", "struct-delivery")
+        assert struct.threshold < 0.25  # the delivery phases are soft

@@ -377,3 +377,69 @@ class TestRobustness:
         out = capsys.readouterr().out
         assert rc == 0
         assert "fault family: rate" in out
+
+
+class TestCertify:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["certify"])
+        assert args.protocols == "punctual"
+        assert args.seeds == 30
+        assert args.tol == 0.02
+        assert args.min_jam_threshold == 0.4
+        # The calibrated certification workload rides on add_common.
+        assert args.n == 12 and args.window == 1024
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit, match="unknown adversary family"):
+            main(
+                [
+                    "certify",
+                    "--protocols", "uniform",
+                    "--families", "gremlins",
+                ]
+            )
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit, match="unavailable"):
+            main(["certify", "--protocols", "nope"])
+
+    def test_frontier_printed_and_artifact_written(self, capsys, tmp_path):
+        artifact = tmp_path / "frontier.jsonl"
+        rc = main(
+            [
+                "certify",
+                "--protocols", "uniform",
+                "--families", "jam",
+                "--seeds", "3",
+                "--tol", "0.1",
+                "--min-jam-threshold", "0",
+                "--artifact", str(artifact),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "degradation frontier: uniform" in out
+        assert "Thm 14 boundary" in out
+        lines = artifact.read_text().splitlines()
+        assert len(lines) == 1
+        import json
+
+        rec = json.loads(lines[0])
+        assert rec["type"] == "breaking_point"
+        assert rec["family"] == "jam"
+
+    def test_gate_passes_on_healthy_uniform_jam(self, capsys):
+        # UNIFORM on the calibrated workload holds past 0.4 as well, so
+        # the Theorem-14 gate (applied to punctual only) stays quiet.
+        rc = main(
+            [
+                "certify",
+                "--protocols", "uniform",
+                "--families", "jam,banked",
+                "--seeds", "3",
+                "--tol", "0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CERTIFY FAILURE" not in out
