@@ -34,6 +34,9 @@ from scratch:
 * :mod:`repro.obs` — run telemetry: a metrics registry, typed protocol
   lifecycle events, wall-clock spans, and JSONL artifacts summarized by
   ``repro obs``;
+* :mod:`repro.verify` — the differential verification harness: engine ↔
+  fastpath cross-execution, metamorphic invariances, and the
+  determinism audit behind ``repro verify``;
 * :mod:`repro.analysis` — the paper's closed-form bounds, contention
   analyses, statistics, and plain-text tables.
 

@@ -24,6 +24,10 @@ Subcommands
     family (oblivious and reactive), prints the degradation frontier,
     and checks the Theorem-14 boundary (PUNCTUAL's stochastic-jamming
     threshold must sit at ``p_jam ~ 1/2``).
+``verify``
+    Runs the differential / metamorphic / determinism battery of
+    :mod:`repro.verify` (``--smoke`` for the CI profile) and writes a
+    JSONL discrepancy artifact on request.
 ``obs``
     Summarizes telemetry JSONL artifacts written by ``--telemetry``
     (available on ``simulate`` / ``sweep`` / ``compare`` /
@@ -491,6 +495,33 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the differential / metamorphic / determinism battery."""
+    from repro.verify import run_verification
+
+    cases = None
+    if args.cases:
+        cases = [c.strip() for c in args.cases.split(",") if c.strip()]
+    report = run_verification(
+        smoke=args.smoke,
+        cases=cases,
+        progress=(lambda msg: print(f"  .. {msg}")) if args.progress else None,
+    )
+    print(report.render())
+    if args.artifact:
+        path = report.write_artifact(args.artifact)
+        print(f"\nwrote verification artifact to {path} "
+              f"(summarize with: repro obs {path})")
+    if not report.ok:
+        print(
+            f"\nVERIFY FAILURE: {len(report.failures)} check(s) found "
+            f"{len(report.discrepancies)} discrepancies"
+        )
+        return 1
+    print("\nverification passed (engine, kernels, and digests agree)")
+    return 0
+
+
 def cmd_feasibility(args: argparse.Namespace) -> int:
     from repro.sim.validate import certify
 
@@ -738,6 +769,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_flags(cert)
     _add_telemetry_flag(cert)
     cert.set_defaults(func=cmd_certify)
+
+    ver = sub.add_parser(
+        "verify",
+        help="run the differential / metamorphic / determinism battery",
+    )
+    ver.add_argument("--smoke", action="store_true",
+                     help="CI profile: fast corpus subset, one subprocess "
+                          "replay; finishes in well under a minute")
+    ver.add_argument("--cases", default="", metavar="NAMES",
+                     help="comma-separated corpus case names to run "
+                          "(default: the whole corpus, or the smoke subset)")
+    ver.add_argument("--artifact", default="", metavar="PATH",
+                     help="write the JSONL discrepancy artifact here "
+                          "(telemetry format; summarize with 'repro obs')")
+    ver.add_argument("--progress", action="store_true",
+                     help="print one line per completed stage")
+    ver.set_defaults(func=cmd_verify)
 
     obs = sub.add_parser(
         "obs", help="summarize telemetry artifacts written by --telemetry"

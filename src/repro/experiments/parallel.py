@@ -230,8 +230,15 @@ def compute_chunksize(n_tasks: int, processes: int) -> int:
     One task per IPC message is pure overhead for sub-second seeds; one
     giant chunk per worker straggles.  Aim for ~4 chunks per worker,
     capped so no chunk exceeds 64 tasks.
+
+    Always returns at least 1 — ``pool.map(chunksize=0)`` raises deep in
+    ``concurrent.futures`` — for every combination of ``n_tasks`` and
+    ``processes``, including ``n_tasks == 0`` (nothing to submit, but a
+    caller that computes the chunksize before noticing must not blow up)
+    and ``processes > n_tasks`` (more workers than work: one task per
+    chunk, surplus workers idle).
     """
-    if n_tasks <= 0 or processes <= 1:
+    if n_tasks <= 0 or processes <= 1 or processes >= n_tasks:
         return 1
     return max(1, min(64, -(-n_tasks // (processes * 4))))
 
@@ -370,6 +377,8 @@ def run_seeds(
     cache_obj = as_cache(cache)
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     t_started = time.perf_counter()
     if telemetry is not None and cache_obj is not None:
         c_hits, c_misses, c_puts = (

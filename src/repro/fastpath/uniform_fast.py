@@ -51,6 +51,7 @@ def simulate_uniform_fast(
     *,
     attempts: int = 1,
     p_jam: float = 0.0,
+    offsets: Optional[np.ndarray] = None,
 ) -> UniformFastResult:
     """One UNIFORM trial, fully vectorized.
 
@@ -63,6 +64,11 @@ def simulate_uniform_fast(
         Randomness source.
     p_jam:
         Stochastic jamming of would-be successes (Section 3's adversary).
+    offsets:
+        Optional per-job slot offsets (``by_release`` order) replacing the
+        internal draw; requires ``attempts == 1``.  The differential
+        verifier uses this to replay the *engine's* per-job draws through
+        the kernel, turning the statistical cross-check into an exact one.
 
     Returns
     -------
@@ -73,8 +79,16 @@ def simulate_uniform_fast(
         raise InvalidParameterError(f"attempts must be >= 1, got {attempts}")
     if not 0.0 <= p_jam <= 1.0:
         raise InvalidParameterError(f"p_jam must be in [0, 1], got {p_jam}")
+    if offsets is not None and attempts != 1:
+        raise InvalidParameterError(
+            "explicit offsets require attempts == 1"
+        )
     jobs = instance.by_release
     n = len(jobs)
+    if offsets is not None and len(offsets) != n:
+        raise InvalidParameterError(
+            f"offsets has length {len(offsets)}, instance has {n} jobs"
+        )
     if n == 0:
         return UniformFastResult(np.zeros(0, dtype=bool), 0, 0)
 
@@ -85,7 +99,14 @@ def simulate_uniform_fast(
     # draw per job; otherwise sample without replacement per job (windows
     # can differ, so a small per-job loop only for multi-attempt mode).
     if attempts == 1:
-        offs = (rng.random(n) * windows).astype(np.int64)
+        if offsets is not None:
+            offs = np.asarray(offsets, dtype=np.int64)
+            if np.any(offs < 0) or np.any(offs >= windows):
+                raise InvalidParameterError(
+                    "offsets must satisfy 0 <= offset < window per job"
+                )
+        else:
+            offs = (rng.random(n) * windows).astype(np.int64)
         job_idx = np.arange(n)
         slots = releases + offs
     else:

@@ -106,7 +106,10 @@ __all__ = ["ENGINE_VERSION", "ProtocolFactory", "SlotObserver", "simulate"]
 #: a change can alter any :class:`SimulationResult` for some input — the
 #: content-addressed result cache keys on it, so stale entries invalidate
 #: themselves.
-ENGINE_VERSION = 2
+#: 3: RNG stream keys moved from crc32 (32-bit, collision-prone) to a
+#: 128-bit blake2b derivation (see :func:`repro.sim.rng._label_key`);
+#: every random stream, and therefore every sampled outcome, changed.
+ENGINE_VERSION = 3
 
 #: Builds the protocol for one job, given the job and its private stream.
 ProtocolFactory = Callable[[Job, np.random.Generator], Protocol]

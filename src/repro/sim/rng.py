@@ -13,17 +13,31 @@ spawning keyed on a stable label.  Two consequences:
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict
+import hashlib
+from typing import Dict, Tuple
 
 import numpy as np
 
 __all__ = ["RngFactory"]
 
 
-def _label_key(label: str) -> int:
-    """A stable 32-bit key for a stream label (crc32 of its UTF-8 bytes)."""
-    return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+def _label_key(label: str) -> Tuple[int, int, int, int]:
+    """A stable 128-bit key for a stream label, as four 32-bit words.
+
+    Derived with blake2b over the label's UTF-8 bytes.  Earlier versions
+    used ``crc32`` (32 bits): two distinct labels collide with
+    probability ~``k²/2³³`` across ``k`` labels, and a collision makes
+    two "independent" streams *bit-identical* — silently correlating a
+    job's protocol with, say, a fault stream.  128 bits puts collisions
+    out of reach.  Changing the key derivation changes every stream, so
+    the switch bumped :data:`repro.sim.engine.ENGINE_VERSION`.
+    """
+    digest = hashlib.blake2b(
+        label.encode("utf-8"), digest_size=16, person=b"repro-rng-v1"
+    ).digest()
+    return tuple(
+        int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+    )
 
 
 class RngFactory:
@@ -60,7 +74,7 @@ class RngFactory:
         gen = self._cache.get(key)
         if gen is None:
             seq = np.random.SeedSequence(
-                self.seed, spawn_key=(_label_key(label), int(index))
+                self.seed, spawn_key=_label_key(label) + (int(index),)
             )
             gen = np.random.default_rng(seq)
             self._cache[key] = gen
@@ -73,7 +87,7 @@ class RngFactory:
         tests that need to replay a component's draws.
         """
         seq = np.random.SeedSequence(
-            self.seed, spawn_key=(_label_key(label), int(index))
+            self.seed, spawn_key=_label_key(label) + (int(index),)
         )
         return np.random.default_rng(seq)
 

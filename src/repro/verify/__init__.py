@@ -1,0 +1,37 @@
+"""Differential, metamorphic, and determinism verification.
+
+This package cross-checks the repo's redundant implementations against
+each other and pins down reproducibility guarantees:
+
+* :mod:`repro.verify.differential` — the slot engine vs every fastpath
+  kernel, at the strongest comparison each pair admits (bit-exact offset
+  replay, dominance, paired-draw naive references, statistical);
+* :mod:`repro.verify.metamorphic` — invariances of the engine itself
+  (time-shift equivariance, presentation-order insensitivity, zero-jam
+  neutrality, observation-only instrumentation);
+* :mod:`repro.verify.determinism` — same inputs ⇒ same content digest,
+  in-process, across a fresh interpreter, and through a cache
+  round-trip;
+* :mod:`repro.verify.corpus` — the named cases everything above (and
+  the golden traces under ``tests/verify/golden/``) runs on.
+
+Entry points: :func:`run_verification` (library),
+``repro verify [--smoke]`` (CLI).
+"""
+
+from repro.verify.corpus import CORPUS, VerifyCase, corpus_case, smoke_cases
+from repro.verify.determinism import case_fingerprint
+from repro.verify.report import CheckResult, Discrepancy, VerifyReport
+from repro.verify.runner import run_verification
+
+__all__ = [
+    "CORPUS",
+    "CheckResult",
+    "Discrepancy",
+    "VerifyCase",
+    "VerifyReport",
+    "case_fingerprint",
+    "corpus_case",
+    "run_verification",
+    "smoke_cases",
+]

@@ -1,0 +1,209 @@
+"""The named corpus of verification cases.
+
+Every verification activity in :mod:`repro.verify` — the differential
+runner, the metamorphic checker, the determinism audit, and the golden
+traces under ``tests/verify/golden/`` — operates on cases from this
+registry.  Naming the cases (instead of constructing instances ad hoc)
+buys two things:
+
+* a **subprocess** can rebuild exactly the same case from its name, so
+  the determinism audit can compare digests across interpreter
+  boundaries without pickling anything;
+* golden files can reference cases by name and stay meaningful across
+  sessions.
+
+Cases are plain frozen dataclasses built from module-level callables, so
+they are picklable and independent of construction order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.channel.jamming import Jammer, StochasticJammer
+from repro.core.aligned import aligned_factory
+from repro.core.punctual import punctual_factory
+from repro.core.uniform import uniform_factory
+from repro.errors import InvalidParameterError
+from repro.params import AlignedParams, PunctualParams, UniformParams
+from repro.sim.engine import ProtocolFactory
+from repro.sim.instance import Instance
+from repro.workloads import batch_instance, single_class_instance
+
+__all__ = ["CORPUS", "VerifyCase", "corpus_case", "smoke_cases"]
+
+_ALIGNED = AlignedParams(lam=1, tau=4, min_level=9)
+_PUNCTUAL = PunctualParams(
+    aligned=AlignedParams(lam=1, tau=2, min_level=10),
+    lam=2,
+    pullback_exp=1,
+    slingshot_exp=2,
+)
+
+
+def _batch16() -> Instance:
+    return batch_instance(16, window=64)
+
+
+def _batch_sparse() -> Instance:
+    return batch_instance(8, window=1024)
+
+
+def _staggered() -> Instance:
+    a = batch_instance(6, window=256)
+    b = batch_instance(6, window=256).relabeled(start=50).shifted(96)
+    return a.merged(b)
+
+
+def _single_class() -> Instance:
+    return single_class_instance(10, level=9)
+
+
+def _punctual_batch() -> Instance:
+    return batch_instance(8, window=4096)
+
+
+def _uniform() -> ProtocolFactory:
+    return uniform_factory()
+
+
+def _uniform_two_attempts() -> ProtocolFactory:
+    return uniform_factory(UniformParams(attempts=2))
+
+
+def _aligned() -> ProtocolFactory:
+    return aligned_factory(_ALIGNED)
+
+
+def _punctual() -> ProtocolFactory:
+    return punctual_factory(_PUNCTUAL)
+
+
+def _no_jammer() -> Optional[Jammer]:
+    return None
+
+
+def _jam30() -> Optional[Jammer]:
+    return StochasticJammer(0.3)
+
+
+def _jam10() -> Optional[Jammer]:
+    return StochasticJammer(0.1)
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One named verification case: workload, protocol, adversary, seeds.
+
+    ``kind`` routes the case through the differential runner:
+    ``"uniform-exact"`` (engine ↔ uniform kernel, bit-exact offset
+    replay), ``"uniform-dominance"`` (attempts > 1: kernel success must
+    imply engine success), ``"statistical"`` (mean success rates must
+    agree within Monte-Carlo tolerance), ``"engine-only"`` (no
+    applicable kernel; metamorphic + determinism checks only).
+    """
+
+    name: str
+    build: Callable[[], Instance]
+    protocol: Callable[[], ProtocolFactory]
+    make_jammer: Callable[[], Optional[Jammer]] = _no_jammer
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    kind: str = "engine-only"
+    attempts: int = 1
+    smoke: bool = True
+
+    def instance(self) -> Instance:
+        """Build a fresh instance for this case."""
+        return self.build()
+
+    def factory(self) -> ProtocolFactory:
+        """Build a fresh protocol factory for this case."""
+        return self.protocol()
+
+    def jammer(self) -> Optional[Jammer]:
+        """Build a fresh jammer for this case (None for a clean channel)."""
+        return self.make_jammer()
+
+
+_CASES = (
+    VerifyCase(
+        name="uniform-batch",
+        build=_batch16,
+        protocol=_uniform,
+        seeds=(0, 1, 2, 3),
+        kind="uniform-exact",
+    ),
+    VerifyCase(
+        name="uniform-sparse",
+        build=_batch_sparse,
+        protocol=_uniform,
+        seeds=(0, 1, 2),
+        kind="uniform-exact",
+    ),
+    VerifyCase(
+        name="uniform-staggered",
+        build=_staggered,
+        protocol=_uniform,
+        seeds=(0, 1, 2),
+        kind="uniform-exact",
+    ),
+    VerifyCase(
+        name="uniform-two-attempts",
+        build=_batch16,
+        protocol=_uniform_two_attempts,
+        seeds=(0, 1, 2),
+        kind="uniform-dominance",
+        attempts=2,
+    ),
+    VerifyCase(
+        name="uniform-jammed",
+        build=_batch16,
+        protocol=_uniform,
+        make_jammer=_jam30,
+        seeds=tuple(range(40)),
+        kind="statistical",
+        smoke=False,
+    ),
+    VerifyCase(
+        name="aligned-single-class",
+        build=_single_class,
+        protocol=_aligned,
+        seeds=(0, 1),
+        kind="engine-only",
+    ),
+    VerifyCase(
+        name="punctual-batch",
+        build=_punctual_batch,
+        protocol=_punctual,
+        seeds=(0, 1),
+        kind="engine-only",
+    ),
+    VerifyCase(
+        name="punctual-jammed",
+        build=_punctual_batch,
+        protocol=_punctual,
+        make_jammer=_jam10,
+        seeds=(0, 1),
+        kind="engine-only",
+        smoke=False,
+    ),
+)
+
+#: Every registered verification case, by name.
+CORPUS: Dict[str, VerifyCase] = {c.name: c for c in _CASES}
+
+
+def corpus_case(name: str) -> VerifyCase:
+    """The registered case called ``name`` (raises on unknown names)."""
+    try:
+        return CORPUS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown verify case {name!r} (choices: {sorted(CORPUS)})"
+        ) from None
+
+
+def smoke_cases() -> Tuple[VerifyCase, ...]:
+    """The CI-speed subset of the corpus (``repro verify --smoke``)."""
+    return tuple(c for c in _CASES if c.smoke)

@@ -1,0 +1,219 @@
+"""The determinism audit: same inputs, same digest, everywhere.
+
+Replays a corpus case's seed three ways and demands identical content:
+
+* **in-process** — two back-to-back ``simulate`` calls must produce
+  ``SeedDigest`` records with equal :func:`~repro.cache.stable_digest`;
+* **fresh subprocess** — a new interpreter (``python -m
+  repro.verify.determinism CASE SEED``) rebuilds the case from its
+  corpus name and prints its digest and cache key as JSON; both must
+  match the parent's (this is what catches accidental dependence on
+  ``PYTHONHASHSEED``, dict order, interned-object ids, or wall clock);
+* **cache round-trip** — the digest must survive
+  :class:`~repro.cache.ResultCache` storage byte-for-byte, and a warm
+  :func:`~repro.experiments.parallel.run_seeds` re-run must be served
+  entirely from cache with an identical result list.
+
+Along the way this exercises :func:`~repro.cache.stable_digest` on the
+hard cases — protocol factory closures (captured params), frozen
+dataclasses, numpy payloads — because ``run_key`` folds all of them in.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.cache import ResultCache, run_key, stable_digest
+from repro.experiments.parallel import SeedDigest, run_seeds
+from repro.verify.corpus import VerifyCase, corpus_case
+from repro.verify.report import Discrepancy
+
+__all__ = [
+    "case_fingerprint",
+    "check_cache_roundtrip",
+    "check_in_process_replay",
+    "check_subprocess_replay",
+]
+
+
+def _digest_for(case: VerifyCase, seed: int) -> SeedDigest:
+    """One inline run of the case at ``seed``, as a SeedDigest."""
+    (digest,) = run_seeds(
+        case.build, lambda instance: case.factory(),
+        seeds=[seed], jammer=case.jammer(),
+    )
+    return digest
+
+
+def case_fingerprint(name: str, seed: int) -> Dict[str, Union[str, int]]:
+    """The reproducibility fingerprint of one corpus case at one seed.
+
+    Everything a cross-process comparison needs: the content digest of
+    the run's :class:`SeedDigest`, the cache key of the run, the content
+    digest of the instance, and the headline counts.
+    """
+    case = corpus_case(name)
+    digest = _digest_for(case, seed)
+    instance = case.instance()
+    return {
+        "case": name,
+        "seed": seed,
+        "digest": stable_digest(digest),
+        "run_key": run_key(
+            instance=instance,
+            protocol=case.factory(),
+            jammer=case.jammer(),
+            seed=seed,
+        ),
+        "instance_digest": stable_digest(instance),
+        "n_succeeded": digest.n_succeeded,
+        "slots_simulated": digest.slots_simulated,
+    }
+
+
+def _fingerprint_mismatches(
+    name: str,
+    seed: int,
+    check: str,
+    expected: Dict[str, Union[str, int]],
+    actual: Dict[str, Union[str, int]],
+    detail: str = "",
+) -> List[Discrepancy]:
+    out: List[Discrepancy] = []
+    for field in sorted(set(expected) | set(actual)):
+        if expected.get(field) != actual.get(field):
+            out.append(
+                Discrepancy(
+                    case=name,
+                    seed=seed,
+                    check=check,
+                    quantity=field,
+                    expected=str(expected.get(field)),
+                    actual=str(actual.get(field)),
+                    detail=detail,
+                )
+            )
+    return out
+
+
+def check_in_process_replay(case: VerifyCase, seed: int) -> List[Discrepancy]:
+    """Two in-process runs must produce content-identical digests."""
+    first = case_fingerprint(case.name, seed)
+    second = case_fingerprint(case.name, seed)
+    return _fingerprint_mismatches(
+        case.name, seed, "determinism-in-process", first, second
+    )
+
+
+def check_subprocess_replay(case: VerifyCase, seed: int) -> List[Discrepancy]:
+    """A fresh interpreter must reproduce digest and cache key exactly."""
+    expected = case_fingerprint(case.name, seed)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.verify.determinism", case.name, str(seed)],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return [
+            Discrepancy(
+                case=case.name,
+                seed=seed,
+                check="determinism-subprocess",
+                quantity="exit status",
+                expected="0",
+                actual=str(proc.returncode),
+                detail=proc.stderr.strip()[-500:],
+            )
+        ]
+    try:
+        actual = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return [
+            Discrepancy(
+                case=case.name,
+                seed=seed,
+                check="determinism-subprocess",
+                quantity="stdout",
+                expected="JSON fingerprint",
+                actual=proc.stdout.strip()[:200],
+            )
+        ]
+    return _fingerprint_mismatches(
+        case.name, seed, "determinism-subprocess", expected, actual,
+        detail="fresh interpreter",
+    )
+
+
+def check_cache_roundtrip(
+    case: VerifyCase, seed: int, cache_root: Union[str, Path]
+) -> List[Discrepancy]:
+    """Digests must survive cache storage and serve warm re-runs."""
+    out: List[Discrepancy] = []
+    cache = ResultCache(cache_root)
+
+    def run_once() -> List[SeedDigest]:
+        return run_seeds(
+            case.build, lambda instance: case.factory(),
+            seeds=[seed], jammer=case.jammer(), cache=cache,
+        )
+
+    (cold,) = run_once()
+    puts_after_cold = cache.puts
+    (warm,) = run_once()
+    if stable_digest(cold) != stable_digest(warm):
+        out.append(
+            Discrepancy(
+                case=case.name,
+                seed=seed,
+                check="determinism-cache",
+                quantity="digest",
+                expected=stable_digest(cold),
+                actual=stable_digest(warm),
+                detail="warm re-run returned different content",
+            )
+        )
+    if cache.puts != puts_after_cold:
+        out.append(
+            Discrepancy(
+                case=case.name,
+                seed=seed,
+                check="determinism-cache",
+                quantity="cache writes on warm run",
+                expected=str(puts_after_cold),
+                actual=str(cache.puts),
+                detail="a warm run must not rewrite entries",
+            )
+        )
+    if cache.hits < 1:
+        out.append(
+            Discrepancy(
+                case=case.name,
+                seed=seed,
+                check="determinism-cache",
+                quantity="cache hits on warm run",
+                expected=">= 1",
+                actual=str(cache.hits),
+                detail="the stored entry was not found again",
+            )
+        )
+    return out
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.verify.determinism CASE SEED`` → JSON fingerprint."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 2:
+        print("usage: python -m repro.verify.determinism CASE SEED",
+              file=sys.stderr)
+        return 2
+    name, seed = args[0], int(args[1])
+    print(json.dumps(case_fingerprint(name, seed)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(_main())

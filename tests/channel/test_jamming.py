@@ -187,7 +187,10 @@ class TestBurstJammer:
         assert not j.attempt(5, 1, DataMessage(0), rng)
 
     def test_zero_gap_is_continuous(self, rng):
-        j = BurstJammer(3, 0)
+        # gap=0 sustains a 100% jamming rate, so construction must warn
+        # that Theorem 14's p_jam <= 1/2 budget is exceeded.
+        with pytest.warns(PaperGuaranteeWarning, match="Theorem 14"):
+            j = BurstJammer(3, 0)
         assert all(j.attempt(t, 1, DataMessage(0), rng) for t in range(9))
 
     def test_rejects_bad_shape(self):

@@ -62,7 +62,7 @@ class TestGoldenUniform:
     def test_engine_success_count(self):
         inst = batch_instance(16, window=64)
         res = simulate(inst, uniform_factory(), seed=7)
-        assert res.n_succeeded == 12
+        assert res.n_succeeded == 14
 
     def test_harmonic_structure(self):
         inst = harmonic_starvation_instance(100, 0.5)
@@ -85,7 +85,7 @@ class TestGoldenPunctual:
         assert slots[0] >= 29  # nothing can land before sync + first round
         assert slots == sorted(slots)
         # pin the exact first delivery slot for this seed
-        assert slots[0] == 282
+        assert slots[0] == 272
 
 
 class TestGoldenBaselines:

@@ -91,7 +91,7 @@ class TestTraceRecorderRoundTrip:
         result = simulate(
             inst,
             punctual_factory(PunctualParams()),
-            seed=5,
+            seed=3,  # this seed's run carries a beacon delivery + a jam
             jammer=StochasticJammer(0.1),
             trace=True,
         )

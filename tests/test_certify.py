@@ -177,11 +177,13 @@ class TestPunctualAcceptance:
     """The ISSUE's acceptance criteria, at smoke resolution."""
 
     def test_jam_threshold_near_half_and_reactive_strictly_lower(self):
+        # 24 seeds: at 12 the bisection's bracket can wander ~0.08 with
+        # unlucky replication noise, outside the ±0.05 acceptance band.
         rep = run_certification(
             ConstantInstance(batch_instance(12, window=1024)),
             {"punctual": punctual_proto()},
             families=["jam", "struct-delivery"],
-            seeds=12,
+            seeds=24,
             tol=0.05,
         )
         jam = rep.cell("punctual", "jam")

@@ -112,6 +112,37 @@ class TestChunksize:
         assert compute_chunksize(0, 4) == 1
         assert compute_chunksize(1, 4) == 1
 
+    def test_edge_cases_never_below_one(self):
+        # n_tasks == 0, negative inputs, and processes > n_tasks must all
+        # land on 1: pool.map(chunksize=0) raises inside concurrent.futures.
+        assert compute_chunksize(0, 0) == 1
+        assert compute_chunksize(-3, 8) == 1
+        assert compute_chunksize(5, -1) == 1
+        for n_tasks in range(0, 70):
+            for processes in range(0, 20):
+                assert compute_chunksize(n_tasks, processes) >= 1
+
+    def test_more_workers_than_tasks(self):
+        assert compute_chunksize(2, 8) == 1
+        assert compute_chunksize(7, 7) == 1
+
+    def test_run_seeds_rejects_zero_chunksize(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            run_seeds(
+                build_sparse, protocol, seeds=[0, 1],
+                processes=2, chunksize=0,
+            )
+
+    def test_run_seeds_empty_seed_list(self):
+        # Nothing to do must not touch a pool or compute a chunk at all.
+        assert run_seeds(build_sparse, protocol, seeds=[], processes=4) == []
+
+    def test_pool_with_more_workers_than_seeds(self):
+        seeds = [0, 1]
+        inline = run_seeds(build_sparse, protocol, seeds=seeds)
+        pooled = run_seeds(build_sparse, protocol, seeds=seeds, processes=4)
+        assert pooled == inline
+
 
 class TestProgress:
     def test_progress_reports_every_seed(self):

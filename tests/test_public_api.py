@@ -32,6 +32,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.obs",
+    "repro.verify",
 ]
 
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the golden verification traces in this directory.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/verify/golden/regenerate.py
+
+Writes one ``<case>.json`` per corpus case, each containing the
+reproducibility fingerprints (content digest, cache key, instance
+digest, headline counts) of the case's first few seeds, plus the
+``ENGINE_VERSION`` they were produced under.
+
+``tests/verify/test_golden_traces.py`` recomputes every fingerprint and
+fails on any drift.  These files pin *semantics*: regenerate them only
+as part of a deliberate, ENGINE_VERSION-bumping change, and say so in
+the commit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.sim.engine import ENGINE_VERSION
+from repro.verify import CORPUS, case_fingerprint
+
+#: Seeds pinned per case (the first few of the case's own seed list).
+GOLDEN_SEEDS = 2
+
+
+def regenerate(directory: Path) -> int:
+    n = 0
+    for name, case in sorted(CORPUS.items()):
+        fingerprints = {
+            str(seed): case_fingerprint(name, seed)
+            for seed in case.seeds[:GOLDEN_SEEDS]
+        }
+        payload = {
+            "case": name,
+            "engine_version": ENGINE_VERSION,
+            "fingerprints": fingerprints,
+        }
+        path = directory / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        n += 1
+    return n
+
+
+if __name__ == "__main__":
+    here = Path(__file__).resolve().parent
+    count = regenerate(here)
+    print(f"regenerated {count} golden trace files (engine v{ENGINE_VERSION})")
+    sys.exit(0)

@@ -1,0 +1,119 @@
+"""Wall-clock and format isolation of the result cache.
+
+Satellite guarantees behind the determinism audit: nothing
+time-dependent (``Telemetry.created``, span durations) may reach
+``run_key`` or ``stable_digest``, and bumping ``CACHE_FORMAT`` must
+cleanly orphan old entries instead of colliding with or crashing on
+them.
+"""
+
+import time
+
+import repro.cache
+from repro.cache import ResultCache, run_key, stable_digest
+from repro.core.uniform import uniform_factory
+from repro.experiments.parallel import run_seeds
+from repro.obs import Telemetry
+from repro.workloads import batch_instance
+
+SEEDS = [0, 1, 2]
+
+
+def _build():
+    return batch_instance(8, window=64)
+
+
+def _run(cache, telemetry=None):
+    return run_seeds(
+        _build,
+        lambda instance: uniform_factory(),
+        seeds=SEEDS,
+        cache=cache,
+        telemetry=telemetry,
+    )
+
+
+class TestTelemetryNeverReachesKeys:
+    def test_instrumented_run_warms_plain_run(self, tmp_path):
+        """Keys minted under telemetry serve an un-instrumented rerun."""
+        cache = ResultCache(tmp_path / "cache")
+        first = _run(cache, telemetry=Telemetry(label="warm"))
+        puts = cache.puts
+        second = _run(cache)
+        assert stable_digest(first) == stable_digest(second)
+        assert cache.puts == puts, "plain rerun rewrote cached entries"
+        assert cache.hits >= len(SEEDS)
+
+    def test_telemetry_creation_time_is_not_digested(self):
+        """Two collectors born at different times digest their runs alike."""
+        t1 = Telemetry(label="a")
+        time.sleep(0.01)
+        t2 = Telemetry(label="a")
+        assert t1.created != t2.created
+        r1 = _run(None, telemetry=t1)
+        r2 = _run(None, telemetry=t2)
+        assert stable_digest(r1) == stable_digest(r2)
+
+    def test_seed_digest_has_no_wall_clock_field(self):
+        """Every SeedDigest field is a pure function of the inputs."""
+        import dataclasses
+
+        from repro.experiments.parallel import SeedDigest
+
+        fields = {f.name for f in dataclasses.fields(SeedDigest)}
+        assert fields == {
+            "seed",
+            "n_jobs",
+            "n_succeeded",
+            "by_window",
+            "slots_simulated",
+            "latency_sum",
+            "watchdog_reason",
+        }, (
+            "SeedDigest grew a field; if it is time-dependent it must "
+            "not be digested, and CACHE_FORMAT must be bumped either way"
+        )
+
+    def test_run_key_is_wall_clock_free(self):
+        """The same inputs yield the same key at different wall times."""
+        a = run_key(
+            instance=_build(), protocol=uniform_factory(), seed=0
+        )
+        time.sleep(0.01)
+        b = run_key(
+            instance=_build(), protocol=uniform_factory(), seed=0
+        )
+        assert a == b
+
+
+class TestCacheFormatBump:
+    def test_old_entries_cleanly_miss(self, tmp_path, monkeypatch):
+        """A format bump orphans old entries: miss, recompute, restore."""
+        cache = ResultCache(tmp_path / "cache")
+        before = _run(cache)
+        assert cache.puts == len(SEEDS)
+
+        monkeypatch.setattr(
+            repro.cache, "CACHE_FORMAT", repro.cache.CACHE_FORMAT + 1
+        )
+        cache_bumped = ResultCache(tmp_path / "cache")
+        after = _run(cache_bumped)
+        assert cache_bumped.hits == 0, "old-format entry served after bump"
+        assert cache_bumped.puts == len(SEEDS), "bumped run was not re-stored"
+        # semantics unchanged: only the addressing moved
+        assert stable_digest(before) == stable_digest(after)
+
+        # and the new keys are immediately warm
+        cache_warm = ResultCache(tmp_path / "cache")
+        _run(cache_warm)
+        assert cache_warm.hits == len(SEEDS)
+        assert cache_warm.puts == 0
+
+    def test_run_key_folds_the_format(self, monkeypatch):
+        inst = _build()
+        old = run_key(instance=inst, protocol=uniform_factory(), seed=0)
+        monkeypatch.setattr(
+            repro.cache, "CACHE_FORMAT", repro.cache.CACHE_FORMAT + 1
+        )
+        new = run_key(instance=inst, protocol=uniform_factory(), seed=0)
+        assert old != new

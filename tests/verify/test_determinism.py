@@ -1,0 +1,84 @@
+"""The determinism audit: replay in-process, across processes, via cache."""
+
+import json
+
+from repro.verify import case_fingerprint, corpus_case
+from repro.verify.determinism import (
+    _main,
+    check_cache_roundtrip,
+    check_in_process_replay,
+    check_subprocess_replay,
+)
+
+
+class TestFingerprint:
+    def test_fields(self):
+        fp = case_fingerprint("uniform-batch", 0)
+        assert fp["case"] == "uniform-batch"
+        assert fp["seed"] == 0
+        for key in ("digest", "run_key", "instance_digest"):
+            assert isinstance(fp[key], str) and len(fp[key]) >= 16
+        assert fp["n_succeeded"] >= 0
+        assert fp["slots_simulated"] > 0
+
+    def test_stable_across_calls(self):
+        assert case_fingerprint("uniform-batch", 1) == case_fingerprint(
+            "uniform-batch", 1
+        )
+
+    def test_seed_sensitivity(self):
+        a = case_fingerprint("uniform-batch", 0)
+        b = case_fingerprint("uniform-batch", 1)
+        assert a["digest"] != b["digest"]
+        assert a["run_key"] != b["run_key"]
+        # the instance itself does not depend on the seed
+        assert a["instance_digest"] == b["instance_digest"]
+
+    def test_case_sensitivity(self):
+        a = case_fingerprint("uniform-batch", 0)
+        b = case_fingerprint("uniform-sparse", 0)
+        assert a["digest"] != b["digest"]
+        assert a["instance_digest"] != b["instance_digest"]
+
+    def test_json_round_trip(self):
+        fp = case_fingerprint("aligned-single-class", 0)
+        assert json.loads(json.dumps(fp)) == fp
+
+
+class TestInProcessReplay:
+    def test_clean_case(self):
+        assert check_in_process_replay(corpus_case("uniform-batch"), 0) == []
+
+    def test_jammed_case(self):
+        assert check_in_process_replay(corpus_case("uniform-jammed"), 0) == []
+
+
+class TestCacheRoundtrip:
+    def test_warm_run_is_served_from_cache(self, tmp_path):
+        case = corpus_case("uniform-batch")
+        assert check_cache_roundtrip(case, 0, tmp_path / "cache") == []
+
+    def test_independent_seeds_coexist(self, tmp_path):
+        case = corpus_case("uniform-sparse")
+        root = tmp_path / "cache"
+        assert check_cache_roundtrip(case, 0, root) == []
+        assert check_cache_roundtrip(case, 1, root) == []
+
+
+class TestSubprocessReplay:
+    def test_fresh_interpreter_agrees(self):
+        """A new interpreter reproduces digest + cache key bit-for-bit.
+
+        One case only — each run pays interpreter start-up; the full
+        matrix is ``repro verify``'s job, not tier-1's.
+        """
+        assert check_subprocess_replay(corpus_case("uniform-batch"), 0) == []
+
+    def test_cli_module_prints_fingerprint(self, capsys):
+        assert _main(["uniform-batch", "0"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == case_fingerprint("uniform-batch", 0)
+
+    def test_cli_module_usage_error(self, capsys):
+        assert _main(["too", "many", "args"]) == 2
+        assert "usage" in capsys.readouterr().err

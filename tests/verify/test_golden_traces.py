@@ -1,0 +1,58 @@
+"""The golden-trace corpus: pinned fingerprints must reproduce exactly.
+
+Any failure here means engine semantics drifted.  If the drift is
+deliberate, bump ``ENGINE_VERSION``, rerun
+``PYTHONPATH=src python tests/verify/golden/regenerate.py``, and say so
+in the commit message; never hand-edit the JSON.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.engine import ENGINE_VERSION
+from repro.verify import CORPUS, case_fingerprint
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path):
+    return json.loads(path.read_text())
+
+
+class TestCorpusCoverage:
+    def test_every_case_has_a_golden_file(self):
+        pinned = {p.stem for p in GOLDEN_FILES}
+        assert pinned == set(CORPUS), (
+            "golden files out of sync with the corpus; rerun "
+            "tests/verify/golden/regenerate.py"
+        )
+
+    def test_golden_files_exist(self):
+        assert GOLDEN_FILES, "tests/verify/golden/ holds no traces"
+
+
+@pytest.mark.parametrize(
+    "path", GOLDEN_FILES, ids=[p.stem for p in GOLDEN_FILES]
+)
+class TestGoldenTraces:
+    def test_engine_version_matches(self, path):
+        data = _load(path)
+        assert data["engine_version"] == ENGINE_VERSION, (
+            f"{path.name} was pinned under engine "
+            f"v{data['engine_version']}, code is v{ENGINE_VERSION}; "
+            "rerun tests/verify/golden/regenerate.py as part of the "
+            "version bump"
+        )
+
+    def test_fingerprints_reproduce(self, path):
+        data = _load(path)
+        assert data["fingerprints"], f"{path.name} pins no seeds"
+        for seed_str, pinned in data["fingerprints"].items():
+            live = case_fingerprint(data["case"], int(seed_str))
+            assert live == pinned, (
+                f"{data['case']} seed {seed_str} drifted from its "
+                f"golden fingerprint ({path.name})"
+            )

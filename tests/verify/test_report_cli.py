@@ -1,0 +1,122 @@
+"""The report surface and the ``repro verify`` CLI wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_artifact
+from repro.verify import CheckResult, Discrepancy, VerifyReport, run_verification
+
+
+def _failing_report():
+    report = VerifyReport()
+    report.add(
+        CheckResult(case="probe", check="uniform-exact", seeds=(0, 1))
+    )
+    report.add(
+        CheckResult(
+            case="probe",
+            check="uniform-exact",
+            seeds=(2,),
+            discrepancies=(
+                Discrepancy(
+                    case="probe",
+                    seed=2,
+                    check="uniform-exact",
+                    quantity="n_succeeded",
+                    expected="12",
+                    actual="11",
+                    detail="unit fixture",
+                ),
+            ),
+            shrunk=((3, 0, 64), (7, 0, 64)),
+        )
+    )
+    return report
+
+
+class TestVerifyReport:
+    def test_counting(self):
+        report = _failing_report()
+        assert report.n_checks == 2
+        assert len(report.failures) == 1
+        assert len(report.discrepancies) == 1
+        assert not report.ok
+
+    def test_render_mentions_failure_and_shrink(self):
+        text = _failing_report().render()
+        assert "2 checks, 1 failing" in text
+        assert "FAIL probe / uniform-exact" in text
+        assert "expected 12, got 11" in text
+        assert "Job(3, 0, 64), Job(7, 0, 64)" in text
+
+    def test_empty_report_is_ok(self):
+        report = VerifyReport()
+        assert report.ok
+        assert report.n_checks == 0
+
+    def test_artifact_round_trip(self, tmp_path):
+        path = _failing_report().write_artifact(tmp_path / "verify.jsonl")
+        artifact = read_artifact(path)
+        events = [e for e in artifact.events if e["kind"] == "verify.check"]
+        assert len(events) == 2
+        bad = [
+            e for e in artifact.events if e["kind"] == "verify.discrepancy"
+        ]
+        assert len(bad) == 1
+        assert bad[0]["data"]["quantity"] == "n_succeeded"
+        shrunk = [e for e in artifact.events if e["kind"] == "verify.shrunk"]
+        assert shrunk[0]["data"]["jobs"] == [[3, 0, 64], [7, 0, 64]]
+
+
+class TestRunVerification:
+    def test_explicit_case_selection(self):
+        report = run_verification(cases=["uniform-batch"], smoke=True)
+        assert report.ok
+        case_names = {r.case for r in report.results}
+        # the selected case plus the always-on kernel references
+        assert "uniform-batch" in case_names
+        assert "estimation-kernel" in case_names
+        assert "uniform-sparse" not in case_names
+        checks = {r.check for r in report.results if r.case == "uniform-batch"}
+        assert "uniform-exact" in checks
+        assert "determinism-in-process" in checks
+
+    def test_unknown_case_raises(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            run_verification(cases=["no-such-case"])
+
+    def test_progress_callback_fires(self):
+        lines = []
+        run_verification(
+            cases=["uniform-batch"], smoke=True, progress=lines.append
+        )
+        assert any("differential" in line for line in lines)
+        assert any("determinism" in line for line in lines)
+
+
+class TestCli:
+    def test_verify_pass_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "verify.jsonl"
+        code = main(
+            [
+                "verify",
+                "--smoke",
+                "--cases",
+                "uniform-batch",
+                "--artifact",
+                str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verification passed" in out
+        assert path.exists()
+        artifact = read_artifact(path)
+        assert artifact.counter_value("verify.checks") >= 1
+
+    def test_verify_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "verify" in capsys.readouterr().out
