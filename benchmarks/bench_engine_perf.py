@@ -2,10 +2,13 @@
 
 Not a paper experiment: guards the simulator's own performance so that
 experiment-suite runtimes stay predictable.  Benchmarks the slot
-engine's throughput on the three protocol families plus the vectorized
-fast paths, records slots/second figures in the archived table, and
-emits a machine-readable ``BENCH_engine.json`` so successive PRs can
-track the performance trajectory without parsing tables.
+engine's throughput on the three protocol families, the full-protocol
+kernels on the *same* instances (so the engine-vs-kernel speedups are
+like-for-like), and the seed-major batched driver against the per-seed
+experiment loop, records slots/second figures in the archived table,
+and emits a machine-readable ``BENCH_engine.json`` (archived under
+``results/`` and committed at the repository root) so successive PRs
+can track the performance trajectory without parsing tables.
 """
 
 from __future__ import annotations
@@ -21,7 +24,14 @@ from repro.baselines import beb_factory
 from repro.core.aligned import aligned_factory
 from repro.core.punctual import punctual_factory
 from repro.core.uniform import uniform_factory
+from repro.experiments.parallel import run_seeds
 from repro.fastpath import simulate_uniform_fast
+from repro.fastpath.batched import (
+    KERNEL_VERSION,
+    plan_fastpath,
+    run_batch,
+    simulate_fastpath,
+)
 from repro.params import AlignedParams, PunctualParams
 from repro.sim.engine import ENGINE_VERSION, simulate
 from repro.workloads import batch_instance, single_class_instance
@@ -49,6 +59,37 @@ def _throughput(fn) -> tuple[int, float]:
         dt = time.perf_counter() - t0
         slots = res.slots_simulated
         best = max(best, slots / dt)
+    return slots, best
+
+
+#: Trials per kernel timing batch: one kernel trial is sub-millisecond,
+#: so a batch keeps the measurement above timer noise.
+KERNEL_TRIALS = 64
+
+
+# Module-level so the multi-process run_seeds comparison can pickle them.
+def _bench_batch_build():
+    return batch_instance(16, window=1024)
+
+
+def _bench_batch_proto(_instance):
+    return uniform_factory()
+
+
+def _kernel_throughput(instance, factory) -> tuple[int, float]:
+    """(slots, best slots/second) for a full-protocol kernel."""
+    plan, reason = plan_fastpath(instance, factory)
+    assert plan is not None, f"kernel should qualify here: {reason}"
+    best = 0.0
+    slots = 0
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        total = 0
+        for s in range(KERNEL_TRIALS):
+            total += simulate_fastpath(plan, s).slots_simulated
+        dt = time.perf_counter() - t0
+        slots = total
+        best = max(best, total / dt)
     return slots, best
 
 
@@ -93,6 +134,77 @@ def test_p1_engine_throughput(benchmark, emit, results_dir):
         "slots": 65536, "slots_per_second": 65536 / dt,
     }
 
+    # -- full-protocol kernels, same instances as the engine rows -------
+    for label, key, engine_key, instance, factory in (
+        (
+            "kernel / ALIGNED (16 jobs, w=1024)",
+            "aligned_kernel",
+            "aligned",
+            aligned_inst,
+            aligned_factory(ALIGNED),
+        ),
+        (
+            "kernel / PUNCTUAL (16 jobs, w=8192)",
+            "punctual_kernel",
+            "punctual",
+            punctual_inst,
+            punctual_factory(PUNCTUAL),
+        ),
+        (
+            "kernel / UNIFORM (64 jobs, w=8192)",
+            "uniform_kernel",
+            "uniform",
+            uniform_inst,
+            uniform_factory(),
+        ),
+    ):
+        slots, rate = _kernel_throughput(instance, factory)
+        speedup = rate / machine[engine_key]["slots_per_second"]
+        rows.append([label, slots, rate])
+        machine[key] = {
+            "slots": slots,
+            "slots_per_second": rate,
+            "speedup_vs_engine": speedup,
+        }
+
+    # -- seed-major batching vs the parallel per-seed experiment loop ---
+    # The engine side runs a shorter seed list (its per-seed cost is
+    # flat, and 10k engine seeds would take minutes); the batched side
+    # runs the full 10k so its per-seed figure includes all whole-batch
+    # overheads.
+    batch_build = _bench_batch_build
+    batch_proto = _bench_batch_proto
+    engine_seeds, engine_procs = 200, 4
+    t0 = time.perf_counter()
+    run_seeds(
+        batch_build,
+        batch_proto,
+        seeds=list(range(engine_seeds)),
+        processes=engine_procs,
+    )
+    engine_per_seed = (time.perf_counter() - t0) / engine_seeds
+    batched_seeds = 10_000
+    t0 = time.perf_counter()
+    run_batch(batch_build, batch_proto, range(batched_seeds))
+    batched_per_seed = (time.perf_counter() - t0) / batched_seeds
+    batch_speedup = engine_per_seed / batched_per_seed
+    rows.append(
+        [
+            f"batched / UNIFORM ({batched_seeds:,} seeds)",
+            batched_seeds,
+            1.0 / batched_per_seed,  # seeds/second, not slots
+        ]
+    )
+    machine["batched"] = {
+        "instance": "batch_instance(16, window=1024)",
+        "engine_processes": engine_procs,
+        "engine_seeds_timed": engine_seeds,
+        "batched_seeds_timed": batched_seeds,
+        "engine_seconds_per_seed": engine_per_seed,
+        "batched_seconds_per_seed": batched_per_seed,
+        "speedup_vs_per_seed_engine": batch_speedup,
+    }
+
     emit(
         "P1_engine_perf",
         format_table(
@@ -105,14 +217,31 @@ def test_p1_engine_throughput(benchmark, emit, results_dir):
 
     payload = {
         "engine_version": ENGINE_VERSION,
+        "kernel_version": KERNEL_VERSION,
         "families": machine,
     }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     out = pathlib.Path(results_dir) / "BENCH_engine.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    out.write_text(text)
+    # The root copy is committed so PR diffs show the before/after
+    # engine-vs-kernel numbers without digging into results/.
+    (pathlib.Path(__file__).parent.parent / "BENCH_engine.json").write_text(
+        text
+    )
 
     # sanity floors: an order of magnitude below today's numbers
     assert rows[0][2] > 3_000, "ALIGNED engine unexpectedly slow"
     assert rows[2][2] > 10_000, "BEB engine unexpectedly slow"
+    # acceptance floors for the full-protocol kernels and batching
+    assert machine["aligned_kernel"]["speedup_vs_engine"] > 50, (
+        "ALIGNED kernel fell below 50x engine throughput"
+    )
+    assert machine["punctual_kernel"]["speedup_vs_engine"] > 50, (
+        "PUNCTUAL kernel fell below 50x engine throughput"
+    )
+    assert machine["batched"]["speedup_vs_per_seed_engine"] > 5, (
+        "seed-major batching fell below 5x the per-seed loop"
+    )
 
     benchmark(
         lambda: simulate(aligned_inst, aligned_factory(ALIGNED), seed=1)

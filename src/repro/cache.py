@@ -49,6 +49,7 @@ __all__ = [
     "as_cache",
     "default_cache_root",
     "run_key",
+    "run_key_batch",
     "stable_digest",
 ]
 
@@ -235,6 +236,65 @@ def run_key(
     if faults is not None:
         key = key + ("faults", faults)
     return stable_digest(key)
+
+
+def run_key_batch(
+    *,
+    instance: Any,
+    protocol: Any,
+    seeds: Any,
+    jammer: Any = None,
+    faults: Any = None,
+    extra: Any = None,
+) -> list:
+    """:func:`run_key` for many seeds, hashing the shared prefix once.
+
+    Returns ``[run_key(..., seed=s, ...) for s in seeds]`` — the keys are
+    *string-equal* to per-seed calls — but the instance/protocol/jammer
+    walk (by far the expensive part for a large instance) happens once:
+    the common tuple prefix is fed into one hasher, which is then forked
+    per seed with ``hash.copy()``.
+
+    Feeding the prefix element-by-element with a fresh ``seen`` set per
+    element matches :func:`stable_digest` on the whole tuple because the
+    cycle-cut set only retains objects for the duration of their own
+    walk (every entry is discarded on the way out), so no state crosses
+    element boundaries.
+    """
+    reset = getattr(jammer, "reset", None)
+    if callable(reset):
+        reset()
+    if faults is not None:
+        if getattr(faults, "is_noop", False):
+            faults = None
+        else:
+            reset = getattr(faults, "reset", None)
+            if callable(reset):
+                reset()
+    prefix = (
+        "repro-run",
+        ENGINE_VERSION,
+        CACHE_FORMAT,
+        instance,
+        protocol,
+        jammer,
+    )
+    n_elems = len(prefix) + 2 + (2 if faults is not None else 0)
+    h = hashlib.sha256()
+    h.update(b"(")
+    h.update(b"%d;" % n_elems)
+    for item in prefix:
+        _feed(h, item, set())
+    keys = []
+    for s in seeds:
+        hs = h.copy()
+        _feed(hs, int(s), set())
+        _feed(hs, extra, set())
+        if faults is not None:
+            _feed(hs, "faults", set())
+            _feed(hs, faults, set())
+        keys.append(hs.hexdigest())
+    return keys
 
 
 # ---------------------------------------------------------------------------

@@ -198,9 +198,14 @@ def _write_telemetry(tele, args: argparse.Namespace) -> None:
 def _args_state(args: argparse.Namespace) -> Dict[str, Any]:
     # "telemetry" is observational and must not perturb cache keys
     # (the state dict is digested into run_key via the build/protocol
-    # partials), so it never enters the state.
+    # partials), so it never enters the state.  "fastpath" routes
+    # execution without changing engine-path results, and the kernel
+    # path namespaces its own keys — folding it here would needlessly
+    # split the engine cache address space.
     return {
-        k: v for k, v in vars(args).items() if k not in ("func", "telemetry")
+        k: v
+        for k, v in vars(args).items()
+        if k not in ("func", "telemetry", "fastpath")
     }
 
 
@@ -237,6 +242,46 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 "own adversary; pick one"
             )
         jammer = None
+    if getattr(args, "fastpath", "off") != "off":
+        # Tracing, CSV export, and single-run telemetry all want the
+        # engine's per-slot / per-job records; the kernels only produce
+        # digests.
+        needs_engine = (
+            args.trace
+            or bool(args.export)
+            or bool(args.export_trace)
+            or tele is not None
+        )
+        plan = None
+        if not needs_engine:
+            from repro.fastpath.batched import plan_fastpath, simulate_fastpath
+
+            plan, reason = plan_fastpath(
+                instance,
+                factories[args.protocol],
+                jammer=jammer,
+                faults=faults,
+                check_invariants=args.check_invariants,
+            )
+        else:
+            reason = (
+                "--trace/--export/--telemetry need the engine's full records"
+            )
+        if plan is not None:
+            digest = simulate_fastpath(plan, args.seed)
+            print(instance.summary())
+            print(f"slots simulated: {digest.slots_simulated}")
+            print(
+                f"success: {digest.n_succeeded}/{digest.n_jobs} "
+                f"({digest.success_rate:.3f})"
+            )
+            for w, s, t in digest.by_window:
+                print(f"  window {w:>6}: {s}/{t}")
+            print(f"fastpath: {plan.kind} kernel")
+            _write_telemetry(tele, args)
+            return 0 if digest.success_rate >= args.require_success else 1
+        if args.fastpath == "on":
+            raise SystemExit(f"--fastpath on: {reason}")
     result = simulate(
         instance,
         factories[args.protocol],
@@ -286,6 +331,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         processes=args.processes,
         cache=_cache_knob(args),
         telemetry=tele,
+        fastpath=getattr(args, "fastpath", "off"),
     )
     points = sweep.run({args.param: values})
     print(
@@ -461,6 +507,7 @@ def cmd_certify(args: argparse.Namespace) -> int:
         cache=_cache_knob(args),
         retries=args.retries,
         telemetry=tele,
+        fastpath=getattr(args, "fastpath", "off"),
     )
     print(report.render())
     if args.artifact:
@@ -628,6 +675,16 @@ def _add_telemetry_flag(sp) -> None:
                          "with 'repro obs PATH'")
 
 
+def _add_fastpath_flag(sp) -> None:
+    sp.add_argument("--fastpath", default="auto",
+                    choices=["auto", "on", "off"],
+                    help="route qualifying runs through the vectorized "
+                         "full-protocol kernels (auto: kernel when the "
+                         "configuration qualifies, engine otherwise; "
+                         "on: require a kernel; off: always the engine). "
+                         "See docs/TUNING.md")
+
+
 def _add_perf_flags(sp) -> None:
     sp.add_argument("--processes", type=int, default=1,
                     help="worker processes for seed replication")
@@ -682,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write per-job outcomes to this CSV")
     sim.add_argument("--export-trace", default="",
                      help="write the per-slot trace to this CSV")
+    _add_fastpath_flag(sim)
     _add_telemetry_flag(sim)
     sim.set_defaults(func=cmd_simulate)
 
@@ -698,6 +756,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated values, e.g. 4,8,16")
     swp.add_argument("--seeds", type=int, default=3)
     _add_perf_flags(swp)
+    _add_fastpath_flag(swp)
     _add_telemetry_flag(swp)
     swp.set_defaults(func=cmd_sweep)
 
@@ -767,6 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="nightly CI smoke: coarse ladder, jam + two "
                            "reactive families, hard gates")
     _add_perf_flags(cert)
+    _add_fastpath_flag(cert)
     _add_telemetry_flag(cert)
     cert.set_defaults(func=cmd_certify)
 

@@ -215,4 +215,9 @@ def aligned_factory(params: AlignedParams):
     def make(job: Job, rng: np.random.Generator) -> AlignedProtocol:
         return AlignedProtocol(ProtocolContext.for_job(job, rng), params)
 
+    # Fastpath marker (repro.fastpath.batched.plan_fastpath): function
+    # attributes are not part of stable_digest's callable encoding, so
+    # attaching them leaves every existing cache key untouched.
+    make.fastpath_kind = "aligned"
+    make.fastpath_params = params
     return make

@@ -437,4 +437,9 @@ def punctual_factory(params: PunctualParams):
     def make(job: Job, rng: np.random.Generator) -> PunctualProtocol:
         return PunctualProtocol(ProtocolContext.for_job(job, rng), params)
 
+    # Fastpath marker (repro.fastpath.batched.plan_fastpath): function
+    # attributes are not part of stable_digest's callable encoding, so
+    # attaching them leaves every existing cache key untouched.
+    make.fastpath_kind = "punctual"
+    make.fastpath_params = params
     return make

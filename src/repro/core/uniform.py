@@ -76,4 +76,9 @@ def uniform_factory(params: UniformParams = UniformParams()):
     def make(job: Job, rng: np.random.Generator) -> UniformProtocol:
         return UniformProtocol(ProtocolContext.for_job(job, rng), params)
 
+    # Fastpath marker (repro.fastpath.batched.plan_fastpath): function
+    # attributes are not part of stable_digest's callable encoding, so
+    # attaching them leaves every existing cache key untouched.
+    make.fastpath_kind = "uniform"
+    make.fastpath_params = params
     return make

@@ -429,6 +429,7 @@ def run_certification(
     retries: int = 0,
     progress: Optional[Callable[[str, str, float], None]] = None,
     telemetry: Optional["Telemetry"] = None,
+    fastpath: str = "off",
 ) -> CertificationReport:
     """Bisect the breaking point of every ``protocol x family`` cell.
 
@@ -453,6 +454,13 @@ def run_certification(
     progress:
         Called as ``progress(protocol, family, severity)`` before each
         probe.
+    fastpath:
+        Kernel routing knob passed to every probe's :func:`run_seeds`
+        call.  With ``"auto"``, probes in the ``jam`` family (a
+        :class:`~repro.channel.jamming.StochasticJammer`) run on the
+        vectorized kernels when the instance qualifies; the reactive
+        families always fall back to the engine (kernels do not model
+        feedback-driven adversaries).
 
     Remaining knobs pass through to :func:`run_seeds` per probe.  Each
     probed severity is one ``run_seeds`` call, so with a warm cache a
@@ -500,6 +508,7 @@ def run_certification(
                     cache=cache,
                     retries=retries,
                     telemetry=telemetry,
+                    fastpath=fastpath,
                 )
                 est = bootstrap_proportion(
                     [(d.n_succeeded, d.n_jobs) for d in digests], boot_rng

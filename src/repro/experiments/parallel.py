@@ -316,6 +316,7 @@ def run_seeds(
     retries: int = 0,
     retry_backoff: float = 0.25,
     telemetry: Optional["Telemetry"] = None,
+    fastpath: str = "off",
 ) -> List[SeedDigest]:
     """Run every seed, optionally across a process pool and a cache.
 
@@ -371,7 +372,58 @@ def run_seeds(
         processes cannot share the collector, so with ``processes>1``
         only the scheduling-level telemetry is recorded.  Never changes
         results.
+    fastpath:
+        ``"off"`` (default) always runs the reference engine; ``"auto"``
+        routes to the vectorized full-protocol kernels
+        (:mod:`repro.fastpath.batched`) when the configuration
+        qualifies, silently falling back to the engine otherwise;
+        ``"on"`` requires a kernel and raises
+        :class:`~repro.fastpath.batched.FastpathUnavailableError` when
+        none covers the configuration.  Kernel digests are bit-exact
+        with the engine for single-attempt UNIFORM and statistically
+        equivalent for ALIGNED/PUNCTUAL; their cache keys live in a
+        separate ``("fastpath", ...)`` namespace, so the default keeps
+        every engine-path cache address unchanged.
     """
+    if fastpath not in ("off", "auto", "on"):
+        raise ValueError(
+            f"fastpath must be 'off', 'auto', or 'on', got {fastpath!r}"
+        )
+    if fastpath != "off":
+        # Imported lazily: repro.fastpath.fullproto imports SeedDigest
+        # from this module.
+        from repro.fastpath.batched import (
+            FastpathUnavailableError,
+            plan_fastpath,
+            run_batch,
+        )
+
+        fp_instance = build()
+        plan, reason = plan_fastpath(
+            fp_instance,
+            protocol(fp_instance),
+            jammer=jammer,
+            faults=faults,
+            watchdog=watchdog,
+            check_invariants=check_invariants,
+        )
+        if plan is not None:
+            return run_batch(
+                build,
+                protocol,
+                seeds,
+                jammer=jammer,
+                faults=faults,
+                check_invariants=check_invariants,
+                watchdog=watchdog,
+                cache=cache,
+                progress=progress,
+                telemetry=telemetry,
+                plan=plan,
+            )
+        if fastpath == "on":
+            raise FastpathUnavailableError(reason)
+
     seeds = list(seeds)
     total = len(seeds)
     cache_obj = as_cache(cache)

@@ -171,6 +171,12 @@ class Sweep:
         point's seed replication passes the collector down to
         :func:`~repro.experiments.parallel.run_seeds` (engine-level
         telemetry on the inline path, scheduling-level always).
+    fastpath:
+        Kernel routing knob passed to every point's
+        :func:`~repro.experiments.parallel.run_seeds` call (``"off"``,
+        ``"auto"``, or ``"on"``; see there).  A non-``"off"`` value also
+        joins the checkpoint point keys, since kernel results are not
+        bit-equal to engine results for ALIGNED/PUNCTUAL.
     """
 
     def __init__(
@@ -188,6 +194,7 @@ class Sweep:
         retries: int = 0,
         checkpoint: Union[None, str, Path] = None,
         telemetry: Optional["Telemetry"] = None,
+        fastpath: str = "off",
     ) -> None:
         if seeds < 1:
             raise ValueError("seeds must be >= 1")
@@ -203,6 +210,7 @@ class Sweep:
         self.retries = retries
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.telemetry = telemetry
+        self.fastpath = fastpath
 
     def run_point(self, **params: Any) -> SweepPoint:
         """Run one grid point; aggregates across seeds."""
@@ -222,6 +230,7 @@ class Sweep:
             cache=self.cache,
             retries=self.retries,
             telemetry=self.telemetry,
+            fastpath=self.fastpath,
         )
         if self.telemetry is not None:
             self.telemetry.add_span(
@@ -258,18 +267,23 @@ class Sweep:
             reset = getattr(obj, "reset", None)
             if callable(reset):
                 reset()  # canonicalize stateful jammers before digesting
-        return stable_digest(
-            (
-                "sweep-point",
-                self.build,
-                self.protocol,
-                self.seeds,
-                self.seed_base,
-                self.jammer,
-                self.faults,
-                tuple(sorted(params.items(), key=lambda kv: kv[0])),
-            )
+        key: tuple = (
+            "sweep-point",
+            self.build,
+            self.protocol,
+            self.seeds,
+            self.seed_base,
+            self.jammer,
+            self.faults,
+            tuple(sorted(params.items(), key=lambda kv: kv[0])),
         )
+        # ALIGNED/PUNCTUAL kernel digests are statistical, not
+        # bit-equal, so a fastpath sweep may not resume an engine
+        # checkpoint (or vice versa).  Appended only when enabled so
+        # every existing engine checkpoint keeps its keys.
+        if self.fastpath != "off":
+            key = key + ("fastpath", self.fastpath)
+        return stable_digest(key)
 
     def _load_checkpoint(self) -> Dict[str, SweepPoint]:
         """Completed points from the checkpoint file (corrupt tail skipped)."""

@@ -1,0 +1,102 @@
+"""Shared result plumbing for the full-protocol fastpath kernels.
+
+`simulate_aligned_full` and `simulate_punctual_full` replace an entire
+engine run, so unlike the per-component kernels they must report
+everything a :class:`~repro.experiments.parallel.SeedDigest` carries:
+per-job success, completion slots, *retirement* slots (the last slot a
+job occupies the channel model, needed to reproduce the engine's
+``slots_simulated`` accounting), per-window tallies and latency sums.
+:class:`FullProtocolResult` is that record; :func:`digest_for` converts
+it into the exact ``SeedDigest`` shape the experiment layer ships
+around, and :func:`union_active_slots` reproduces the engine's
+idle-gap-skipping slot count (the size of the union of the per-job
+inclusive ``[release, retire]`` intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.parallel import SeedDigest
+from repro.sim.instance import Instance
+
+__all__ = ["FullProtocolResult", "digest_for", "union_active_slots"]
+
+
+@dataclass(frozen=True)
+class FullProtocolResult:
+    """Per-job outcome of one full-protocol kernel trial.
+
+    All arrays are in ``instance.by_release`` order.  ``completion`` is
+    the slot of the successful delivery (-1 on failure); ``retire`` is
+    the last slot the job was active in the engine's sense (the slot at
+    whose end it would have been retired), which both paths need to
+    agree on for ``slots_simulated`` to match.
+    """
+
+    success: np.ndarray  # bool, shape (n,)
+    completion: np.ndarray  # int64, shape (n,), -1 on failure
+    retire: np.ndarray  # int64, shape (n,)
+    slots_simulated: int
+
+    @property
+    def n_succeeded(self) -> int:
+        return int(self.success.sum())
+
+    @property
+    def success_rate(self) -> float:
+        return float(self.success.mean()) if self.success.size else 1.0
+
+
+def union_active_slots(releases: np.ndarray, retires: np.ndarray) -> int:
+    """Size of the union of the inclusive ``[release, retire]`` intervals.
+
+    ``releases`` must be ascending (``by_release`` order).  This is the
+    engine's ``slots_simulated``: it steps every slot in which at least
+    one job is active and skips idle gaps between them.
+    """
+    n = len(releases)
+    if n == 0:
+        return 0
+    hi = np.maximum.accumulate(np.maximum(retires, releases))
+    # A new merged group starts where an interval begins past the
+    # running maximum end.  Adjacent-but-disjoint groups count the same
+    # slots either way, so strict overlap is the only merge needed.
+    brk = np.flatnonzero(releases[1:] > hi[:-1]) + 1
+    starts = np.concatenate(([0], brk))
+    ends = np.concatenate((brk, [n]))
+    return int(np.sum(hi[ends - 1] - releases[starts] + 1))
+
+
+def digest_for(
+    seed: int, instance: Instance, result: FullProtocolResult
+) -> SeedDigest:
+    """The ``SeedDigest`` of one kernel trial (engine-compatible shape).
+
+    ``by_window`` is sorted by window size, matching
+    :meth:`repro.sim.metrics.SimulationResult.success_by_window`.
+    """
+    jobs = instance.by_release
+    windows = np.array([j.window for j in jobs], dtype=np.int64)
+    releases = np.array([j.release for j in jobs], dtype=np.int64)
+    by_window = tuple(
+        (
+            int(w),
+            int(result.success[windows == w].sum()),
+            int((windows == w).sum()),
+        )
+        for w in np.unique(windows)
+    )
+    ok = result.success
+    latency_sum = int((result.completion[ok] - releases[ok] + 1).sum())
+    return SeedDigest(
+        seed=seed,
+        n_jobs=len(jobs),
+        n_succeeded=result.n_succeeded,
+        by_window=by_window,
+        slots_simulated=result.slots_simulated,
+        latency_sum=latency_sum,
+        watchdog_reason=None,
+    )

@@ -40,6 +40,15 @@ _PUNCTUAL = PunctualParams(
     pullback_exp=1,
     slingshot_exp=2,
 )
+#: A low min_level so follower trimmed windows land *above* it and the
+#: PUNCTUAL kernel's embedded pecking-region machine actually runs
+#: (with the default min_level=10 most followers fall below it).
+_PUNCTUAL_FOLLOW = PunctualParams(
+    aligned=AlignedParams(lam=1, tau=2, min_level=5),
+    lam=2,
+    pullback_exp=1,
+    slingshot_exp=2,
+)
 
 
 def _batch16() -> Instance:
@@ -64,6 +73,10 @@ def _punctual_batch() -> Instance:
     return batch_instance(8, window=4096)
 
 
+def _punctual_follow_batch() -> Instance:
+    return batch_instance(6, window=2048)
+
+
 def _uniform() -> ProtocolFactory:
     return uniform_factory()
 
@@ -78,6 +91,10 @@ def _aligned() -> ProtocolFactory:
 
 def _punctual() -> ProtocolFactory:
     return punctual_factory(_PUNCTUAL)
+
+
+def _punctual_follow() -> ProtocolFactory:
+    return punctual_factory(_PUNCTUAL_FOLLOW)
 
 
 def _no_jammer() -> Optional[Jammer]:
@@ -100,8 +117,12 @@ class VerifyCase:
     ``"uniform-exact"`` (engine ↔ uniform kernel, bit-exact offset
     replay), ``"uniform-dominance"`` (attempts > 1: kernel success must
     imply engine success), ``"statistical"`` (mean success rates must
-    agree within Monte-Carlo tolerance), ``"engine-only"`` (no
-    applicable kernel; metamorphic + determinism checks only).
+    agree within Monte-Carlo tolerance), ``"fastpath-exact"`` (engine ↔
+    the batched fastpath trial *and* the seed-major ``run_batch``
+    driver, bit-exact digests, clean or jammed), ``"fastpath-statistical"``
+    (engine ↔ ALIGNED/PUNCTUAL full-protocol kernel, mean success rates
+    within Monte-Carlo tolerance), ``"engine-only"`` (no applicable
+    kernel; metamorphic + determinism checks only).
     """
 
     name: str
@@ -186,6 +207,43 @@ _CASES = (
         make_jammer=_jam10,
         seeds=(0, 1),
         kind="engine-only",
+        smoke=False,
+    ),
+    VerifyCase(
+        name="fastpath-uniform-clean",
+        build=_staggered,
+        protocol=_uniform,
+        seeds=(0, 1, 2, 3),
+        kind="fastpath-exact",
+    ),
+    VerifyCase(
+        name="fastpath-uniform-jammed",
+        build=_batch16,
+        protocol=_uniform,
+        make_jammer=_jam30,
+        seeds=(0, 1, 2, 3, 4, 5),
+        kind="fastpath-exact",
+    ),
+    VerifyCase(
+        name="fastpath-aligned-full",
+        build=_single_class,
+        protocol=_aligned,
+        seeds=tuple(range(24)),
+        kind="fastpath-statistical",
+    ),
+    VerifyCase(
+        name="fastpath-punctual-full",
+        build=_punctual_batch,
+        protocol=_punctual,
+        seeds=tuple(range(20)),
+        kind="fastpath-statistical",
+    ),
+    VerifyCase(
+        name="fastpath-punctual-follow",
+        build=_punctual_follow_batch,
+        protocol=_punctual_follow,
+        seeds=tuple(range(20)),
+        kind="fastpath-statistical",
         smoke=False,
     ),
 )

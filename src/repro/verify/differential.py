@@ -33,6 +33,18 @@ orders in the two implementations, so only distribution-level agreement
 is checkable: mean success rates over many seeds/trials within an
 empirically derived tolerance.
 
+**Full-protocol kernels.**  The seed-major batched path
+(:mod:`repro.fastpath.batched`) gets its own checks at the same two
+strengths: the engine-exact UNIFORM replay must match the engine's
+``SeedDigest`` field-for-field per seed — clean *and* jammed, and both
+through :func:`~repro.fastpath.batched.simulate_fastpath` and through
+the :func:`~repro.fastpath.batched.run_batch` driver — while the
+ALIGNED/PUNCTUAL kernels
+(:func:`~repro.fastpath.aligned_full.simulate_aligned_full`,
+:func:`~repro.fastpath.punctual_full.simulate_punctual_full`) consume
+their own RNG stream and are compared statistically, engine seeds
+against kernel trials.
+
 A failing exact check is handed to :func:`shrink_failing_instance`,
 which greedily deletes jobs while the discrepancy reproduces, and the
 minimized instance is attached to the check result.
@@ -48,6 +60,8 @@ import numpy as np
 from repro.channel.feedback import Feedback
 from repro.core.broadcast import BroadcastSchedule
 from repro.core.estimation import resolve_estimate
+from repro.experiments.parallel import SeedDigest, run_seeds
+from repro.fastpath.batched import plan_fastpath, run_batch, simulate_fastpath
 from repro.fastpath.broadcast_fast import simulate_broadcast_fast
 from repro.fastpath.estimation_fast import (
     estimation_success_counts,
@@ -68,6 +82,9 @@ __all__ = [
     "diff_anarchist_kernel",
     "diff_broadcast_kernel",
     "diff_estimation_kernel",
+    "diff_fastpath_batched",
+    "diff_fastpath_exact",
+    "diff_fastpath_statistical",
     "diff_uniform_dominance",
     "diff_uniform_exact",
     "diff_uniform_statistical",
@@ -489,6 +506,173 @@ def diff_aligned_kernel(seed: int) -> List[Discrepancy]:
                 )
             )
     return out
+
+
+# ---------------------------------------------------------------------------
+# full-protocol kernels and the batched driver
+# ---------------------------------------------------------------------------
+
+_DIGEST_FIELDS = (
+    "seed",
+    "n_jobs",
+    "n_succeeded",
+    "by_window",
+    "slots_simulated",
+    "latency_sum",
+    "watchdog_reason",
+)
+
+
+def _plan_discrepancy(case: VerifyCase, check: str, reason: str) -> Discrepancy:
+    """The corpus promises these cases a kernel; a decline is a defect."""
+    return Discrepancy(
+        case=case.name,
+        seed=-1,
+        check=check,
+        quantity="plan_fastpath",
+        expected="a qualified kernel plan",
+        actual="declined",
+        detail=reason,
+    )
+
+
+def _digest_mismatches(
+    case: VerifyCase,
+    seed: int,
+    check: str,
+    engine: SeedDigest,
+    kernel: SeedDigest,
+    detail: str = "",
+) -> List[Discrepancy]:
+    out: List[Discrepancy] = []
+    for field in _DIGEST_FIELDS:
+        e, k = getattr(engine, field), getattr(kernel, field)
+        if e != k:
+            out.append(
+                Discrepancy(
+                    case=case.name,
+                    seed=seed,
+                    check=check,
+                    quantity=field,
+                    expected=str(e),
+                    actual=str(k),
+                    detail=detail,
+                )
+            )
+    return out
+
+
+def diff_fastpath_exact(case: VerifyCase, seed: int) -> List[Discrepancy]:
+    """Engine vs the engine-exact UNIFORM fastpath trial: bit-equal digests.
+
+    Unlike :func:`diff_uniform_exact` (which feeds replayed offsets into
+    the component kernel), this goes through the production batched
+    path: :func:`~repro.fastpath.batched.plan_fastpath` qualification
+    and a :func:`~repro.fastpath.batched.simulate_fastpath` trial, which
+    also replays the jam coins — so jammed cases are bit-exact here, not
+    just statistical.
+    """
+    instance = case.instance()
+    plan, reason = plan_fastpath(
+        instance, case.factory(), jammer=case.jammer()
+    )
+    if plan is None:
+        return [_plan_discrepancy(case, "fastpath-exact", reason)]
+    (engine,) = run_seeds(
+        case.build, lambda _i: case.factory(),
+        seeds=[seed], jammer=case.jammer(),
+    )
+    kernel = simulate_fastpath(plan, seed)
+    return _digest_mismatches(
+        case, seed, "fastpath-exact", engine, kernel,
+        detail="simulate_fastpath trial vs engine run_seeds",
+    )
+
+
+def diff_fastpath_batched(case: VerifyCase) -> List[Discrepancy]:
+    """Seed-major ``run_batch`` vs the per-seed engine loop, all seeds.
+
+    Exercises the batched driver itself — one plan, one shared-prefix
+    key walk, ordered results — on top of the per-trial exactness that
+    :func:`diff_fastpath_exact` already pins.
+    """
+    engine = run_seeds(
+        case.build, lambda _i: case.factory(),
+        seeds=list(case.seeds), jammer=case.jammer(),
+    )
+    try:
+        batched = run_batch(
+            case.build, lambda _i: case.factory(),
+            case.seeds, jammer=case.jammer(),
+        )
+    except Exception as exc:  # FastpathUnavailableError included
+        return [_plan_discrepancy(case, "fastpath-batched", str(exc))]
+    out: List[Discrepancy] = []
+    for seed, e, k in zip(case.seeds, engine, batched):
+        out.extend(
+            _digest_mismatches(
+                case, seed, "fastpath-batched", e, k,
+                detail="run_batch vs per-seed engine run_seeds",
+            )
+        )
+    return out
+
+
+def diff_fastpath_statistical(
+    case: VerifyCase, *, n_trials: int = 300
+) -> List[Discrepancy]:
+    """ALIGNED/PUNCTUAL full kernels: success rates must agree with the engine.
+
+    The full-protocol kernels draw from their own ``"fastpath"`` stream,
+    so per-seed digests cannot match the engine's; instead the mean
+    per-run success rate over the case's engine seeds must agree with
+    the mean over ``n_trials`` kernel trials within five combined
+    standard errors (plus a small absolute floor, as in
+    :func:`diff_uniform_statistical`).
+    """
+    instance = case.instance()
+    plan, reason = plan_fastpath(
+        instance, case.factory(), jammer=case.jammer()
+    )
+    if plan is None:
+        return [_plan_discrepancy(case, "fastpath-statistical", reason)]
+
+    engine_rates = []
+    for seed in case.seeds:
+        res = simulate(
+            instance, case.factory(), jammer=case.jammer(), seed=seed
+        )
+        engine_rates.append(res.success_rate)
+
+    # Kernel trials use a disjoint seed range: the "fastpath" stream is
+    # already independent of the engine's streams, this just makes the
+    # two samples visibly unpaired.
+    kernel_rates = [
+        simulate_fastpath(plan, 10_000 + t).success_rate
+        for t in range(n_trials)
+    ]
+
+    e = np.asarray(engine_rates)
+    k = np.asarray(kernel_rates)
+    se = math.sqrt(
+        float(e.var(ddof=1)) / e.size + float(k.var(ddof=1)) / k.size
+    )
+    gap = abs(float(e.mean()) - float(k.mean()))
+    tol = 5.0 * se + 0.02
+    if gap > tol:
+        return [
+            Discrepancy(
+                case=case.name,
+                seed=-1,
+                check="fastpath-statistical",
+                quantity="mean success rate",
+                expected=f"{float(k.mean()):.4f} ± {tol:.4f}",
+                actual=f"{float(e.mean()):.4f}",
+                detail=f"{e.size} engine seeds vs {k.size} "
+                f"{plan.kind} kernel trials",
+            )
+        ]
+    return []
 
 
 # ---------------------------------------------------------------------------

@@ -2,10 +2,11 @@
 
 :func:`run_verification` walks the corpus and applies every applicable
 check — differential (exact / dominance / statistical / paired-draw
-kernel references), metamorphic (time shift, presentation order, zero
-jammer, observational toggles), and the determinism audit (in-process,
-subprocess, cache round-trip) — collecting everything into a
-:class:`~repro.verify.report.VerifyReport`.
+kernel references / the full-protocol fastpath kernels and the
+seed-major batched driver), metamorphic (time shift, presentation
+order, zero jammer, observational toggles), and the determinism audit
+(in-process, subprocess, cache round-trip) — collecting everything into
+a :class:`~repro.verify.report.VerifyReport`.
 
 ``smoke=True`` is the CI profile: the slow corpus cases and the
 subprocess replay run on a single representative case instead of all of
@@ -126,6 +127,32 @@ def run_verification(
                 CheckResult(
                     case=case.name,
                     check="uniform-statistical",
+                    seeds=case.seeds,
+                    discrepancies=tuple(found),
+                )
+            )
+        elif case.kind == "fastpath-exact":
+            _per_seed_check(
+                report, case, "fastpath-exact", case.seeds,
+                differential.diff_fastpath_exact,
+            )
+            found = differential.diff_fastpath_batched(case)
+            report.add(
+                CheckResult(
+                    case=case.name,
+                    check="fastpath-batched",
+                    seeds=case.seeds,
+                    discrepancies=tuple(found),
+                )
+            )
+        elif case.kind == "fastpath-statistical":
+            found = differential.diff_fastpath_statistical(
+                case, n_trials=200 if smoke else 400
+            )
+            report.add(
+                CheckResult(
+                    case=case.name,
+                    check="fastpath-statistical",
                     seeds=case.seeds,
                     discrepancies=tuple(found),
                 )

@@ -1,0 +1,96 @@
+"""Unit tests for the full-protocol ALIGNED kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.aligned import aligned_factory
+from repro.fastpath.aligned_full import simulate_aligned_full
+from repro.params import AlignedParams
+from repro.sim.engine import simulate
+from repro.workloads import single_class_instance
+
+# Feasible: a single class at exactly min_level keeps the pecking
+# schedule inside the deadline window.
+_PARAMS = AlignedParams(lam=1, tau=4, min_level=9)
+
+
+def _instance(n=10):
+    return single_class_instance(n, level=9)
+
+
+class TestStructure:
+    def test_result_shapes_and_bounds(self):
+        inst = _instance()
+        res = simulate_aligned_full(
+            inst, _PARAMS, np.random.default_rng(0)
+        )
+        jobs = inst.by_release
+        n = len(jobs)
+        assert res.success.shape == (n,)
+        assert res.completion.shape == (n,)
+        assert res.retire.shape == (n,)
+        for i, job in enumerate(jobs):
+            assert job.release <= res.retire[i] < job.deadline
+            if res.success[i]:
+                assert job.release <= res.completion[i] < job.deadline
+            else:
+                assert res.completion[i] == -1
+
+    def test_slots_bounded_by_span(self):
+        inst = _instance()
+        res = simulate_aligned_full(
+            inst, _PARAMS, np.random.default_rng(1)
+        )
+        assert 0 < res.slots_simulated <= inst.horizon - inst.first_release
+
+    def test_deterministic_given_rng_seed(self):
+        inst = _instance()
+        a = simulate_aligned_full(inst, _PARAMS, np.random.default_rng(3))
+        b = simulate_aligned_full(inst, _PARAMS, np.random.default_rng(3))
+        assert np.array_equal(a.success, b.success)
+        assert np.array_equal(a.completion, b.completion)
+        assert np.array_equal(a.retire, b.retire)
+        assert a.slots_simulated == b.slots_simulated
+
+    def test_jamming_cannot_help(self):
+        inst = _instance()
+        clean = np.mean(
+            [
+                simulate_aligned_full(
+                    inst, _PARAMS, np.random.default_rng(s)
+                ).success.mean()
+                for s in range(30)
+            ]
+        )
+        jammed = np.mean(
+            [
+                simulate_aligned_full(
+                    inst, _PARAMS, np.random.default_rng(s), p_jam=0.6
+                ).success.mean()
+                for s in range(30)
+            ]
+        )
+        assert jammed <= clean
+
+
+class TestAgainstEngine:
+    def test_success_rate_matches_engine(self):
+        """Distribution-level cross-validation on a feasible config."""
+        inst = _instance()
+        engine = np.mean(
+            [
+                simulate(
+                    inst, aligned_factory(_PARAMS), seed=s
+                ).success_rate
+                for s in range(20)
+            ]
+        )
+        kernel = np.mean(
+            [
+                simulate_aligned_full(
+                    inst, _PARAMS, np.random.default_rng(1000 + s)
+                ).success.mean()
+                for s in range(200)
+            ]
+        )
+        assert kernel == pytest.approx(engine, abs=0.15)

@@ -121,4 +121,6 @@ class TestIdPermutationIsNotClaimed:
             "uniform-dominance",
             "statistical",
             "engine-only",
+            "fastpath-exact",
+            "fastpath-statistical",
         }
