@@ -1,26 +1,33 @@
-"""E16 (extension) — sustained load: the stability frontier.
+"""E16 (extension) — sustained load: the stability frontier, measured open-loop.
 
 The paper's model is per-instance (γ-slack feasible inputs); its
 related-work section points at the queueing-theoretic literature on
 which sustained arrival rates classic backoff can survive.  This
 experiment charts that frontier empirically for every implemented
-protocol: Poisson arrivals at rate ρ jobs/slot, fixed 1024-slot windows,
-deadline-miss rate as ρ sweeps toward channel capacity.
+protocol — and, since PR 7, measures it *directly* with the open-arrival
+streaming engine (``repro.stream``) instead of replaying a closed
+finite-instance approximation: Poisson arrivals at rate ρ jobs/slot
+stream through :func:`repro.stream.engine.stream_simulate` with a hard
+live-set budget, so the run is memory-flat even past the stability
+frontier, where a closed instance would hold the whole backlog.
 
 Known shapes this reproduces:
 
-* the EDF genie serves everything up to ρ = 1 (unit capacity);
+* the EDF genie serves everything up to ρ = 1 (unit capacity) — it
+  needs the whole schedule up front, so it runs on the stream's
+  materialized prefix (:func:`repro.stream.arrivals.materialize`), the
+  exact instance the streaming runs release;
 * every randomized protocol collapses well below capacity — classic
   backoff instability, here visible as a miss-rate cliff between
   ρ = 0.2 and ρ = 0.5;
 * PUNCTUAL is *not* built for this regime (its guarantees need tiny γ,
   i.e. tiny ρ, and 1024-slot windows barely cover its fixed costs), and
-  the table shows that honestly.
+  the table shows that honestly;
+* under the live-set budget the collapse is *graceful*: the excess
+  shows up as explicit sheds, and peak_live never exceeds the budget.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.baselines import (
@@ -33,11 +40,16 @@ from repro.baselines import (
 from repro.core.punctual import punctual_factory
 from repro.params import AlignedParams, PunctualParams
 from repro.sim.engine import simulate
-from repro.workloads import poisson_instance
+from repro.sim.rng import RngFactory
+from repro.stream.arrivals import PoissonProcess, materialize
+from repro.stream.engine import StreamBudget, stream_simulate
 
 WINDOW = 1024
 HORIZON = 6000
 RATES = (0.1, 0.2, 0.4, 0.6)
+#: Live-set budget: comfortably above any stable working set at these
+#: rates, far below the open-ended backlog past the cliff.
+MAX_LIVE = 2048
 
 PUNCTUAL = PunctualParams(
     aligned=AlignedParams(lam=1, tau=2, min_level=10),
@@ -49,23 +61,36 @@ PUNCTUAL = PunctualParams(
 
 def test_e16_sustained_load(benchmark, emit):
     results: dict[str, dict[float, float]] = {}
+    budget = StreamBudget(max_live=MAX_LIVE, policy="shed-loosest-deadline")
     rows = []
     for rho in RATES:
-        rng = np.random.default_rng(int(rho * 1000))
-        inst = poisson_instance(rng, HORIZON, rho, [WINDOW])
+        seed = int(rho * 1000)
+        process = PoissonProcess(rate=rho, window_sizes=(WINDOW,))
         protocols = {
             "PUNCTUAL": punctual_factory(PUNCTUAL),
             "BEB": beb_factory(),
             "SAWTOOTH": sawtooth_factory(),
             "ALOHA c/w": window_scaled_aloha_factory(8.0),
             "URGENCY": urgency_aloha_factory(2.0),
-            "EDF genie": edf_factory(inst),
         }
-        row = [rho, len(inst)]
+        row = [rho, None]
         for name, fac in protocols.items():
-            rate = simulate(inst, fac, seed=0).success_rate
-            results.setdefault(name, {})[rho] = rate
-            row.append(rate)
+            res = stream_simulate(
+                process, fac, seed=seed, max_slots=HORIZON, budget=budget
+            )
+            assert res.peak_live <= MAX_LIVE
+            row[1] = res.jobs_released
+            results.setdefault(name, {})[rho] = res.success_rate
+            row.append(res.success_rate)
+        # the genie needs the full schedule up front: run it closed on
+        # the exact instance the streaming runs just released
+        inst = materialize(
+            process, RngFactory(seed).stream("arrivals"), HORIZON
+        )
+        assert len(inst) == row[1]
+        genie = simulate(inst, edf_factory(inst), seed=seed).success_rate
+        results.setdefault("EDF genie", {})[rho] = genie
+        row.append(genie)
         rows.append(row)
 
     emit(
@@ -74,8 +99,9 @@ def test_e16_sustained_load(benchmark, emit):
             ["ρ (jobs/slot)", "jobs"] + list(results),
             rows,
             title=(
-                "E16 (extension) — delivery under sustained Poisson load "
-                f"(window {WINDOW}, horizon {HORIZON})\n"
+                "E16 (extension) — delivery under sustained Poisson load, "
+                f"measured open-loop (window {WINDOW}, {HORIZON} slots of "
+                f"releases, live-set budget {MAX_LIVE})\n"
                 "classic backoff collapses well below channel capacity; "
                 "the EDF genie marks the feasibility ceiling"
             ),
@@ -91,7 +117,9 @@ def test_e16_sustained_load(benchmark, emit):
         assert results[name][0.6] < results[name][0.1], name
         assert results[name][0.6] < 0.5, name
 
-    small = poisson_instance(
-        np.random.default_rng(0), 2000, 0.1, [WINDOW]
+    small = PoissonProcess(rate=0.1, window_sizes=(WINDOW,))
+    benchmark(
+        lambda: stream_simulate(
+            small, beb_factory(), seed=0, max_slots=2000
+        )
     )
-    benchmark(lambda: simulate(small, beb_factory(), seed=0))

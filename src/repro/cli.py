@@ -220,6 +220,34 @@ def _protocol_from_state(state: Dict[str, Any], name: str, instance: Instance):
     return _protocol_factories(argparse.Namespace(**state), instance)[name]
 
 
+class _StreamProtocol:
+    """A picklable per-job protocol factory for sharded streaming runs.
+
+    Resolves the named factory lazily in each worker process from the
+    argparse state dict (closures over ``args`` would not pickle); the
+    resolved factory is cached per process, not shipped.
+    """
+
+    def __init__(self, state: Dict[str, Any], name: str) -> None:
+        self.state = state
+        self.name = name
+        self._factory: Optional[Callable] = None
+
+    def __getstate__(self):
+        return (self.state, self.name)
+
+    def __setstate__(self, state) -> None:
+        self.state, self.name = state
+        self._factory = None
+
+    def __call__(self, job, rng):
+        if self._factory is None:
+            self._factory = _protocol_factories(
+                argparse.Namespace(**self.state), Instance(())
+            )[self.name]
+        return self._factory(job, rng)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     tele = _telemetry_for(args, "simulate")
     if tele is not None:
@@ -668,6 +696,170 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_process(args: argparse.Namespace, rho: float):
+    """Build the arrival process for one offered load ρ."""
+    from repro.stream import BurstyProcess, DiurnalProcess, PoissonProcess
+
+    windows = tuple(int(x) for x in args.windows.split(",") if x.strip())
+    weights = (
+        tuple(float(x) for x in args.weights.split(",") if x.strip())
+        if args.weights
+        else None
+    )
+    kind = args.arrivals
+    if kind == "poisson":
+        return PoissonProcess(rate=rho, window_sizes=windows, weights=weights)
+    if kind == "bursty":
+        f = args.p_enter / (args.p_enter + args.p_exit)
+        calm = rho * 0.5
+        burst = (rho - (1.0 - f) * calm) / f
+        return BurstyProcess(
+            calm_rate=calm, burst_rate=burst,
+            p_enter=args.p_enter, p_exit=args.p_exit,
+            window_sizes=windows, weights=weights,
+        )
+    if kind == "diurnal":
+        return DiurnalProcess(
+            base_rate=rho, amplitude=args.amplitude, period=args.period,
+            window_sizes=windows, weights=weights,
+        )
+    raise SystemExit(f"unknown arrival process: {kind}")
+
+
+def _stream_budget(args: argparse.Namespace):
+    from repro.stream import StreamBudget
+
+    if args.max_live <= 0:
+        return None
+    return StreamBudget(
+        max_live=args.max_live,
+        policy=args.policy,
+        queue_capacity=args.queue_capacity or None,
+    )
+
+
+def _stream_watchdog(args: argparse.Namespace):
+    from repro.sim.watchdog import Watchdog
+
+    if args.watchdog_seconds <= 0 and args.stall_factor <= 0:
+        return None
+    return Watchdog(
+        max_seconds=args.watchdog_seconds if args.watchdog_seconds > 0 else None,
+        stall_factor=args.stall_factor if args.stall_factor > 0 else None,
+    )
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Open-arrival streaming runs: sustained load, bounded memory."""
+    from repro.stream import CheckpointConfig, stream_simulate
+    from repro.stream.report import SustainedLoadReport
+    from repro.stream.shard import StreamShardSpec, run_stream_shards
+
+    if args.max_jobs <= 0 and args.max_slots <= 0:
+        raise SystemExit("set --max-jobs and/or --max-slots")
+    rhos = [float(x) for x in args.rho.split(",") if x.strip()]
+    if not rhos:
+        raise SystemExit("--rho needs at least one value")
+    plan = _fault_plan(args)
+    jammer = _jammer(args)
+    if type(jammer) is NoJammer:
+        jammer = None
+    budget = _stream_budget(args)
+    watchdog = _stream_watchdog(args)
+    factory = _StreamProtocol(_args_state(args), args.protocol)
+
+    checkpoint = None
+    if args.checkpoint:
+        if len(rhos) > 1 or args.shards > 1:
+            raise SystemExit(
+                "--checkpoint applies to a single run: one --rho, --shards 1"
+            )
+        checkpoint = CheckpointConfig(
+            path=args.checkpoint, every_slots=args.checkpoint_every
+        )
+    elif args.resume:
+        raise SystemExit("--resume requires --checkpoint PATH")
+
+    report = SustainedLoadReport(
+        protocol=args.protocol,
+        title="sustained load (streaming)",
+        meta={
+            "arrivals": args.arrivals,
+            "windows": args.windows,
+            "budget": budget.describe() if budget is not None else "none",
+            "shards": args.shards,
+            "max_jobs": args.max_jobs or None,
+            "max_slots": args.max_slots or None,
+            "fault": args.fault or None,
+            "jam": args.jam or None,
+        },
+    )
+    for rho in rhos:
+        process = _stream_process(args, rho)
+        if checkpoint is not None:
+            merged = stream_simulate(
+                process,
+                factory,
+                seed=args.seed,
+                max_jobs=args.max_jobs or None,
+                max_slots=args.max_slots or None,
+                budget=budget,
+                jammer=jammer,
+                faults=plan,
+                watchdog=watchdog,
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
+        else:
+            specs = [
+                StreamShardSpec(
+                    seed=args.seed + shard,
+                    process=process,
+                    factory=factory,
+                    max_jobs=(
+                        max(args.max_jobs // args.shards, 1)
+                        if args.max_jobs
+                        else None
+                    ),
+                    max_slots=args.max_slots or None,
+                    budget=budget,
+                    jammer=jammer,
+                    faults=plan,
+                    watchdog=watchdog,
+                )
+                for shard in range(args.shards)
+            ]
+            merged, _ = run_stream_shards(specs, processes=args.processes)
+        report.add(rho, merged)
+        line = (
+            f"rho={rho:g}: released={merged.jobs_released} "
+            f"succeeded={merged.jobs_succeeded} missed={merged.jobs_missed} "
+            f"shed={merged.jobs_shed} peak_live={merged.peak_live}"
+        )
+        if merged.watchdog is not None:
+            line += f" [watchdog: {merged.watchdog.reason}]"
+        if merged.resumed_at_slot >= 0:
+            line += f" [resumed at slot {merged.resumed_at_slot}]"
+        print(line)
+
+    print()
+    print(report.table())
+    if args.report:
+        report.save(args.report)
+        print(f"wrote report to {args.report}")
+
+    if args.rss_budget_mb > 0:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        peak_mb = peak_kb / 1024.0
+        print(f"peak RSS: {peak_mb:.1f} MiB (budget {args.rss_budget_mb} MiB)")
+        if peak_mb > args.rss_budget_mb:
+            print("FAIL: peak RSS exceeded the configured budget")
+            return 1
+    return 0
+
+
 def _add_telemetry_flag(sp) -> None:
     sp.add_argument("--telemetry", default="", metavar="PATH",
                     help="write a telemetry JSONL artifact (metrics, "
@@ -829,6 +1021,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fastpath_flag(cert)
     _add_telemetry_flag(cert)
     cert.set_defaults(func=cmd_certify)
+
+    stm = sub.add_parser(
+        "stream",
+        help="open-arrival streaming runs: sustained load, bounded memory",
+    )
+    add_common(stm)
+    stm.add_argument("--protocol", default="sawtooth",
+                     choices=["punctual", "uniform", "beb", "sawtooth",
+                              "aloha", "urgency"],
+                     help="per-job protocol (instance-level protocols like "
+                          "edf need the full workload and cannot stream)")
+    stm.add_argument("--arrivals", default="poisson",
+                     choices=["poisson", "bursty", "diurnal"])
+    stm.add_argument("--rho", default="0.1",
+                     help="offered load(s), jobs/slot; comma-separated "
+                          "values sweep the sustained-load curve")
+    stm.add_argument("--windows", default="16,64,256",
+                     help="comma-separated window-size menu")
+    stm.add_argument("--weights", default="",
+                     help="comma-separated window weights (default uniform)")
+    stm.add_argument("--p-enter", type=float, default=0.005,
+                     help="bursty: per-slot probability of entering a burst")
+    stm.add_argument("--p-exit", type=float, default=0.05,
+                     help="bursty: per-slot probability of leaving a burst")
+    stm.add_argument("--amplitude", type=float, default=0.5,
+                     help="diurnal: modulation amplitude in [0, 1]")
+    stm.add_argument("--period", type=int, default=4096,
+                     help="diurnal: modulation period in slots")
+    stm.add_argument("--max-jobs", type=int, default=0,
+                     help="stop releasing after this many jobs (0 = off)")
+    stm.add_argument("--max-slots", type=int, default=0,
+                     help="stop releasing at this slot (0 = off)")
+    stm.add_argument("--max-live", type=int, default=0,
+                     help="hard live-set budget (0 = unbounded)")
+    stm.add_argument("--policy", default="shed-newest",
+                     choices=["shed-newest", "shed-loosest-deadline", "block"],
+                     help="admission control when the live set is full")
+    stm.add_argument("--queue-capacity", type=int, default=0,
+                     help="block policy: FIFO capacity (default max-live)")
+    stm.add_argument("--fault", default="", metavar="FAMILY:SEVERITY",
+                     help="inject a fault family at a severity in [0, 1], "
+                          "e.g. feedback:0.5, clock:0.25, jobs:0.4")
+    stm.add_argument("--checkpoint", default="", metavar="PATH",
+                     help="periodically snapshot resumable state here "
+                          "(single run only)")
+    stm.add_argument("--checkpoint-every", type=int, default=50_000,
+                     help="checkpoint cadence in simulated slots")
+    stm.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint instead of starting fresh")
+    stm.add_argument("--shards", type=int, default=1,
+                     help="partition the run across this many seeds")
+    stm.add_argument("--watchdog-seconds", type=float, default=0.0,
+                     help="cancel a run after this much wall-clock time")
+    stm.add_argument("--stall-factor", type=float, default=0.0,
+                     help="cancel after stall-factor * max-window slots "
+                          "with live jobs and no delivery")
+    stm.add_argument("--report", default="", metavar="PATH",
+                     help="write the sustained-load report as JSON here")
+    stm.add_argument("--rss-budget-mb", type=float, default=0.0,
+                     help="exit nonzero if peak RSS exceeds this many MiB "
+                          "(the CI stream-smoke gate)")
+    _add_perf_flags(stm)
+    stm.set_defaults(func=cmd_stream)
 
     ver = sub.add_parser(
         "verify",

@@ -224,6 +224,235 @@ class _JobRecord:
     crash_slot: int
 
 
+def job_fault_record(
+    jf: Optional[JobFault],
+    cf: Optional[ClockFault],
+    job: Job,
+    rng: np.random.Generator,
+) -> Optional[_JobRecord]:
+    """Draw one job's fault decisions from its dedicated stream.
+
+    The single source of the per-job draw order, shared by the closed
+    engine (:class:`BoundFaults` precomputes every record up front) and
+    the streaming engine (records are drawn lazily at arrival).  The
+    stream is keyed on the job id, so the decisions are identical
+    either way — which is what keeps faulted streaming runs
+    bit-identical to their closed-instance replays.
+
+    Returns ``None`` for a job the plan leaves untouched.
+    """
+    begin = job.release
+    if jf is not None and jf.p_late > 0.0:
+        if rng.random() < jf.p_late:
+            delay = int(rng.integers(1, jf.max_delay + 1))
+            begin = min(job.release + delay, job.deadline - 1)
+    activation = begin
+    skew_ff = 0
+    drift = 0.0
+    if cf is not None:
+        skew = 0
+        if cf.max_skew > 0:
+            skew = int(rng.integers(-cf.max_skew, cf.max_skew + 1))
+        if cf.drift > 0.0:
+            drift = float(rng.uniform(-cf.drift, cf.drift))
+        if skew > 0:
+            # Fast clock: the protocol already "lived" skew slots
+            # before the window truly opened.
+            skew_ff = skew
+        elif skew < 0:
+            # Slow clock: the job joins late but its local clock
+            # still reads the release slot.
+            activation = min(activation - skew, job.deadline - 1)
+    crash_slot = -1
+    if jf is not None and jf.p_crash > 0.0:
+        if rng.random() < jf.p_crash and activation + 1 < job.deadline:
+            crash_slot = int(rng.integers(activation + 1, job.deadline))
+    if (
+        activation != job.release
+        or begin != activation
+        or skew_ff
+        or drift
+        or crash_slot >= 0
+    ):
+        return _JobRecord(activation, begin, skew_ff, drift, crash_slot)
+    return None
+
+
+class _ClockDriver:
+    """Reconcile engine time with a job's faulty local clock.
+
+    Protocols are strict state machines that require a *contiguous*
+    local slot sequence (ALIGNED's schedule view rejects any jump), so
+    a faulty clock cannot be modeled by translating slot labels.
+    Instead the driver keeps the protocol's timeline contiguous and
+    absorbs the mismatch at the channel boundary:
+
+    * **Fast clock** (positive skew, positive drift): the protocol
+      lives through *phantom* slots that do not exist on the real
+      channel — any transmission there is wasted (it hears its own
+      noise; pure listening hears silence).  When its local clock
+      reaches the deadline early it stops and gives up, believing its
+      window is over.
+    * **Slow clock** (negative skew, negative drift): the job joins the
+      channel late (activation was shifted in :class:`_JobRecord`) and
+      occasionally *stalls* — a real slot passes without the protocol
+      ticking, so it neither transmits nor hears that slot, and the
+      engine's hard deadline cuts it off while its local clock still
+      shows time remaining.
+
+    A plain class rather than a closure pair so live faulted jobs can
+    be pickled into streaming checkpoints mid-flight.
+    """
+
+    __slots__ = (
+        "proto",
+        "inner_act",
+        "inner_observe",
+        "t0",
+        "base",
+        "drift",
+        "deadline",
+        "next_local",
+        "awaiting",
+        "stopped",
+    )
+
+    def __init__(
+        self,
+        job: Job,
+        proto: Protocol,
+        inner_act: Callable[[int], object],
+        inner_observe: Callable[[int, Observation], None],
+        rec: _JobRecord,
+    ) -> None:
+        self.proto = proto
+        self.inner_act = inner_act
+        self.inner_observe = inner_observe
+        self.t0 = rec.activation
+        self.base = rec.begin + rec.skew_ff
+        self.drift = rec.drift
+        self.deadline = job.deadline
+        self.next_local = rec.begin  # local slot of the next tick
+        self.awaiting = -1  # local slot awaiting an observation
+        self.stopped = False  # local clock reached the deadline
+
+    def act(self, t: int):
+        if self.stopped:
+            return None
+        proto = self.proto
+        target = self.base + (t - self.t0)
+        if self.drift:
+            target += int(self.drift * (t - self.t0))
+        nxt = self.next_local
+        if target < nxt:
+            # Slow clock stalls: no local tick this engine slot.
+            self.awaiting = -1
+            return None
+        limit = target if target < self.deadline else self.deadline
+        while nxt < limit and not proto.done:
+            # Phantom slots off the real channel.
+            m = self.inner_act(nxt)
+            self.inner_observe(
+                nxt,
+                Observation.noise(True)
+                if m is not None
+                else Observation.silence(False),
+            )
+            nxt += 1
+        if proto.done or target >= self.deadline:
+            # Local deadline reached early, or the protocol retired
+            # itself during a phantom slot; stop driving it (the
+            # engine retires it at the end of this slot).
+            self.next_local = nxt
+            self.awaiting = -1
+            self.stopped = True
+            if not proto.succeeded:
+                proto.gave_up = True
+            return None
+        msg = self.inner_act(target)
+        self.next_local = target + 1
+        self.awaiting = target
+        return msg
+
+    def observe(self, t: int, obs: Observation) -> None:
+        if self.stopped or self.awaiting < 0:
+            return
+        self.inner_observe(self.awaiting, obs)
+        self.awaiting = -1
+
+
+class _CrashGuard:
+    """Silence a job from its crash slot onward (picklable wrapper)."""
+
+    __slots__ = ("proto", "crash_at", "inner_act", "inner_observe", "crashed")
+
+    def __init__(
+        self,
+        proto: Protocol,
+        crash_at: int,
+        inner_act: Callable[[int], object],
+        inner_observe: Callable[[int, Observation], None],
+    ) -> None:
+        self.proto = proto
+        self.crash_at = crash_at
+        self.inner_act = inner_act
+        self.inner_observe = inner_observe
+        self.crashed = False
+
+    def act(self, t: int):
+        if self.crashed:
+            return None
+        if t >= self.crash_at:
+            self.crashed = True
+            self.proto.gave_up = True
+            return None
+        return self.inner_act(t)
+
+    def observe(self, t: int, obs: Observation) -> None:
+        if not self.crashed:
+            self.inner_observe(t, obs)
+
+
+def _noop_act(t: int):
+    return None
+
+
+def _noop_observe(t: int, obs: Observation) -> None:
+    return None
+
+
+def fault_wrappers(
+    job: Job, proto: Protocol, t: int, rec: Optional[_JobRecord]
+) -> Tuple[Callable[[int], object], Callable[[int, Observation], None]]:
+    """Begin ``proto`` at engine slot ``t`` under ``rec`` and return
+    ``(act, observe)``.
+
+    Jobs with no per-job faults (``rec is None``) get the raw bound
+    methods back — zero wrapper overhead.  Shared by the closed and
+    streaming engines so both drive faulted jobs identically.
+    """
+    if rec is None:
+        proto.begin(t)
+        return proto.act, proto.observe
+    try:
+        proto.begin(rec.begin)
+    except InvalidInstanceError:
+        # The protocol's model rejects the fault-shifted start slot
+        # (e.g. ALIGNED cannot join its pecking order mid-window
+        # after a late release).  The job fails instead of the run.
+        proto.gave_up = True
+        return _noop_act, _noop_observe
+    act = proto.act
+    observe = proto.observe
+    if rec.skew_ff or rec.drift or rec.begin != rec.activation:
+        driver = _ClockDriver(job, proto, act, observe, rec)
+        act, observe = driver.act, driver.observe
+    if rec.crash_slot >= 0:
+        guard = _CrashGuard(proto, rec.crash_slot, act, observe)
+        act, observe = guard.act, guard.observe
+    return act, observe
+
+
 class BoundFaults:
     """A :class:`FaultPlan` bound to one ``(instance, seed)`` run.
 
@@ -259,43 +488,10 @@ class BoundFaults:
             return
         for job in instance.by_release:
             rng = rngs.stream("fault-job", job.job_id)
-            begin = job.release
-            if jf is not None and jf.p_late > 0.0:
-                if rng.random() < jf.p_late:
-                    delay = int(rng.integers(1, jf.max_delay + 1))
-                    begin = min(job.release + delay, job.deadline - 1)
-            activation = begin
-            skew_ff = 0
-            drift = 0.0
-            if cf is not None:
-                skew = 0
-                if cf.max_skew > 0:
-                    skew = int(rng.integers(-cf.max_skew, cf.max_skew + 1))
-                if cf.drift > 0.0:
-                    drift = float(rng.uniform(-cf.drift, cf.drift))
-                if skew > 0:
-                    # Fast clock: the protocol already "lived" skew slots
-                    # before the window truly opened.
-                    skew_ff = skew
-                elif skew < 0:
-                    # Slow clock: the job joins late but its local clock
-                    # still reads the release slot.
-                    activation = min(activation - skew, job.deadline - 1)
-            crash_slot = -1
-            if jf is not None and jf.p_crash > 0.0:
-                if rng.random() < jf.p_crash and activation + 1 < job.deadline:
-                    crash_slot = int(rng.integers(activation + 1, job.deadline))
-            if (
-                activation != job.release
-                or begin != activation
-                or skew_ff
-                or drift
-                or crash_slot >= 0
-            ):
-                self._records[job.job_id] = _JobRecord(
-                    activation, begin, skew_ff, drift, crash_slot
-                )
-                if activation != job.release:
+            rec = job_fault_record(jf, cf, job, rng)
+            if rec is not None:
+                self._records[job.job_id] = rec
+                if rec.activation != job.release:
                     self.has_job_faults = True
 
     def release_of(self, job: Job) -> int:
@@ -314,123 +510,7 @@ class BoundFaults:
         enforce crash-before-deadline.  Jobs with no per-job faults get
         the raw bound methods back — zero wrapper overhead.
         """
-        rec = self._records.get(job.job_id)
-        if rec is None:
-            proto.begin(t)
-            return proto.act, proto.observe
-        try:
-            proto.begin(rec.begin)
-        except InvalidInstanceError:
-            # The protocol's model rejects the fault-shifted start slot
-            # (e.g. ALIGNED cannot join its pecking order mid-window
-            # after a late release).  The job fails instead of the run.
-            proto.gave_up = True
-            return (lambda t: None), (lambda t, obs: None)
-        act = proto.act
-        observe = proto.observe
-        if rec.skew_ff or rec.drift or rec.begin != rec.activation:
-            act, observe = self._clock_wrappers(job, proto, act, observe, rec)
-        if rec.crash_slot >= 0:
-            crash_at = rec.crash_slot
-            live_act, live_observe = act, observe
-            crashed = [False]
-
-            def act(t: int):
-                if crashed[0]:
-                    return None
-                if t >= crash_at:
-                    crashed[0] = True
-                    proto.gave_up = True
-                    return None
-                return live_act(t)
-
-            def observe(t: int, obs: Observation) -> None:
-                if not crashed[0]:
-                    live_observe(t, obs)
-        return act, observe
-
-    @staticmethod
-    def _clock_wrappers(
-        job: Job,
-        proto: Protocol,
-        inner_act: Callable[[int], object],
-        inner_observe: Callable[[int, Observation], None],
-        rec: _JobRecord,
-    ) -> Tuple[Callable[[int], object], Callable[[int, Observation], None]]:
-        """Reconcile engine time with the job's faulty local clock.
-
-        Protocols are strict state machines that require a *contiguous*
-        local slot sequence (ALIGNED's schedule view rejects any jump),
-        so a faulty clock cannot be modeled by translating slot labels.
-        Instead the wrapper keeps the protocol's timeline contiguous and
-        absorbs the mismatch at the channel boundary:
-
-        * **Fast clock** (positive skew, positive drift): the protocol
-          lives through *phantom* slots that do not exist on the real
-          channel — any transmission there is wasted (it hears its own
-          noise; pure listening hears silence).  When its local clock
-          reaches the deadline early it stops and gives up, believing
-          its window is over.
-        * **Slow clock** (negative skew, negative drift): the job joins
-          the channel late (activation was shifted in ``_JobRecord``)
-          and occasionally *stalls* — a real slot passes without the
-          protocol ticking, so it neither transmits nor hears that slot,
-          and the engine's hard deadline cuts it off while its local
-          clock still shows time remaining.
-        """
-        t0 = rec.activation
-        base = rec.begin + rec.skew_ff
-        drift = rec.drift
-        deadline = job.deadline
-        # state[0]: local slot of the protocol's next tick;
-        # state[1]: local slot awaiting an observation (-1 = suppress);
-        # state[2]: local clock reached the deadline -> stopped.
-        state = [rec.begin, -1, False]
-
-        def act(t: int):
-            if state[2]:
-                return None
-            target = base + (t - t0)
-            if drift:
-                target += int(drift * (t - t0))
-            nxt = state[0]
-            if target < nxt:
-                # Slow clock stalls: no local tick this engine slot.
-                state[1] = -1
-                return None
-            limit = target if target < deadline else deadline
-            while nxt < limit and not proto.done:
-                # Phantom slots off the real channel.
-                m = inner_act(nxt)
-                inner_observe(
-                    nxt,
-                    Observation.noise(True)
-                    if m is not None
-                    else Observation.silence(False),
-                )
-                nxt += 1
-            if proto.done or target >= deadline:
-                # Local deadline reached early, or the protocol retired
-                # itself during a phantom slot; stop driving it (the
-                # engine retires it at the end of this slot).
-                state[0] = nxt
-                state[1] = -1
-                state[2] = True
-                if not proto.succeeded:
-                    proto.gave_up = True
-                return None
-            msg = inner_act(target)
-            state[0] = target + 1
-            state[1] = target
-            return msg
-
-        def observe(t: int, obs: Observation) -> None:
-            if state[2] or state[1] < 0:
-                return
-            inner_observe(state[1], obs)
-            state[1] = -1
-
-        return act, observe
+        return fault_wrappers(job, proto, t, self._records.get(job.job_id))
 
 
 @dataclass(frozen=True)

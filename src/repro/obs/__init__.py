@@ -34,6 +34,7 @@ from repro.obs.metrics import (
     Timer,
 )
 from repro.obs.report import render_report, render_reports
+from repro.obs.sketches import QuantileSketch, ReservoirSampler
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
     SpanRecord,
@@ -53,6 +54,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullSink",
+    "QuantileSketch",
+    "ReservoirSampler",
     "SpanRecord",
     "Telemetry",
     "TelemetryArtifact",

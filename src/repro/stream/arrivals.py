@@ -1,0 +1,399 @@
+"""Lazy arrival processes: open-loop job streams from checkpointable RNG state.
+
+The streaming engine never holds a workload in memory — jobs are drawn
+slot by slot from an :class:`ArrivalProcess` bound to a generator.  Two
+properties are load-bearing for the rest of the stack:
+
+**Prefix consistency.**  Randomness is consumed in fixed-size *blocks*
+of :data:`BLOCK` slots, always in slot order, regardless of how far the
+caller looks ahead and regardless of any horizon cut.  The arrivals in
+``[0, h1)`` are therefore bit-identical whether the stream is generated
+to ``h1``, to ``h2 > h1``, or unboundedly — which is what lets a finite
+stream prefix be frozen into a closed instance (:func:`materialize`)
+that agrees with the streaming run at the boundary.  (The pre-PR-7
+``poisson_instance`` drew its slot counts in one horizon-sized vector,
+so instances with different horizons disagreed on their common prefix;
+:func:`repro.workloads.poisson_instance` now routes through this module
+and inherits the fix.)
+
+**Checkpointability.**  A :class:`BoundArrivals` pickles completely —
+the generator state, the buffered block, and (for the bursty process)
+the modulation mode — so a resumed run continues the arrival stream
+exactly where the checkpoint left it.
+
+Processes
+---------
+:class:`PoissonProcess`
+    Homogeneous Poisson arrivals at ``rate`` jobs/slot, windows drawn
+    from a finite menu (optionally weighted).
+:class:`BurstyProcess`
+    A two-state Markov-modulated Poisson process (MMPP): a calm rate
+    and a burst rate with per-slot switching probabilities — the
+    classic model for flash crowds and alarm floods.
+:class:`DiurnalProcess`
+    A sinusoidally modulated Poisson rate with a configurable period —
+    the day/night cycle of production traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.instance import Instance
+from repro.sim.job import Job
+
+__all__ = [
+    "BLOCK",
+    "ArrivalProcess",
+    "BoundArrivals",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "PoissonProcess",
+    "materialize",
+]
+
+#: Slots of arrivals drawn per RNG block.  Fixed so draw order depends
+#: only on the block index — the prefix-consistency contract above.
+BLOCK = 2048
+
+#: Shared empty tuple served for slots with no arrivals.
+_NO_ARRIVALS: Tuple[int, ...] = ()
+
+
+def _check_windows(
+    window_sizes: Tuple[int, ...], weights: Optional[Tuple[float, ...]]
+) -> None:
+    if not window_sizes or any(int(w) <= 0 for w in window_sizes):
+        raise InvalidParameterError(
+            f"window_sizes must be positive, got {list(window_sizes)}"
+        )
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (len(window_sizes),) or np.any(w < 0) or w.sum() == 0:
+            raise InvalidParameterError(
+                "weights must be nonnegative, sum positive, and match "
+                "window_sizes in length"
+            )
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base class: a picklable arrival-process *configuration*.
+
+    Subclasses define the per-slot Poisson rate; window sizes are drawn
+    per arrival from the shared menu.  Bind to a generator with
+    :meth:`bind` to start drawing.
+    """
+
+    window_sizes: Tuple[int, ...] = (64,)
+    weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "window_sizes", tuple(int(w) for w in self.window_sizes)
+        )
+        if self.weights is not None:
+            object.__setattr__(
+                self, "weights", tuple(float(w) for w in self.weights)
+            )
+        _check_windows(self.window_sizes, self.weights)
+
+    @property
+    def max_window(self) -> int:
+        """The largest window in the menu (the feasibility bound)."""
+        return max(self.window_sizes)
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run expected arrivals per slot (the offered load ρ)."""
+        raise NotImplementedError
+
+    def _rates(self, t0: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-slot Poisson rates for slots ``t0 .. t0+n-1``.
+
+        May draw from ``rng`` (the MMPP mode path does); any draws are
+        part of the block's canonical draw order.
+        """
+        raise NotImplementedError
+
+    def bind(self, rng: np.random.Generator) -> "BoundArrivals":
+        """Start the stream on ``rng`` (which the stream then owns)."""
+        return BoundArrivals(self, rng)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` jobs per slot."""
+
+    rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rate < 0:
+            raise InvalidParameterError(f"rate must be >= 0, got {self.rate}")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def _rates(self, t0: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.rate)
+
+    def describe(self) -> str:
+        return f"poisson(ρ={self.rate:g}, windows={list(self.window_sizes)})"
+
+
+@dataclass(frozen=True)
+class BurstyProcess(ArrivalProcess):
+    """A two-state MMPP: calm traffic punctuated by bursts.
+
+    Per slot, a calm stream switches to the burst state with
+    probability ``p_enter`` and a bursting stream returns to calm with
+    probability ``p_exit``; arrivals are Poisson at the state's rate.
+    The stationary burst fraction is ``p_enter / (p_enter + p_exit)``.
+    """
+
+    calm_rate: float = 0.05
+    burst_rate: float = 1.0
+    p_enter: float = 0.005
+    p_exit: float = 0.05
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.calm_rate < 0 or self.burst_rate < 0:
+            raise InvalidParameterError("rates must be >= 0")
+        for name in ("p_enter", "p_exit"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be in (0, 1], got {v}"
+                )
+
+    @property
+    def burst_fraction(self) -> float:
+        return self.p_enter / (self.p_enter + self.p_exit)
+
+    @property
+    def mean_rate(self) -> float:
+        f = self.burst_fraction
+        return (1.0 - f) * self.calm_rate + f * self.burst_rate
+
+    def _rates(self, t0: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        # The MMPP rate path is stateful (the mode must survive across
+        # blocks and checkpoints), so BoundArrivals._draw_block owns it.
+        raise NotImplementedError(
+            "BurstyProcess rates are drawn by BoundArrivals"
+        )
+
+    def describe(self) -> str:
+        return (
+            f"bursty(calm={self.calm_rate:g}, burst={self.burst_rate:g}, "
+            f"enter={self.p_enter:g}, exit={self.p_exit:g}, "
+            f"windows={list(self.window_sizes)})"
+        )
+
+
+@dataclass(frozen=True)
+class DiurnalProcess(ArrivalProcess):
+    """A sinusoidally modulated Poisson rate — the day/night cycle.
+
+    ``rate_t = base_rate * (1 + amplitude * sin(2π t / period))``.
+    """
+
+    base_rate: float = 0.1
+    amplitude: float = 0.5
+    period: int = 4096
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_rate < 0:
+            raise InvalidParameterError("base_rate must be >= 0")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise InvalidParameterError(
+                f"amplitude must be in [0, 1], got {self.amplitude}"
+            )
+        if self.period <= 0:
+            raise InvalidParameterError("period must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.base_rate
+
+    def _rates(self, t0: int, n: int, rng: np.random.Generator) -> np.ndarray:
+        t = np.arange(t0, t0 + n, dtype=np.float64)
+        return self.base_rate * (
+            1.0 + self.amplitude * np.sin(2.0 * math.pi * t / self.period)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"diurnal(base={self.base_rate:g}, amp={self.amplitude:g}, "
+            f"period={self.period}, windows={list(self.window_sizes)})"
+        )
+
+
+class BoundArrivals:
+    """An :class:`ArrivalProcess` bound to a generator: the live stream.
+
+    Draws randomness in :data:`BLOCK`-slot blocks, always in slot
+    order.  Pickles completely (generator state, buffered block, MMPP
+    mode), which is how checkpoints freeze the stream mid-flight.
+    """
+
+    __slots__ = ("process", "rng", "_next_block", "_blocks", "_mode")
+
+    def __init__(self, process: ArrivalProcess, rng: np.random.Generator) -> None:
+        self.process = process
+        self.rng = rng
+        self._next_block = 0  # index of the first block not yet drawn
+        self._blocks: List[List[Tuple[int, ...]]] = []  # buffered, oldest first
+        self._mode = 0  # MMPP state: 0 = calm, 1 = burst
+
+    def __getstate__(self):
+        return (
+            self.process,
+            self.rng,
+            self._next_block,
+            self._blocks,
+            self._mode,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.process,
+            self.rng,
+            self._next_block,
+            self._blocks,
+            self._mode,
+        ) = state
+
+    # -- block drawing ---------------------------------------------------
+
+    def _draw_block(self) -> List[Tuple[int, ...]]:
+        """Draw the next block's arrivals in the canonical order.
+
+        Order per block: (1) the per-slot rate path — for the MMPP this
+        consumes one switching uniform per slot; (2) the per-slot
+        Poisson counts as one vector; (3) one window draw per arrival,
+        in slot order.
+        """
+        proc = self.process
+        rng = self.rng
+        t0 = self._next_block * BLOCK
+        if isinstance(proc, BurstyProcess):
+            u = rng.random(BLOCK)
+            rates = np.empty(BLOCK)
+            mode = self._mode
+            enter, exit_ = proc.p_enter, proc.p_exit
+            calm, burst = proc.calm_rate, proc.burst_rate
+            for i in range(BLOCK):
+                if mode == 0:
+                    if u[i] < enter:
+                        mode = 1
+                else:
+                    if u[i] < exit_:
+                        mode = 0
+                rates[i] = burst if mode else calm
+            self._mode = mode
+        else:
+            rates = proc._rates(t0, BLOCK, rng)
+        counts = rng.poisson(rates)
+        total = int(counts.sum())
+        sizes = proc.window_sizes
+        if total:
+            if len(sizes) == 1:
+                picks = np.zeros(total, dtype=np.int64)
+            else:
+                p = None
+                if proc.weights is not None:
+                    w = np.asarray(proc.weights, dtype=float)
+                    p = w / w.sum()
+                picks = rng.choice(len(sizes), size=total, p=p)
+        block: List[Tuple[int, ...]] = []
+        k = 0
+        for c in counts:
+            c = int(c)
+            if c == 0:
+                block.append(_NO_ARRIVALS)
+            else:
+                block.append(tuple(sizes[int(j)] for j in picks[k : k + c]))
+                k += c
+        self._next_block += 1
+        return block
+
+    def _ensure_block(self, block_idx: int) -> List[Tuple[int, ...]]:
+        """Buffer blocks up to ``block_idx`` and return it.
+
+        Consumed blocks are dropped by :meth:`release_before`; lookups
+        may only move forward past released slots.
+        """
+        first_kept = self._next_block - len(self._blocks)
+        if block_idx < first_kept:
+            raise InvalidParameterError(
+                f"arrival block {block_idx} was already released "
+                f"(oldest kept: {first_kept})"
+            )
+        while block_idx >= self._next_block:
+            self._blocks.append(self._draw_block())
+        return self._blocks[block_idx - first_kept]
+
+    # -- queries ---------------------------------------------------------
+
+    def arrivals_at(self, t: int) -> Tuple[int, ...]:
+        """Window sizes of the jobs released at slot ``t``."""
+        return self._ensure_block(t // BLOCK)[t % BLOCK]
+
+    def next_arrival_at(self, t: int, limit: int) -> Optional[int]:
+        """The first slot in ``[t, limit)`` with at least one arrival."""
+        while t < limit:
+            block = self._ensure_block(t // BLOCK)
+            end = min(limit, (t // BLOCK + 1) * BLOCK)
+            i = t % BLOCK
+            while t < end:
+                if block[i]:
+                    return t
+                i += 1
+                t += 1
+        return None
+
+    def release_before(self, t: int) -> None:
+        """Drop buffered blocks that end at or before slot ``t``.
+
+        The engine calls this as time advances so the buffer holds at
+        most two blocks — the memory contract of the streaming mode.
+        """
+        first_kept = self._next_block - len(self._blocks)
+        while self._blocks and (first_kept + 1) * BLOCK <= t:
+            self._blocks.pop(0)
+            first_kept += 1
+
+
+def materialize(
+    process: ArrivalProcess, rng: np.random.Generator, horizon: int
+) -> Instance:
+    """Freeze the first ``horizon`` slots of a stream into an Instance.
+
+    Draws exactly the randomness the streaming engine would draw for the
+    same prefix (same generator, same block order), and assigns job ids
+    in draw order — so job ``k`` here *is* job ``k`` of the streaming
+    run.  This is the bridge the ``streaming-equivalence`` verification
+    corpus crosses: the returned closed instance and the live stream
+    must agree bit-for-bit on every delivery.
+    """
+    if horizon <= 0:
+        raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+    bound = process.bind(rng)
+    jobs: List[Job] = []
+    for t in range(horizon):
+        for window in bound.arrivals_at(t):
+            jobs.append(Job(len(jobs), t, t + window))
+        bound.release_before(t)
+    return Instance(jobs)

@@ -1,0 +1,109 @@
+"""Sharded streaming runs: partition the seed population, merge statistics.
+
+A sustained-load measurement wants many independent channel realizations
+(one per seed); they share nothing, so they parallelize perfectly.  A
+:class:`StreamShardSpec` pins down one shard's full configuration —
+everything :func:`repro.stream.engine.stream_simulate` takes, minus
+run-local machinery like checkpoints — and :func:`run_stream_shards`
+fans the specs out over a process pool and merges the per-shard
+:class:`~repro.stream.engine.StreamResult` objects (counters add,
+quantile sketches merge exactly, reservoirs merge probabilistically).
+
+Specs cross process boundaries by pickle, so ``factory`` must be a
+module-level callable or a :func:`functools.partial` of one (the same
+discipline :mod:`repro.cli` uses for its sweep workers); a lambda or
+local closure will fail to pickle with a clear error before any work
+starts.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.channel.jamming import Jammer
+from repro.errors import InvalidParameterError
+from repro.faults.plan import FaultPlan
+from repro.sim.engine import ProtocolFactory
+from repro.sim.watchdog import Watchdog
+from repro.stream.arrivals import ArrivalProcess
+from repro.stream.engine import StreamBudget, StreamResult, stream_simulate
+
+__all__ = ["StreamShardSpec", "run_stream_shards"]
+
+
+@dataclass(frozen=True)
+class StreamShardSpec:
+    """One shard of a sharded streaming run (a seed's full config)."""
+
+    seed: int
+    process: ArrivalProcess
+    factory: ProtocolFactory
+    max_jobs: Optional[int] = None
+    max_slots: Optional[int] = None
+    budget: Optional[StreamBudget] = None
+    jammer: Optional[Jammer] = None
+    faults: Optional[FaultPlan] = None
+    watchdog: Optional[Watchdog] = None
+    reservoir_capacity: int = 4096
+    sketch_alpha: float = 0.01
+
+
+def _run_shard(spec: StreamShardSpec) -> StreamResult:
+    return stream_simulate(
+        spec.process,
+        spec.factory,
+        seed=spec.seed,
+        max_jobs=spec.max_jobs,
+        max_slots=spec.max_slots,
+        budget=spec.budget,
+        jammer=spec.jammer,
+        faults=spec.faults,
+        watchdog=spec.watchdog,
+        reservoir_capacity=spec.reservoir_capacity,
+        sketch_alpha=spec.sketch_alpha,
+    )
+
+
+def run_stream_shards(
+    specs: Sequence[StreamShardSpec],
+    *,
+    processes: Optional[int] = None,
+) -> Tuple[StreamResult, List[StreamResult]]:
+    """Run every shard and merge the channel statistics.
+
+    Parameters
+    ----------
+    specs:
+        One spec per shard; seeds should be distinct (the merge does not
+        check, but identical seeds measure the same realization twice).
+    processes:
+        Worker processes.  ``None`` picks ``min(len(specs), cpu_count)``;
+        ``0`` or ``1`` runs serially in-process (deterministic, no pool
+        overhead — what the tests and CI smoke use).
+
+    Returns
+    -------
+    (merged, per_shard):
+        The merged :class:`StreamResult` plus each shard's own result in
+        spec order.  Merging is order-independent for every statistic
+        except the reservoir sample, which is merged in spec order so
+        repeated calls agree draw-for-draw.
+    """
+    if not specs:
+        raise InvalidParameterError("run_stream_shards needs at least one spec")
+    if processes is None:
+        processes = min(len(specs), os.cpu_count() or 1)
+    if processes <= 1 or len(specs) == 1:
+        per_shard = [_run_shard(s) for s in specs]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=processes
+        ) as pool:
+            per_shard = list(pool.map(_run_shard, specs))
+    merged = per_shard[0]
+    for r in per_shard[1:]:
+        merged = merged.merge(r)
+    return merged, per_shard

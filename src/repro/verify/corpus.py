@@ -21,14 +21,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.baselines.sawtooth import sawtooth_factory
 from repro.channel.jamming import Jammer, StochasticJammer
 from repro.core.aligned import aligned_factory
 from repro.core.punctual import punctual_factory
 from repro.core.uniform import uniform_factory
 from repro.errors import InvalidParameterError
+from repro.experiments.robustness import fault_plan
+from repro.faults.plan import FaultPlan
 from repro.params import AlignedParams, PunctualParams, UniformParams
 from repro.sim.engine import ProtocolFactory
 from repro.sim.instance import Instance
+from repro.sim.rng import RngFactory
+from repro.stream.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    PoissonProcess,
+    materialize,
+)
 from repro.workloads import batch_instance, single_class_instance
 
 __all__ = ["CORPUS", "VerifyCase", "corpus_case", "smoke_cases"]
@@ -101,6 +112,74 @@ def _no_jammer() -> Optional[Jammer]:
     return None
 
 
+# -- streaming-equivalence cases --------------------------------------------
+#
+# Each pins an arrival process and a finite horizon.  ``build`` freezes
+# the stream's seed-0 prefix into a closed instance (what the metamorphic
+# and determinism checks — and the golden fingerprints — run on), while
+# the differential check re-materializes per seed and demands the open
+# streaming engine agree with the closed engine job-for-job.
+
+_STREAM_POISSON = PoissonProcess(rate=0.15, window_sizes=(16, 64))
+_STREAM_BURSTY = BurstyProcess(
+    calm_rate=0.05,
+    burst_rate=0.8,
+    p_enter=0.01,
+    p_exit=0.08,
+    window_sizes=(16, 64),
+)
+_STREAM_DIURNAL = DiurnalProcess(
+    base_rate=0.12, amplitude=0.6, period=512, window_sizes=(32,)
+)
+_STREAM_POISSON_HORIZON = 2000
+_STREAM_BURSTY_HORIZON = 3000
+_STREAM_DIURNAL_HORIZON = 2000
+
+
+def _stream_build(process: ArrivalProcess, horizon: int) -> Instance:
+    return materialize(process, RngFactory(0).stream("arrivals"), horizon)
+
+
+def _stream_poisson_build() -> Instance:
+    return _stream_build(_STREAM_POISSON, _STREAM_POISSON_HORIZON)
+
+
+def _stream_bursty_build() -> Instance:
+    return _stream_build(_STREAM_BURSTY, _STREAM_BURSTY_HORIZON)
+
+
+def _stream_diurnal_build() -> Instance:
+    return _stream_build(_STREAM_DIURNAL, _STREAM_DIURNAL_HORIZON)
+
+
+def _stream_poisson_process() -> Optional[ArrivalProcess]:
+    return _STREAM_POISSON
+
+
+def _stream_bursty_process() -> Optional[ArrivalProcess]:
+    return _STREAM_BURSTY
+
+
+def _stream_diurnal_process() -> Optional[ArrivalProcess]:
+    return _STREAM_DIURNAL
+
+
+def _sawtooth() -> ProtocolFactory:
+    return sawtooth_factory()
+
+
+def _no_process() -> Optional[ArrivalProcess]:
+    return None
+
+
+def _no_faults() -> Optional[FaultPlan]:
+    return None
+
+
+def _clock_faults() -> Optional[FaultPlan]:
+    return fault_plan("clock", 0.3)
+
+
 def _jam30() -> Optional[Jammer]:
     return StochasticJammer(0.3)
 
@@ -121,8 +200,10 @@ class VerifyCase:
     the batched fastpath trial *and* the seed-major ``run_batch``
     driver, bit-exact digests, clean or jammed), ``"fastpath-statistical"``
     (engine ↔ ALIGNED/PUNCTUAL full-protocol kernel, mean success rates
-    within Monte-Carlo tolerance), ``"engine-only"`` (no applicable
-    kernel; metamorphic + determinism checks only).
+    within Monte-Carlo tolerance), ``"streaming-equivalence"`` (closed
+    engine on the materialized stream prefix ↔ open streaming engine on
+    the live stream, bit-exact per-job outcomes), ``"engine-only"`` (no
+    applicable kernel; metamorphic + determinism checks only).
     """
 
     name: str
@@ -133,6 +214,11 @@ class VerifyCase:
     kind: str = "engine-only"
     attempts: int = 1
     smoke: bool = True
+    #: streaming-equivalence only: the arrival process and the horizon
+    #: (slots of releases) the differential re-materializes per seed.
+    make_process: Callable[[], Optional[ArrivalProcess]] = _no_process
+    make_faults: Callable[[], Optional[FaultPlan]] = _no_faults
+    horizon: int = 0
 
     def instance(self) -> Instance:
         """Build a fresh instance for this case."""
@@ -145,6 +231,14 @@ class VerifyCase:
     def jammer(self) -> Optional[Jammer]:
         """Build a fresh jammer for this case (None for a clean channel)."""
         return self.make_jammer()
+
+    def process(self) -> Optional[ArrivalProcess]:
+        """The case's arrival process (streaming-equivalence only)."""
+        return self.make_process()
+
+    def faults(self) -> Optional[FaultPlan]:
+        """Build a fresh fault plan for this case (usually None)."""
+        return self.make_faults()
 
 
 _CASES = (
@@ -245,6 +339,36 @@ _CASES = (
         seeds=tuple(range(20)),
         kind="fastpath-statistical",
         smoke=False,
+    ),
+    VerifyCase(
+        name="stream-poisson-uniform",
+        build=_stream_poisson_build,
+        protocol=_uniform,
+        seeds=(0, 1, 2),
+        kind="streaming-equivalence",
+        make_process=_stream_poisson_process,
+        horizon=_STREAM_POISSON_HORIZON,
+    ),
+    VerifyCase(
+        name="stream-bursty-faulted",
+        build=_stream_bursty_build,
+        protocol=_sawtooth,
+        seeds=(0, 1),
+        kind="streaming-equivalence",
+        make_process=_stream_bursty_process,
+        make_faults=_clock_faults,
+        horizon=_STREAM_BURSTY_HORIZON,
+        smoke=False,
+    ),
+    VerifyCase(
+        name="stream-diurnal-jammed",
+        build=_stream_diurnal_build,
+        protocol=_sawtooth,
+        make_jammer=_jam10,
+        seeds=(0, 1),
+        kind="streaming-equivalence",
+        make_process=_stream_diurnal_process,
+        horizon=_STREAM_DIURNAL_HORIZON,
     ),
 )
 

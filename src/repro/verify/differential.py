@@ -74,6 +74,8 @@ from repro.params import AlignedParams, PunctualParams
 from repro.sim.engine import simulate
 from repro.sim.instance import Instance
 from repro.sim.rng import RngFactory
+from repro.stream.arrivals import materialize
+from repro.stream.engine import stream_simulate
 from repro.verify.corpus import VerifyCase
 from repro.verify.report import Discrepancy
 
@@ -85,6 +87,7 @@ __all__ = [
     "diff_fastpath_batched",
     "diff_fastpath_exact",
     "diff_fastpath_statistical",
+    "diff_streaming_equivalence",
     "diff_uniform_dominance",
     "diff_uniform_exact",
     "diff_uniform_statistical",
@@ -673,6 +676,94 @@ def diff_fastpath_statistical(
             )
         ]
     return []
+
+
+# ---------------------------------------------------------------------------
+# streaming-equivalence: closed engine ↔ open streaming engine
+# ---------------------------------------------------------------------------
+
+
+def diff_streaming_equivalence(
+    case: VerifyCase, seed: int
+) -> List[Discrepancy]:
+    """Closed engine on the frozen prefix vs the open streaming engine.
+
+    :func:`~repro.stream.arrivals.materialize` freezes the case's
+    arrival stream over ``[0, horizon)`` into a closed instance using the
+    very draws the streaming run makes; the closed engine on that
+    instance and :func:`~repro.stream.engine.stream_simulate` on the
+    live stream (``max_slots=horizon``, no budget) must then agree
+    bit-for-bit — per-job status, completion slot, and transmission
+    count, plus the headline counts — under the case's jammer and fault
+    plan alike.
+    """
+    process = case.process()
+    assert process is not None, "streaming-equivalence case without process"
+    instance = materialize(
+        process, RngFactory(seed).stream("arrivals"), case.horizon
+    )
+    engine = simulate(
+        instance,
+        case.factory(),
+        jammer=case.jammer(),
+        seed=seed,
+        faults=case.faults(),
+    )
+    stream = stream_simulate(
+        process,
+        case.factory(),
+        seed=seed,
+        max_slots=case.horizon,
+        jammer=case.jammer(),
+        faults=case.faults(),
+        record_outcomes=True,
+    )
+
+    out: List[Discrepancy] = []
+
+    def mismatch(quantity: str, expected, actual, detail: str = "") -> None:
+        out.append(
+            Discrepancy(
+                case=case.name,
+                seed=seed,
+                check="streaming-equivalence",
+                quantity=quantity,
+                expected=str(expected),
+                actual=str(actual),
+                detail=detail,
+            )
+        )
+
+    assert stream.outcomes is not None
+    if stream.jobs_released != len(instance):
+        mismatch(
+            "jobs_released",
+            len(instance),
+            stream.jobs_released,
+            detail="materialized prefix vs released stream jobs",
+        )
+    for outcome in engine.outcomes:
+        job = outcome.job
+        got = stream.outcomes.get(job.job_id)
+        want = (
+            outcome.status,
+            outcome.completion_slot,
+            outcome.transmissions,
+        )
+        if got != want:
+            mismatch(
+                f"job[{job.job_id}] (status, completion, transmissions)",
+                want,
+                got,
+                detail=f"release {job.release}, window {job.window}",
+            )
+    if engine.n_succeeded != stream.jobs_succeeded:
+        mismatch("n_succeeded", engine.n_succeeded, stream.jobs_succeeded)
+    if engine.slots_simulated != stream.slots_simulated:
+        mismatch(
+            "slots_simulated", engine.slots_simulated, stream.slots_simulated
+        )
+    return out
 
 
 # ---------------------------------------------------------------------------

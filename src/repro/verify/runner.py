@@ -145,6 +145,11 @@ def run_verification(
                     discrepancies=tuple(found),
                 )
             )
+        elif case.kind == "streaming-equivalence":
+            _per_seed_check(
+                report, case, "streaming-equivalence", case.seeds,
+                differential.diff_streaming_equivalence,
+            )
         elif case.kind == "fastpath-statistical":
             found = differential.diff_fastpath_statistical(
                 case, n_trials=200 if smoke else 400

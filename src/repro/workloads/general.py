@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.sim.instance import Instance
 from repro.sim.job import Job
+from repro.stream.arrivals import PoissonProcess, materialize
 from repro.workloads.thinning import thin_to_density
 
 __all__ = ["poisson_instance", "uniform_random_instance", "two_scale_instance"]
@@ -43,29 +44,28 @@ def poisson_instance(
         Menu of window sizes, sampled per job (uniform unless ``weights``).
     gamma:
         If given, the result is thinned to γ-slack feasibility.
+
+    Notes
+    -----
+    Draws route through :class:`repro.stream.arrivals.PoissonProcess`,
+    which consumes randomness in fixed-size blocks in slot order.  The
+    instance over ``[0, h1)`` is therefore a prefix of the instance over
+    ``[0, h2)`` for any ``h2 > h1`` on the same generator state — the
+    horizon is a cut, not a reshuffle.  (The original implementation
+    drew one horizon-sized count vector followed by all window picks,
+    so extending the horizon relabeled every job's window draw.)
     """
-    if horizon <= 0:
-        raise InvalidParameterError(f"horizon must be positive, got {horizon}")
-    if rate < 0:
-        raise InvalidParameterError(f"rate must be >= 0, got {rate}")
-    sizes = [int(w) for w in window_sizes]
-    if not sizes or any(w <= 0 for w in sizes):
-        raise InvalidParameterError(f"window_sizes must be positive, got {sizes}")
-    counts = rng.poisson(rate, size=horizon)
-    jobs: List[Job] = []
-    jid = 0
-    p = None
-    if weights is not None:
-        w = np.asarray(weights, dtype=float)
-        if w.shape != (len(sizes),) or np.any(w < 0) or w.sum() == 0:
-            raise InvalidParameterError("weights must be nonnegative, same length")
-        p = w / w.sum()
-    for t in range(horizon):
-        for _ in range(int(counts[t])):
-            size = sizes[int(rng.choice(len(sizes), p=p))]
-            jobs.append(Job(jid, t, t + size))
-            jid += 1
-    inst = Instance(jobs)
+    inst = materialize(
+        PoissonProcess(
+            rate=rate,
+            window_sizes=tuple(int(w) for w in window_sizes),
+            weights=tuple(float(w) for w in weights)
+            if weights is not None
+            else None,
+        ),
+        rng,
+        horizon,
+    )
     if gamma is not None:
         inst = thin_to_density(inst, gamma, rng).relabeled()
     return inst

@@ -58,9 +58,14 @@ def sensor_network_instance(
         raise InvalidParameterError(
             f"relative_deadline {relative_deadline} exceeds period {period}"
         )
-    if jitter < 0 or jitter >= period - relative_deadline + 1 and jitter > 0:
-        if jitter < 0:
-            raise InvalidParameterError("jitter must be >= 0")
+    if jitter < 0:
+        raise InvalidParameterError("jitter must be >= 0")
+    if jitter > period - relative_deadline:
+        raise InvalidParameterError(
+            f"jitter {jitter} exceeds the per-sensor slack "
+            f"{period - relative_deadline} (period - relative_deadline), "
+            "so consecutive readings of one sensor could overlap"
+        )
     jobs: List[Job] = []
     jid = 0
     for s in range(n_sensors):

@@ -1,0 +1,182 @@
+"""Accuracy and safety tests for the bounded stream summaries.
+
+The quantile sketch documents a *relative* error bound: every estimate
+is within ``1 ± alpha`` of a true stream value at that rank.  These
+tests measure the bound against exact quantiles on heavy-tailed data,
+pin the exactness of merging, and exercise the NaN conventions both
+summaries share with :mod:`repro.obs.metrics`.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.sketches import QuantileSketch, ReservoirSampler
+
+
+class TestQuantileSketchAccuracy:
+    @pytest.mark.parametrize("alpha", [0.01, 0.05])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99, 0.999])
+    def test_relative_error_bound_on_heavy_tail(self, alpha, q):
+        rng = np.random.default_rng(42)
+        data = np.exp(rng.normal(3.0, 1.5, size=50_000))  # lognormal
+        sketch = QuantileSketch(alpha=alpha)
+        sketch.extend(data)
+        est = sketch.quantile(q)
+        # the estimate must be within alpha of SOME value at the target
+        # rank; comparing against the exact order statistic with a hair
+        # of slack for rank rounding
+        rank = max(1, math.ceil(q * len(data)))
+        exact = float(np.sort(data)[rank - 1])
+        assert abs(est - exact) <= 1.5 * alpha * exact
+
+    def test_memory_is_bounded_by_dynamic_range(self):
+        sketch = QuantileSketch(alpha=0.01)
+        rng = np.random.default_rng(0)
+        sketch.extend(rng.uniform(1.0, 1e6, size=100_000))
+        # six decades at alpha=1% is a few hundred log-buckets, however
+        # many values went in
+        assert sketch.n_buckets < 800
+
+    def test_estimates_clamped_to_observed_range(self):
+        sketch = QuantileSketch(alpha=0.05)
+        sketch.extend([10.0, 11.0, 12.0])
+        assert 10.0 <= sketch.quantile(0.0) <= 12.0
+        assert 10.0 <= sketch.quantile(1.0) <= 12.0
+
+
+class TestQuantileSketchSafety:
+    def test_empty_sketch_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(0.5))
+
+    def test_nan_inputs_ignored(self):
+        sketch = QuantileSketch()
+        sketch.extend([float("nan"), 5.0, float("nan")])
+        assert sketch.count == 1
+        assert sketch.quantile(0.5) == pytest.approx(5.0, rel=0.02)
+
+    def test_nonpositive_values_go_to_zero_bucket(self):
+        sketch = QuantileSketch()
+        sketch.extend([0.0, -3.0, 8.0])
+        assert sketch.zero_count == 2
+        assert sketch.quantile(0.25) <= 0.0
+        assert sketch.quantile(1.0) == pytest.approx(8.0, rel=0.02)
+
+    def test_q_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QuantileSketch().quantile(1.5)
+
+    def test_alpha_validated(self):
+        with pytest.raises(InvalidParameterError):
+            QuantileSketch(alpha=0.0)
+
+    def test_pickle_roundtrip(self):
+        sketch = QuantileSketch(alpha=0.02)
+        sketch.extend([1.0, 10.0, 100.0])
+        clone = pickle.loads(pickle.dumps(sketch))
+        for q in (0.1, 0.5, 0.9):
+            assert clone.quantile(q) == sketch.quantile(q)
+
+
+class TestQuantileSketchMerge:
+    def test_merge_is_exact(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.exponential(50.0, size=10_000)
+        b_data = rng.exponential(500.0, size=10_000)
+        combined = QuantileSketch()
+        combined.extend(np.concatenate([a_data, b_data]))
+        a = QuantileSketch()
+        a.extend(a_data)
+        b = QuantileSketch()
+        b.extend(b_data)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.n_buckets == combined.n_buckets
+        for q in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999):
+            assert a.quantile(q) == combined.quantile(q)
+
+    def test_merge_requires_equal_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+    def test_merge_with_empty_is_identity(self):
+        a = QuantileSketch()
+        a.extend([1.0, 2.0, 3.0])
+        before = {q: a.quantile(q) for q in (0.1, 0.5, 0.9)}
+        a.merge(QuantileSketch())
+        assert {q: a.quantile(q) for q in (0.1, 0.5, 0.9)} == before
+
+
+class TestReservoirSampler:
+    def test_keeps_everything_under_capacity(self):
+        res = ReservoirSampler(100, seed=0)
+        res.extend(range(50))
+        assert sorted(res.values.tolist()) == [float(i) for i in range(50)]
+        assert res.n_offered == 50
+
+    def test_sample_size_is_capped(self):
+        res = ReservoirSampler(64, seed=0)
+        res.extend(range(10_000))
+        assert len(res) == 64
+        assert res.n_offered == 10_000
+
+    def test_sample_is_approximately_uniform(self):
+        # mean of a uniform sample of 0..N-1 concentrates around (N-1)/2;
+        # averaged over several seeds it must land close
+        n = 20_000
+        means = []
+        for seed in range(10):
+            res = ReservoirSampler(256, seed=seed)
+            res.extend(range(n))
+            means.append(float(res.values.mean()))
+        grand = sum(means) / len(means)
+        assert grand == pytest.approx((n - 1) / 2, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            res = ReservoirSampler(32, seed=7)
+            res.extend(range(1000))
+            return res.values.tolist()
+
+        assert run() == run()
+
+    def test_nan_ignored(self):
+        res = ReservoirSampler(8, seed=0)
+        res.offer(float("nan"))
+        assert len(res) == 0 and res.n_offered == 0
+        assert math.isnan(res.quantile(0.5))
+
+    def test_capacity_validated(self):
+        with pytest.raises(InvalidParameterError):
+            ReservoirSampler(0)
+
+    def test_merge_pools_both_reservoirs(self):
+        a = ReservoirSampler(64, seed=0)
+        a.extend([1.0] * 500)
+        b = ReservoirSampler(64, seed=1)
+        b.extend([2.0] * 1500)
+        a.merge(b)
+        assert a.n_offered == 2000
+        assert len(a) == 64
+        vals = a.values
+        # weighting by offered counts: the 3x-bigger stream dominates
+        assert (vals == 2.0).sum() > (vals == 1.0).sum()
+        assert set(vals.tolist()) <= {1.0, 2.0}
+
+    def test_merge_with_empty_is_identity(self):
+        a = ReservoirSampler(16, seed=0)
+        a.extend(range(10))
+        before = sorted(a.values.tolist())
+        a.merge(ReservoirSampler(16, seed=1))
+        assert sorted(a.values.tolist()) == before
+
+    def test_pickle_roundtrip_replays_identically(self):
+        a = ReservoirSampler(16, seed=3)
+        a.extend(range(100))
+        clone = pickle.loads(pickle.dumps(a))
+        a.extend(range(100, 200))
+        clone.extend(range(100, 200))
+        assert clone.values.tolist() == a.values.tolist()

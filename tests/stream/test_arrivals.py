@@ -1,0 +1,144 @@
+"""Tests for the lazy arrival processes and their prefix-consistency contract."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.stream.arrivals import (
+    BLOCK,
+    BurstyProcess,
+    DiurnalProcess,
+    PoissonProcess,
+    materialize,
+)
+
+PROCESSES = [
+    PoissonProcess(rate=0.2, window_sizes=(16, 64)),
+    BurstyProcess(
+        calm_rate=0.05, burst_rate=0.9, p_enter=0.02, p_exit=0.1,
+        window_sizes=(16, 64),
+    ),
+    DiurnalProcess(base_rate=0.15, amplitude=0.7, period=300,
+                   window_sizes=(32,)),
+]
+PROCESS_IDS = ["poisson", "bursty", "diurnal"]
+
+
+def _stream_prefix(process, seed, horizon):
+    bound = process.bind(np.random.default_rng(seed))
+    return [bound.arrivals_at(t) for t in range(horizon)]
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=PROCESS_IDS)
+class TestPrefixConsistency:
+    def test_horizon_is_a_cut_not_a_reshuffle(self, process):
+        # Arrivals in [0, h1) must not depend on how far the stream is
+        # ever read — including reads past a block boundary.
+        short = _stream_prefix(process, 7, 500)
+        long = _stream_prefix(process, 7, BLOCK + 500)
+        assert long[:500] == short
+
+    def test_lookahead_does_not_perturb(self, process):
+        plain = _stream_prefix(process, 3, 400)
+        bound = process.bind(np.random.default_rng(3))
+        # Scanning far ahead first must not change what the prefix holds.
+        bound.next_arrival_at(0, 3 * BLOCK)
+        peeked = [bound.arrivals_at(t) for t in range(400)]
+        assert peeked == plain
+
+    def test_materialize_prefix_property(self, process):
+        short = materialize(process, np.random.default_rng(11), 600)
+        long = materialize(process, np.random.default_rng(11), 2 * BLOCK)
+        common = [
+            (j.job_id, j.release, j.window)
+            for j in long.by_release
+            if j.release < 600
+        ]
+        assert common == [
+            (j.job_id, j.release, j.window) for j in short.by_release
+        ]
+
+    def test_pickle_roundtrip_mid_stream(self, process):
+        bound = process.bind(np.random.default_rng(5))
+        for t in range(700):
+            bound.arrivals_at(t)
+        clone = pickle.loads(pickle.dumps(bound))
+        tail = [bound.arrivals_at(t) for t in range(700, 700 + BLOCK)]
+        cloned_tail = [clone.arrivals_at(t) for t in range(700, 700 + BLOCK)]
+        assert cloned_tail == tail
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=PROCESS_IDS)
+class TestMemoryContract:
+    def test_release_bounds_buffer(self, process):
+        bound = process.bind(np.random.default_rng(0))
+        for t in range(4 * BLOCK):
+            bound.arrivals_at(t)
+            bound.release_before(t)
+            assert len(bound._blocks) <= 2
+
+    def test_released_blocks_cannot_be_reread(self, process):
+        bound = process.bind(np.random.default_rng(0))
+        bound.arrivals_at(2 * BLOCK)
+        bound.release_before(2 * BLOCK)
+        with pytest.raises(InvalidParameterError):
+            bound.arrivals_at(0)
+
+
+class TestRates:
+    def test_poisson_mean_rate(self):
+        proc = PoissonProcess(rate=0.3, window_sizes=(16,))
+        n = sum(
+            len(a) for a in _stream_prefix(proc, 1, 20_000)
+        )
+        assert n / 20_000 == pytest.approx(0.3, rel=0.1)
+
+    def test_bursty_stationary_rate(self):
+        proc = BurstyProcess(
+            calm_rate=0.05, burst_rate=1.0, p_enter=0.02, p_exit=0.08,
+            window_sizes=(16,),
+        )
+        n = sum(len(a) for a in _stream_prefix(proc, 1, 60_000))
+        assert n / 60_000 == pytest.approx(proc.mean_rate, rel=0.2)
+
+    def test_diurnal_mean_rate_over_whole_periods(self):
+        proc = DiurnalProcess(
+            base_rate=0.2, amplitude=1.0, period=500, window_sizes=(16,)
+        )
+        n = sum(len(a) for a in _stream_prefix(proc, 1, 50_000))
+        assert n / 50_000 == pytest.approx(0.2, rel=0.1)
+
+    def test_window_weights_respected(self):
+        proc = PoissonProcess(
+            rate=0.5, window_sizes=(10, 1000), weights=(1.0, 0.0)
+        )
+        for arrivals in _stream_prefix(proc, 0, 2000):
+            assert all(w == 10 for w in arrivals)
+
+
+class TestValidation:
+    def test_empty_window_menu_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PoissonProcess(rate=0.1, window_sizes=())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PoissonProcess(rate=-0.1)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PoissonProcess(rate=0.1, window_sizes=(16, 64), weights=(1.0,))
+
+    def test_bursty_probabilities_validated(self):
+        with pytest.raises(InvalidParameterError):
+            BurstyProcess(p_enter=0.0)
+
+    def test_diurnal_amplitude_validated(self):
+        with pytest.raises(InvalidParameterError):
+            DiurnalProcess(amplitude=1.5)
+
+    def test_materialize_rejects_empty_horizon(self):
+        with pytest.raises(InvalidParameterError):
+            materialize(PoissonProcess(), np.random.default_rng(0), 0)

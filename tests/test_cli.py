@@ -443,3 +443,135 @@ class TestCertify:
         out = capsys.readouterr().out
         assert rc == 0
         assert "CERTIFY FAILURE" not in out
+
+
+class TestStream:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.arrivals == "poisson"
+        assert args.policy == "shed-newest"
+        assert args.shards == 1
+
+    def test_basic_sweep(self, capsys):
+        rc = main(
+            [
+                "stream",
+                "--rho", "0.05,0.2",
+                "--windows", "16,64",
+                "--protocol", "sawtooth",
+                "--max-jobs", "400",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sustained load" in out
+        assert "throughput ceiling" in out
+        assert out.count("released=") == 2
+
+    def test_budget_and_report_artifact(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "stream.json"
+        rc = main(
+            [
+                "stream",
+                "--rho", "0.5",
+                "--windows", "16,64",
+                "--protocol", "sawtooth",
+                "--max-jobs", "600",
+                "--max-live", "16",
+                "--policy", "shed-loosest-deadline",
+                "--report", str(report),
+            ]
+        )
+        assert rc == 0
+        assert "shed=" in capsys.readouterr().out
+        data = json.loads(report.read_text())
+        assert data["rows"][0]["peak_live"] <= 16
+        assert data["rows"][0]["jobs_released"] == 600
+
+    def test_sharded_run_merges(self, capsys):
+        rc = main(
+            [
+                "stream",
+                "--rho", "0.2",
+                "--windows", "16",
+                "--protocol", "sawtooth",
+                "--max-jobs", "600",
+                "--shards", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "released=600" in out
+
+    def test_checkpoint_resume_cycle(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.bin")
+        base = [
+            "stream",
+            "--rho", "0.25",
+            "--windows", "16,64",
+            "--protocol", "sawtooth",
+            "--max-jobs", "1500",
+            "--checkpoint", ck,
+            "--checkpoint-every", "1000",
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed at slot" in second
+        # the resumed run reproduces the uninterrupted statistics
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_checkpoint_rejects_multi_rho(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "stream",
+                    "--rho", "0.1,0.2",
+                    "--protocol", "sawtooth",
+                    "--max-jobs", "100",
+                    "--checkpoint", "/tmp/nope.bin",
+                ]
+            )
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "stream",
+                    "--protocol", "sawtooth",
+                    "--max-jobs", "100",
+                    "--resume",
+                ]
+            )
+
+    def test_rss_budget_gate(self, capsys):
+        rc = main(
+            [
+                "stream",
+                "--rho", "0.2",
+                "--windows", "16",
+                "--protocol", "sawtooth",
+                "--max-jobs", "200",
+                "--rss-budget-mb", "4096",
+            ]
+        )
+        assert rc == 0
+        assert "peak RSS" in capsys.readouterr().out
+
+    def test_fault_and_jam_compose(self, capsys):
+        rc = main(
+            [
+                "stream",
+                "--rho", "0.2",
+                "--windows", "16,64",
+                "--protocol", "sawtooth",
+                "--max-jobs", "400",
+                "--fault", "clock:0.3",
+                "--jam", "0.1",
+            ]
+        )
+        assert rc == 0
+        assert "sustained load" in capsys.readouterr().out

@@ -123,4 +123,5 @@ class TestIdPermutationIsNotClaimed:
             "engine-only",
             "fastpath-exact",
             "fastpath-statistical",
+            "streaming-equivalence",
         }

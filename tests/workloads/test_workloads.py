@@ -108,6 +108,52 @@ class TestGeneral:
         inst = poisson_instance(rng, 400, 0.3, [10, 1000], weights=[1.0, 0.0])
         assert all(j.window == 10 for j in inst)
 
+    def test_poisson_prefix_consistency(self):
+        # Regression: the horizon must be a cut, not a reshuffle — the
+        # instance over [0, h) is bit-identical to the [0, h) prefix of
+        # any longer instance drawn from the same generator state.
+        # (The original implementation drew one horizon-sized count
+        # vector first, so every window draw shifted with the horizon.)
+        short = poisson_instance(
+            np.random.default_rng(123), 700, 0.25, [16, 64, 256]
+        )
+        long = poisson_instance(
+            np.random.default_rng(123), 5000, 0.25, [16, 64, 256]
+        )
+        prefix = [
+            (j.job_id, j.release, j.window)
+            for j in long.by_release
+            if j.release < 700
+        ]
+        assert prefix == [
+            (j.job_id, j.release, j.window) for j in short.by_release
+        ]
+
+    def test_poisson_matches_streaming_arrivals(self):
+        # poisson_instance and the streaming engine's arrival stream
+        # must be the same draw for the same generator state
+        from repro.stream.arrivals import PoissonProcess, materialize
+
+        via_workloads = poisson_instance(
+            np.random.default_rng(9), 1000, 0.2, [16, 64]
+        )
+        via_stream = materialize(
+            PoissonProcess(rate=0.2, window_sizes=(16, 64)),
+            np.random.default_rng(9),
+            1000,
+        )
+        assert [
+            (j.job_id, j.release, j.window) for j in via_workloads.by_release
+        ] == [(j.job_id, j.release, j.window) for j in via_stream.by_release]
+
+    def test_poisson_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            poisson_instance(rng, 0, 0.1, [16])
+        with pytest.raises(InvalidParameterError):
+            poisson_instance(rng, 100, -0.1, [16])
+        with pytest.raises(InvalidParameterError):
+            poisson_instance(rng, 100, 0.1, [])
+
     def test_uniform_random(self, rng):
         inst = uniform_random_instance(rng, 50, 1000, (16, 64))
         assert len(inst) == 50
@@ -129,6 +175,35 @@ class TestRealistic:
     def test_sensor_deadline_within_period(self, rng):
         with pytest.raises(InvalidParameterError):
             sensor_network_instance(rng, 2, period=10, relative_deadline=20, n_periods=1)
+
+    def test_sensor_jitter_bounds_enforced(self, rng):
+        # Regression: the oversized-jitter branch used to be dead code
+        # (the release-overlap check sat inside the negative-jitter
+        # guard); both invalid shapes must now raise.
+        with pytest.raises(InvalidParameterError):
+            sensor_network_instance(
+                rng, 2, period=10, relative_deadline=5, n_periods=2,
+                jitter=-1,
+            )
+        with pytest.raises(InvalidParameterError):
+            sensor_network_instance(
+                rng, 2, period=10, relative_deadline=5, n_periods=2,
+                jitter=6,
+            )
+
+    def test_sensor_jitter_at_slack_never_self_overlaps(self, rng):
+        # jitter == period - relative_deadline is the largest legal value
+        inst = sensor_network_instance(
+            rng, n_sensors=3, period=10, relative_deadline=5, n_periods=4,
+            jitter=5, phase_stagger=False,
+        )
+        by_sensor = {}
+        for k, j in enumerate(sorted(inst.by_release, key=lambda x: x.job_id)):
+            by_sensor.setdefault(k // 4, []).append(j)
+        for jobs in by_sensor.values():
+            jobs = sorted(jobs, key=lambda x: x.release)
+            for a, b in zip(jobs, jobs[1:]):
+                assert a.deadline <= b.release
 
     def test_alarm_burst(self, rng):
         inst = alarm_burst_instance(rng, 8, burst_slot=100, window=50)
