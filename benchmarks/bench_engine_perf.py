@@ -32,6 +32,7 @@ from repro.fastpath.batched import (
     run_batch,
     simulate_fastpath,
 )
+from repro.obs.perftrack import environment_fingerprint, load_bench
 from repro.params import AlignedParams, PunctualParams
 from repro.sim.engine import ENGINE_VERSION, simulate
 from repro.workloads import batch_instance, single_class_instance
@@ -213,21 +214,25 @@ def test_p1_engine_throughput(benchmark, emit, results_dir):
             float_fmt="{:,.0f}",
             title="P1 — simulator throughput baselines (informational)",
         ),
+        data={"families": machine},
     )
 
     payload = {
         "engine_version": ENGINE_VERSION,
         "kernel_version": KERNEL_VERSION,
+        "env": environment_fingerprint(),
         "families": machine,
     }
-    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     out = pathlib.Path(results_dir) / "BENCH_engine.json"
-    out.write_text(text)
+    root = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
     # The root copy is committed so PR diffs show the before/after
-    # engine-vs-kernel numbers without digging into results/.
-    (pathlib.Path(__file__).parent.parent / "BENCH_engine.json").write_text(
-        text
-    )
+    # engine-vs-kernel numbers without digging into results/.  It also
+    # carries the append-only ``history`` trajectory grown by
+    # ``repro perf`` — preserve it across rewrites of the snapshot keys.
+    payload["history"] = load_bench(root).get("history", [])
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    out.write_text(text)
+    root.write_text(text)
 
     # sanity floors: an order of magnitude below today's numbers
     assert rows[0][2] > 3_000, "ALIGNED engine unexpectedly slow"

@@ -6,8 +6,12 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/perf_smoke.py
 
 Times the slot engine and each full-protocol kernel on one standard
-instance each and fails (exit 1) when throughput drops below a
-conservative floor — set an order of magnitude under today's numbers,
+instance each and fails (exit 1) when throughput drops below its gate.
+The gate is trend-aware: when ``BENCH_engine.json`` carries enough
+same-host history (grown by ``repro perf``), the floor rises to half
+the trailing-window median, so a slow bleed that never crosses the
+conservative static floor still fails; with no usable history the
+static floor — an order of magnitude under today's numbers — applies,
 so only a real regression (an accidentally quadratic loop, a per-slot
 allocation, a kernel falling back to scalar code) trips it, not CI
 runner noise.  Also cross-checks the batched fastpath against the
@@ -38,13 +42,28 @@ PUNCTUAL = PunctualParams(
     slingshot_exp=2,
 )
 
-#: (label, floor in slots/second) — roughly 10x under current numbers.
+#: (label, static floor in slots/second) — roughly 10x under current
+#: numbers; the fallback when the trajectory has no usable history.
 FLOORS = {
     "engine/uniform": 3_000,
     "kernel/uniform": 200_000,
     "kernel/aligned": 50_000,
     "kernel/punctual": 300_000,
 }
+
+#: The committed performance trajectory (``repro perf`` grows it).
+BENCH_PATH = "BENCH_engine.json"
+
+
+def _gates() -> dict:
+    """Per-label throughput gates: trend-aware when history allows."""
+    from repro.obs.perftrack import load_bench, trend_floor
+
+    data = load_bench(BENCH_PATH)
+    return {
+        label: trend_floor(data, label, static)
+        for label, static in FLOORS.items()
+    }
 
 
 def _engine_rate(instance, factory_fn, repeats=3) -> float:
@@ -85,12 +104,19 @@ def main() -> int:
         batch_instance(16, window=8192), punctual_factory(PUNCTUAL)
     )
 
+    gates = _gates()
     for label, rate in rates.items():
-        floor = FLOORS[label]
+        floor = gates[label]
+        kind = "trend" if floor > FLOORS[label] else "static"
         status = "ok" if rate > floor else "BELOW FLOOR"
-        print(f"{label:<16} {rate:>14,.0f} slots/s (floor {floor:>9,}) {status}")
+        print(
+            f"{label:<16} {rate:>14,.0f} slots/s "
+            f"({kind} floor {floor:>12,.0f}) {status}"
+        )
         if rate <= floor:
-            failures.append(f"{label} at {rate:,.0f} slots/s <= {floor:,}")
+            failures.append(
+                f"{label} at {rate:,.0f} slots/s <= {floor:,.0f} ({kind})"
+            )
 
     # Engine agreement: the batched fastpath must be bit-exact with the
     # per-seed engine loop on single-attempt UNIFORM.

@@ -33,6 +33,18 @@ Subcommands
     (available on ``simulate`` / ``sweep`` / ``compare`` /
     ``robustness`` / ``certify``): top metrics, per-phase timing,
     lifecycle event counts, leader churn, contention percentiles.
+``runs``
+    Inspects the run ledger written by ``--ledger`` (available on
+    ``simulate`` / ``sweep`` / ``compare`` / ``certify`` / ``stream`` /
+    ``verify``): ``list`` one line per run, ``show`` a full record,
+    ``compare`` two runs' configs / versions / counters.
+``top``
+    Tails heartbeat files written by ``--heartbeat``: progress, rate,
+    ETA, staleness for in-flight runs.
+``perf``
+    Runs the perf smoke suite, appends a timestamped entry to the
+    ``BENCH_engine.json`` trajectory, and flags statistically confirmed
+    throughput regressions against the same-host trend.
 
 ``repro --version`` prints the package version.
 """
@@ -187,6 +199,72 @@ def _write_telemetry(tele, args: argparse.Namespace) -> None:
     print(f"wrote telemetry to {path} (summarize with: repro obs {path})")
 
 
+def _ledger_for(args: argparse.Namespace):
+    """A :class:`~repro.obs.ledger.RunLedger` when ``--ledger`` is set."""
+    value = getattr(args, "ledger", "")
+    if not value:
+        return None
+    from repro.obs.ledger import RunLedger
+
+    return RunLedger() if value == "default" else RunLedger(value)
+
+
+def _tracker_for(args: argparse.Namespace, command: str, total=None):
+    """A heartbeat-backed ProgressTracker when ``--heartbeat`` is set."""
+    path = getattr(args, "heartbeat", "")
+    if not path:
+        return None
+    from repro.obs.progress import Heartbeat, ProgressTracker
+
+    return ProgressTracker(
+        total,
+        label=f"repro {command}",
+        heartbeat=Heartbeat(
+            path, every_seconds=getattr(args, "heartbeat_every", 1.0)
+        ),
+    )
+
+
+def _metrics_server_for(args: argparse.Namespace, tele, tracker=None):
+    """An opt-in /metrics endpoint when ``--metrics-port`` is set.
+
+    Serves the telemetry registry when one is attached (a fresh empty
+    registry otherwise) plus the tracker's progress gauges.
+    """
+    port = getattr(args, "metrics_port", 0)
+    if not port or port < 0:
+        return None
+    from repro.obs import MetricsRegistry, MetricsServer
+
+    registry = tele.metrics if tele is not None else MetricsRegistry()
+    extra = None
+    if tracker is not None:
+
+        def extra():
+            snap = tracker.snapshot()
+            out = {"progress.done": float(snap["done"])}
+            for key, src in (
+                ("progress.fraction", "fraction"),
+                ("progress.rate_per_s", "rate_per_s"),
+                ("progress.eta_s", "eta_s"),
+            ):
+                if snap.get(src) is not None:
+                    out[key] = float(snap[src])
+            return out
+
+    server = MetricsServer(registry, port, extra=extra)
+    server.start()
+    print(f"serving Prometheus metrics on http://127.0.0.1:{server.port}/metrics")
+    return server
+
+
+def _finish_obs(tracker, server, status: str = "done") -> None:
+    if tracker is not None:
+        tracker.finish(status)
+    if server is not None:
+        server.stop()
+
+
 # -- picklable sweep/compare plumbing ---------------------------------------
 #
 # Multi-process runs ship the builders to worker processes, so they must
@@ -201,11 +279,23 @@ def _args_state(args: argparse.Namespace) -> Dict[str, Any]:
     # partials), so it never enters the state.  "fastpath" routes
     # execution without changing engine-path results, and the kernel
     # path namespaces its own keys — folding it here would needlessly
-    # split the engine cache address space.
+    # split the engine cache address space.  The ledger / heartbeat /
+    # metrics knobs are observational for the same reason: attaching
+    # them must keep every cache and checkpoint key byte-identical.
     return {
         k: v
         for k, v in vars(args).items()
-        if k not in ("func", "telemetry", "fastpath")
+        if k
+        not in (
+            "func",
+            "telemetry",
+            "fastpath",
+            "ledger",
+            "heartbeat",
+            "heartbeat_every",
+            "metrics_port",
+            "json",
+        )
     }
 
 
@@ -249,12 +339,54 @@ class _StreamProtocol:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    led = _ledger_for(args)
+    if led is None:
+        return _cmd_simulate_impl(args)
+    from repro.sim.engine import ENGINE_VERSION
+
+    config = {
+        "kind": "simulate",
+        "workload": args.workload,
+        "protocol": args.protocol,
+        "n": args.n,
+        "window": args.window,
+        "seed": args.seed,
+        "jam": args.jam,
+        "fault": args.fault or None,
+        "fastpath": getattr(args, "fastpath", "off"),
+    }
+    with led.track("simulate", config=config) as trk:
+        trk.engine_version = ENGINE_VERSION
+        rc = _cmd_simulate_impl(args, trk)
+        trk.counters.setdefault("exit_code", rc)
+    return rc
+
+
+def _cmd_simulate_impl(args: argparse.Namespace, trk=None) -> int:
     tele = _telemetry_for(args, "simulate")
     if tele is not None:
         with tele.span("build"):
             instance = _build_workload(args)
     else:
         instance = _build_workload(args)
+    if trk is not None:
+        from repro.cache import stable_digest
+
+        try:
+            trk.config_digest = stable_digest(
+                (
+                    instance,
+                    args.protocol,
+                    args.seed,
+                    args.jam,
+                    args.fault,
+                    getattr(args, "fastpath", "off"),
+                )
+            )
+        except Exception:
+            pass
+        if args.telemetry:
+            trk.artifact(args.telemetry)
     factories = _protocol_factories(args, instance)
     if args.protocol not in factories:
         raise SystemExit(
@@ -297,6 +429,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             )
         if plan is not None:
             digest = simulate_fastpath(plan, args.seed)
+            if trk is not None:
+                from repro.fastpath.batched import KERNEL_VERSION
+
+                trk.kernel_version = KERNEL_VERSION
+                trk.counters.update(
+                    jobs=digest.n_jobs,
+                    succeeded=digest.n_succeeded,
+                    success_rate=digest.success_rate,
+                    slots=digest.slots_simulated,
+                )
             print(instance.summary())
             print(f"slots simulated: {digest.slots_simulated}")
             print(
@@ -320,6 +462,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         invariants=args.check_invariants,
         telemetry=tele,
     )
+    if trk is not None:
+        trk.counters.update(
+            jobs=len(result.outcomes),
+            succeeded=result.n_succeeded,
+            success_rate=result.success_rate,
+            slots=result.slots_simulated,
+        )
+        if result.watchdog is not None:
+            trk.watchdog_trips = 1
     if faults is not None:
         print(f"faults: {faults.describe()}")
     print(result.summary())
@@ -350,6 +501,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         values.append(float(token) if "." in token else int(token))
 
     tele = _telemetry_for(args, "sweep")
+    tracker = _tracker_for(args, "sweep", total=len(values))
+    server = _metrics_server_for(args, tele, tracker)
     state = _args_state(args)
     sweep = Sweep(
         build=functools.partial(_build_workload_from_state, state),
@@ -360,8 +513,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cache=_cache_knob(args),
         telemetry=tele,
         fastpath=getattr(args, "fastpath", "off"),
+        progress=tracker,
+        ledger=_ledger_for(args),
     )
-    points = sweep.run({args.param: values})
+    try:
+        points = sweep.run({args.param: values})
+    except BaseException:
+        _finish_obs(tracker, server, status="failed")
+        raise
+    _finish_obs(tracker, server)
     print(
         Sweep.table(
             points,
@@ -379,6 +539,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments import run_seeds
 
     tele = _telemetry_for(args, "compare")
+    led = _ledger_for(args)
     instance = _build_workload(args)
     factories = _protocol_factories(args, instance)
     state = _args_state(args)
@@ -393,6 +554,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             processes=args.processes,
             cache=_cache_knob(args),
             telemetry=tele,
+            ledger=led,
         )
         ok = sum(d.n_succeeded for d in digests)
         total = sum(d.n_jobs for d in digests)
@@ -524,19 +686,37 @@ def cmd_certify(args: argparse.Namespace) -> int:
         for name in names
     }
     tele = _telemetry_for(args, "certify")
-    report = run_certification(
-        build,
-        protocols,
-        families=families,
-        seeds=args.seeds,
-        target=args.target,
-        tol=args.tol,
-        processes=args.processes,
-        cache=_cache_knob(args),
-        retries=args.retries,
-        telemetry=tele,
-        fastpath=getattr(args, "fastpath", "off"),
-    )
+    tracker = _tracker_for(args, "certify")
+    server = _metrics_server_for(args, tele, tracker)
+    probe_cb = None
+    if tracker is not None:
+
+        def probe_cb(name: str, family: str, severity: float) -> None:
+            tracker.context.update(
+                cell=f"{name}/{family}", severity=round(severity, 4)
+            )
+            tracker.add(1)
+
+    try:
+        report = run_certification(
+            build,
+            protocols,
+            families=families,
+            seeds=args.seeds,
+            target=args.target,
+            tol=args.tol,
+            processes=args.processes,
+            cache=_cache_knob(args),
+            retries=args.retries,
+            telemetry=tele,
+            fastpath=getattr(args, "fastpath", "off"),
+            progress=probe_cb,
+            ledger=_ledger_for(args),
+        )
+    except BaseException:
+        _finish_obs(tracker, server, status="failed")
+        raise
+    _finish_obs(tracker, server)
     print(report.render())
     if args.artifact:
         n = report.to_jsonl(args.artifact)
@@ -577,11 +757,43 @@ def cmd_verify(args: argparse.Namespace) -> int:
     cases = None
     if args.cases:
         cases = [c.strip() for c in args.cases.split(",") if c.strip()]
-    report = run_verification(
-        smoke=args.smoke,
-        cases=cases,
-        progress=(lambda msg: print(f"  .. {msg}")) if args.progress else None,
-    )
+    led = _ledger_for(args)
+    if led is not None:
+        from repro.sim.engine import ENGINE_VERSION
+
+        config = {
+            "kind": "verify",
+            "smoke": args.smoke,
+            "cases": cases,
+        }
+        with led.track("verify", config=config) as trk:
+            trk.engine_version = ENGINE_VERSION
+            report = run_verification(
+                smoke=args.smoke,
+                cases=cases,
+                progress=(
+                    (lambda msg: print(f"  .. {msg}"))
+                    if args.progress
+                    else None
+                ),
+            )
+            trk.counters.update(
+                checks=len(report.results),
+                failures=len(report.failures),
+                discrepancies=len(report.discrepancies),
+            )
+            if not report.ok:
+                trk.status = "failed"
+            if args.artifact:
+                trk.artifact(args.artifact)
+    else:
+        report = run_verification(
+            smoke=args.smoke,
+            cases=cases,
+            progress=(
+                (lambda msg: print(f"  .. {msg}")) if args.progress else None
+            ),
+        )
     print(report.render())
     if args.artifact:
         path = report.write_artifact(args.artifact)
@@ -682,9 +894,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_obs(args: argparse.Namespace) -> int:
     """Summarize one or more telemetry JSONL artifacts."""
+    import json
     import pathlib
 
-    from repro.obs import read_artifact, render_reports
+    from repro.obs import read_artifact, render_reports, report_data
 
     artifacts = []
     for path in args.artifacts:
@@ -692,7 +905,240 @@ def cmd_obs(args: argparse.Namespace) -> int:
             print(f"no telemetry artifact at {path}")
             return 1
         artifacts.append(read_artifact(path))
+    if getattr(args, "json", False):
+        print(json.dumps([report_data(a) for a in artifacts], indent=2))
+        return 0
     print(render_reports(artifacts))
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect the run ledger: list, show, or compare run records."""
+    import json
+
+    from repro.obs.ledger import (
+        RunLedger,
+        compare_runs,
+        summarize_records,
+    )
+
+    led = RunLedger(args.ledger) if args.ledger else RunLedger()
+    if args.runs_cmd == "list":
+        records = led.read()
+        if getattr(args, "json", False):
+            print(json.dumps([r.as_record() for r in records], indent=2))
+            return 0
+        if not records:
+            print(f"no runs recorded in {led.path}")
+            return 0
+        print(
+            format_table(
+                ["run id", "kind", "started", "wall s", "status",
+                 "config", "headline"],
+                summarize_records(records),
+                title=f"run ledger: {led.path} ({len(records)} runs)",
+            )
+        )
+        return 0
+
+    def _find(run_id: str):
+        try:
+            return led.find(run_id)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+
+    if args.runs_cmd == "show":
+        rec = _find(args.run_id)
+        if getattr(args, "json", False):
+            print(json.dumps(rec.as_record(), indent=2))
+            return 0
+        import time
+
+        print(f"run {rec.run_id} ({rec.kind}) — {rec.status}")
+        started = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(rec.started)
+        )
+        print(f"  started:  {started}")
+        print(f"  wall:     {rec.wall_seconds:.3f}s on "
+              f"{rec.hostname} (pid {rec.pid})")
+        print(f"  versions: engine={rec.engine_version} "
+              f"kernel={rec.kernel_version}")
+        if rec.config_digest:
+            print(f"  config digest: {rec.config_digest}")
+        if rec.config:
+            print("  config:")
+            for k in sorted(rec.config):
+                print(f"    {k}: {rec.config[k]}")
+        if rec.counters:
+            print("  counters:")
+            for k in sorted(rec.counters):
+                print(f"    {k}: {rec.counters[k]}")
+        if rec.watchdog_trips:
+            print(f"  watchdog trips: {rec.watchdog_trips}")
+        if rec.artifacts:
+            print("  artifacts:")
+            for a in rec.artifacts:
+                print(f"    {a}")
+        return 0
+
+    if args.runs_cmd == "compare":
+        rec_a, rec_b = _find(args.a), _find(args.b)
+        diff = compare_runs(rec_a, rec_b)
+        if getattr(args, "json", False):
+            print(json.dumps(diff, indent=2))
+            return 0
+        a, b = diff["a"], diff["b"]
+        print(f"comparing {a} ({diff['kinds'][0]}) "
+              f"vs {b} ({diff['kinds'][1]})")
+        print(
+            "config: identical"
+            if diff["same_config"]
+            else "config: DIFFERS"
+        )
+        for key in sorted(diff["config"]):
+            va, vb = diff["config"][key]
+            print(f"  {key}: {va} -> {vb}")
+        if not diff["same_config"] and not diff["config"]:
+            # The digests cover full run content (workload state,
+            # knobs); the recorded summary dicts may still agree.
+            print(
+                f"  config digest: {rec_a.config_digest[:12]} -> "
+                f"{rec_b.config_digest[:12]}"
+            )
+        for key in sorted(diff["versions"]):
+            va, vb = diff["versions"][key]
+            if va != vb:
+                print(f"  {key}: {va} -> {vb}")
+        if diff["counters"]:
+            rows = []
+            for key in sorted(diff["counters"]):
+                c = diff["counters"][key]
+                rows.append([
+                    key,
+                    "-" if c["a"] is None else c["a"],
+                    "-" if c["b"] is None else c["b"],
+                    "-" if c.get("delta") is None else c["delta"],
+                    (
+                        "-"
+                        if c.get("ratio") is None
+                        else f"{c['ratio']:.3f}"
+                    ),
+                ])
+            print(format_table(
+                ["counter", a, b, "delta", "ratio"], rows
+            ))
+        wall = diff["wall_seconds"]
+        print(
+            f"wall seconds: {wall['a']:.3f} -> {wall['b']:.3f} "
+            f"(delta {wall['delta']:+.3f})"
+        )
+        return 0
+    raise SystemExit(f"unknown runs subcommand: {args.runs_cmd}")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Show in-flight (and recently finished) runs from heartbeats."""
+    import json
+
+    from repro.obs.progress import scan_heartbeats
+
+    paths = args.paths or [".repro"]
+    snaps = scan_heartbeats(paths)
+    if getattr(args, "json", False):
+        print(json.dumps(snaps, indent=2))
+        return 0
+    if not snaps:
+        print(f"no heartbeat files under: {', '.join(paths)}")
+        return 0
+    rows = []
+    for s in snaps:
+        done = s.get("done", 0)
+        total = s.get("total")
+        frac = s.get("fraction")
+        rate = s.get("rate_per_s")
+        eta = s.get("eta_s")
+        status = s.get("status")
+        if not status:
+            status = "stale" if s.get("stale") else "running"
+        rows.append([
+            s.get("label", "?"),
+            s.get("pid", "?"),
+            f"{done}/{total}" if total else str(done),
+            "-" if frac is None else f"{100.0 * frac:.1f}%",
+            "-" if rate is None else f"{rate:,.0f}/s",
+            "-" if eta is None else f"{eta:.0f}s",
+            f"{s.get('age_s', 0.0):.1f}s",
+            status,
+        ])
+    print(format_table(
+        ["run", "pid", "done", "%", "rate", "eta", "age", "status"],
+        rows,
+        title=f"heartbeats ({len(snaps)})",
+    ))
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Measure the perf smoke suite, append history, flag regressions."""
+    import json
+
+    from repro.obs import perftrack
+
+    samples = perftrack.measure_smoke(repeats=args.repeats)
+    data = perftrack.load_bench(args.bench)
+    verdicts = perftrack.detect_regressions(
+        samples, data, window=args.window
+    )
+    appended = False
+    if not args.no_append:
+        perftrack.append_history(samples, path=args.bench, note=args.note)
+        appended = True
+    regressions = sorted(
+        label for label, v in verdicts.items() if v["regression"]
+    )
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "bench": args.bench,
+            "rates": {k: sorted(v) for k, v in samples.items()},
+            "verdicts": verdicts,
+            "regressions": regressions,
+            "appended": appended,
+        }, indent=2))
+    else:
+        rows = []
+        for label in sorted(verdicts):
+            v = verdicts[label]
+            rows.append([
+                label,
+                f"{v['current_mean']:,.0f}",
+                (
+                    "-"
+                    if v["history_mean"] is None
+                    else f"{v['history_mean']:,.0f}"
+                ),
+                v["history_n"],
+                (
+                    "-"
+                    if v.get("rel_change") is None
+                    else f"{100.0 * v['rel_change']:+.1f}%"
+                ),
+                v["verdict"],
+            ])
+        print(format_table(
+            ["suite", "slots/s", "trend mean", "n", "change", "verdict"],
+            rows,
+            title=f"perf trajectory: {args.bench}",
+        ))
+        if appended:
+            print(f"appended 1 history entry to {args.bench}")
+    if regressions and not args.no_gate:
+        print(
+            "PERF REGRESSION: "
+            + ", ".join(regressions)
+            + " (bootstrap CI excludes zero and relative drop "
+            "exceeds threshold)"
+        )
+        return 1
     return 0
 
 
@@ -751,6 +1197,38 @@ def _stream_watchdog(args: argparse.Namespace):
 
 def cmd_stream(args: argparse.Namespace) -> int:
     """Open-arrival streaming runs: sustained load, bounded memory."""
+    led = _ledger_for(args)
+    if led is None:
+        return _cmd_stream_impl(args)
+    from repro.sim.engine import ENGINE_VERSION
+
+    config = {
+        "kind": "stream",
+        "protocol": args.protocol,
+        "arrivals": args.arrivals,
+        "rho": args.rho,
+        "windows": args.windows,
+        "max_jobs": args.max_jobs or None,
+        "max_slots": args.max_slots or None,
+        "shards": args.shards,
+        "seed": args.seed,
+        "fault": args.fault or None,
+        "jam": args.jam or None,
+    }
+    with led.track("stream", config=config) as trk:
+        trk.engine_version = ENGINE_VERSION
+        from repro.cache import stable_digest
+
+        try:
+            trk.config_digest = stable_digest(config)
+        except Exception:
+            pass
+        rc = _cmd_stream_impl(args, trk)
+        trk.counters.setdefault("exit_code", rc)
+    return rc
+
+
+def _cmd_stream_impl(args: argparse.Namespace, trk=None) -> int:
     from repro.stream import CheckpointConfig, stream_simulate
     from repro.stream.report import SustainedLoadReport
     from repro.stream.shard import StreamShardSpec, run_stream_shards
@@ -794,59 +1272,91 @@ def cmd_stream(args: argparse.Namespace) -> int:
             "jam": args.jam or None,
         },
     )
-    for rho in rhos:
-        process = _stream_process(args, rho)
-        if checkpoint is not None:
-            merged = stream_simulate(
-                process,
-                factory,
-                seed=args.seed,
-                max_jobs=args.max_jobs or None,
-                max_slots=args.max_slots or None,
-                budget=budget,
-                jammer=jammer,
-                faults=plan,
-                watchdog=watchdog,
-                checkpoint=checkpoint,
-                resume=args.resume,
-            )
-        else:
-            specs = [
-                StreamShardSpec(
-                    seed=args.seed + shard,
-                    process=process,
-                    factory=factory,
-                    max_jobs=(
-                        max(args.max_jobs // args.shards, 1)
-                        if args.max_jobs
-                        else None
-                    ),
+    tracker = _tracker_for(args, "stream")
+    server = _metrics_server_for(args, None, tracker)
+    try:
+        for rho in rhos:
+            process = _stream_process(args, rho)
+            if tracker is not None:
+                tracker.context["rho"] = rho
+            if checkpoint is not None:
+                merged = stream_simulate(
+                    process,
+                    factory,
+                    seed=args.seed,
+                    max_jobs=args.max_jobs or None,
                     max_slots=args.max_slots or None,
                     budget=budget,
                     jammer=jammer,
                     faults=plan,
                     watchdog=watchdog,
+                    checkpoint=checkpoint,
+                    resume=args.resume,
+                    progress=tracker,
                 )
-                for shard in range(args.shards)
-            ]
-            merged, _ = run_stream_shards(specs, processes=args.processes)
-        report.add(rho, merged)
-        line = (
-            f"rho={rho:g}: released={merged.jobs_released} "
-            f"succeeded={merged.jobs_succeeded} missed={merged.jobs_missed} "
-            f"shed={merged.jobs_shed} peak_live={merged.peak_live}"
-        )
-        if merged.watchdog is not None:
-            line += f" [watchdog: {merged.watchdog.reason}]"
-        if merged.resumed_at_slot >= 0:
-            line += f" [resumed at slot {merged.resumed_at_slot}]"
-        print(line)
+            else:
+                specs = [
+                    StreamShardSpec(
+                        seed=args.seed + shard,
+                        process=process,
+                        factory=factory,
+                        max_jobs=(
+                            max(args.max_jobs // args.shards, 1)
+                            if args.max_jobs
+                            else None
+                        ),
+                        max_slots=args.max_slots or None,
+                        budget=budget,
+                        jammer=jammer,
+                        faults=plan,
+                        watchdog=watchdog,
+                    )
+                    for shard in range(args.shards)
+                ]
+                merged, _ = run_stream_shards(
+                    specs, processes=args.processes, progress=tracker
+                )
+            report.add(rho, merged)
+            if trk is not None:
+                for key in (
+                    "jobs_released",
+                    "jobs_succeeded",
+                    "jobs_missed",
+                    "jobs_shed",
+                ):
+                    trk.counters[key] = (
+                        trk.counters.get(key, 0) + getattr(merged, key)
+                    )
+                trk.counters["peak_live"] = max(
+                    trk.counters.get("peak_live", 0), merged.peak_live
+                )
+                if merged.watchdog is not None:
+                    trk.watchdog_trips += 1
+            line = (
+                f"rho={rho:g}: released={merged.jobs_released} "
+                f"succeeded={merged.jobs_succeeded} "
+                f"missed={merged.jobs_missed} "
+                f"shed={merged.jobs_shed} peak_live={merged.peak_live}"
+            )
+            if merged.watchdog is not None:
+                line += f" [watchdog: {merged.watchdog.reason}]"
+            if merged.resumed_at_slot >= 0:
+                line += f" [resumed at slot {merged.resumed_at_slot}]"
+            print(line)
+    except BaseException:
+        _finish_obs(tracker, server, status="failed")
+        raise
+    _finish_obs(tracker, server)
 
     print()
     print(report.table())
     if args.report:
         report.save(args.report)
         print(f"wrote report to {args.report}")
+        if trk is not None:
+            trk.artifact(args.report)
+    if trk is not None and args.checkpoint:
+        trk.artifact(args.checkpoint)
 
     if args.rss_budget_mb > 0:
         import resource
@@ -875,6 +1385,25 @@ def _add_fastpath_flag(sp) -> None:
                          "configuration qualifies, engine otherwise; "
                          "on: require a kernel; off: always the engine). "
                          "See docs/TUNING.md")
+
+
+def _add_obs_flags(sp, heartbeat: bool = True) -> None:
+    sp.add_argument("--ledger", nargs="?", const="default", default="",
+                    metavar="PATH",
+                    help="append one run record to a JSONL run ledger "
+                         "(bare flag: $REPRO_LEDGER or .repro/ledger.jsonl; "
+                         "inspect with 'repro runs list'). Observational: "
+                         "never changes results or cache keys")
+    if heartbeat:
+        sp.add_argument("--heartbeat", default="", metavar="PATH",
+                        help="write live progress snapshots (rate, ETA) "
+                             "here; watch them with 'repro top'")
+        sp.add_argument("--heartbeat-every", type=float, default=1.0,
+                        help="heartbeat write cadence in seconds")
+        sp.add_argument("--metrics-port", type=int, default=0,
+                        help="serve Prometheus text metrics on "
+                             "http://127.0.0.1:PORT/metrics for the "
+                             "duration of the run (0 = off)")
 
 
 def _add_perf_flags(sp) -> None:
@@ -933,6 +1462,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the per-slot trace to this CSV")
     _add_fastpath_flag(sim)
     _add_telemetry_flag(sim)
+    _add_obs_flags(sim, heartbeat=False)
     sim.set_defaults(func=cmd_simulate)
 
     swp = sub.add_parser(
@@ -950,6 +1480,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_flags(swp)
     _add_fastpath_flag(swp)
     _add_telemetry_flag(swp)
+    _add_obs_flags(swp)
     swp.set_defaults(func=cmd_sweep)
 
     cmp_ = sub.add_parser("compare", help="run every protocol on one workload")
@@ -957,6 +1488,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--seeds", type=int, default=3)
     _add_perf_flags(cmp_)
     _add_telemetry_flag(cmp_)
+    _add_obs_flags(cmp_, heartbeat=False)
     cmp_.set_defaults(func=cmd_compare)
 
     rob = sub.add_parser(
@@ -1020,6 +1552,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_flags(cert)
     _add_fastpath_flag(cert)
     _add_telemetry_flag(cert)
+    _add_obs_flags(cert)
     cert.set_defaults(func=cmd_certify)
 
     stm = sub.add_parser(
@@ -1083,6 +1616,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exit nonzero if peak RSS exceeds this many MiB "
                           "(the CI stream-smoke gate)")
     _add_perf_flags(stm)
+    _add_obs_flags(stm)
     stm.set_defaults(func=cmd_stream)
 
     ver = sub.add_parser(
@@ -1100,6 +1634,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(telemetry format; summarize with 'repro obs')")
     ver.add_argument("--progress", action="store_true",
                      help="print one line per completed stage")
+    _add_obs_flags(ver, heartbeat=False)
     ver.set_defaults(func=cmd_verify)
 
     obs = sub.add_parser(
@@ -1107,7 +1642,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument("artifacts", nargs="+",
                      help="telemetry JSONL path(s) to summarize")
+    obs.add_argument("--json", action="store_true",
+                     help="emit the structured summary as JSON")
     obs.set_defaults(func=cmd_obs)
+
+    runs = sub.add_parser(
+        "runs", help="inspect the run ledger written by --ledger"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_cmd", required=True)
+
+    def _runs_common(sp):
+        sp.add_argument("--ledger", default="", metavar="PATH",
+                        help="ledger path (default: $REPRO_LEDGER or "
+                             ".repro/ledger.jsonl)")
+        sp.add_argument("--json", action="store_true",
+                        help="emit JSON instead of a table")
+
+    runs_list = runs_sub.add_parser("list", help="one line per run")
+    _runs_common(runs_list)
+    runs_show = runs_sub.add_parser(
+        "show", help="full record for one run (id prefixes ok)"
+    )
+    runs_show.add_argument("run_id")
+    _runs_common(runs_show)
+    runs_cmp = runs_sub.add_parser(
+        "compare", help="diff two runs' configs, versions, and counters"
+    )
+    runs_cmp.add_argument("a")
+    runs_cmp.add_argument("b")
+    _runs_common(runs_cmp)
+    runs.set_defaults(func=cmd_runs)
+
+    top = sub.add_parser(
+        "top", help="show live runs from heartbeat files"
+    )
+    top.add_argument("paths", nargs="*",
+                     help="heartbeat files or directories to scan "
+                          "(default: .repro)")
+    top.add_argument("--json", action="store_true",
+                     help="emit raw snapshots as JSON")
+    top.set_defaults(func=cmd_top)
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the perf smoke suite, append the trajectory, "
+             "flag regressions",
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="the CI smoke suite (currently the only suite; "
+                           "flag kept for forward compatibility)")
+    perf.add_argument("--bench", default="BENCH_engine.json", metavar="PATH",
+                      help="trajectory file to read and append")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timing repeats per suite label")
+    perf.add_argument("--window", type=int, default=20,
+                      help="history entries considered for the trend")
+    perf.add_argument("--note", default="",
+                      help="free-form note stored with the history entry")
+    perf.add_argument("--no-append", action="store_true",
+                      help="measure and judge only; do not grow the history")
+    perf.add_argument("--no-gate", action="store_true",
+                      help="report regressions but always exit zero")
+    perf.add_argument("--json", action="store_true",
+                      help="emit measurements and verdicts as JSON")
+    perf.set_defaults(func=cmd_perf)
 
     feas = sub.add_parser("feasibility", help="report a workload's slack")
     add_common(feas)

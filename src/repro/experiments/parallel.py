@@ -58,6 +58,7 @@ from repro.sim.watchdog import REASON_WALL, Watchdog
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultPlan
+    from repro.obs.ledger import RunLedger
     from repro.obs.telemetry import Telemetry
 
 __all__ = [
@@ -317,6 +318,7 @@ def run_seeds(
     retry_backoff: float = 0.25,
     telemetry: Optional["Telemetry"] = None,
     fastpath: str = "off",
+    ledger: Union[None, bool, str, "RunLedger"] = None,
 ) -> List[SeedDigest]:
     """Run every seed, optionally across a process pool and a cache.
 
@@ -384,11 +386,89 @@ def run_seeds(
         equivalent for ALIGNED/PUNCTUAL; their cache keys live in a
         separate ``("fastpath", ...)`` namespace, so the default keeps
         every engine-path cache address unchanged.
+    ledger:
+        Optional run-ledger knob (see :func:`repro.obs.ledger.as_ledger`).
+        When set, one :class:`~repro.obs.ledger.RunRecord` is appended
+        per ``run_seeds`` call — config digest, versions, aggregate
+        counters, wall time — covering both the engine and fastpath
+        execution paths.  ``None`` (the default) costs a single ``is
+        None`` branch and never imports the ledger module; attaching a
+        ledger never changes results or cache keys.
     """
     if fastpath not in ("off", "auto", "on"):
         raise ValueError(
             f"fastpath must be 'off', 'auto', or 'on', got {fastpath!r}"
         )
+    if ledger is not None:
+        # Record-and-delegate: the ledger wrap re-enters with
+        # ``ledger=None`` so one call appends exactly one record, no
+        # matter which execution path (engine, fastpath, cache-served)
+        # the inner call takes.
+        from repro.obs.ledger import as_ledger
+        from repro.sim.engine import ENGINE_VERSION
+
+        led = as_ledger(ledger)
+        if led is not None:
+            seeds = list(seeds)
+            config = {
+                "kind": "run_seeds",
+                "protocol": _protocol_label(protocol),
+                "seeds": len(seeds),
+                "processes": processes,
+                "fastpath": fastpath,
+                "jammer": repr(jammer) if jammer is not None else None,
+                "faults": repr(faults) if faults is not None else None,
+            }
+            with led.track("run_seeds", config=config) as trk:
+                trk.engine_version = ENGINE_VERSION
+                if fastpath != "off":
+                    from repro.fastpath.batched import KERNEL_VERSION
+
+                    trk.kernel_version = KERNEL_VERSION
+                try:
+                    trk.config_digest = stable_digest(
+                        (
+                            build(),
+                            _protocol_label(protocol),
+                            jammer,
+                            faults,
+                            watchdog,
+                            fastpath,
+                        )
+                    )
+                except Exception:
+                    pass  # an unbuildable instance fails below, attributed
+                digests = run_seeds(
+                    build,
+                    protocol,
+                    seeds,
+                    jammer=jammer,
+                    faults=faults,
+                    check_invariants=check_invariants,
+                    watchdog=watchdog,
+                    processes=processes,
+                    cache=cache,
+                    progress=progress,
+                    chunksize=chunksize,
+                    retries=retries,
+                    retry_backoff=retry_backoff,
+                    telemetry=telemetry,
+                    fastpath=fastpath,
+                    ledger=None,
+                )
+                agg = aggregate(digests)
+                trk.counters = {
+                    k: agg[k]
+                    for k in (
+                        "runs",
+                        "jobs",
+                        "succeeded",
+                        "success_rate",
+                        "slots",
+                    )
+                }
+                trk.watchdog_trips = int(agg["watchdog_trips"])
+            return digests
     if fastpath != "off":
         # Imported lazily: repro.fastpath.fullproto imports SeedDigest
         # from this module.

@@ -60,6 +60,7 @@ from repro.sim.instance import Instance
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultPlan
+    from repro.obs.ledger import RunLedger
     from repro.obs.telemetry import Telemetry
 
 __all__ = ["SweepPoint", "Sweep"]
@@ -177,6 +178,17 @@ class Sweep:
         ``"auto"``, or ``"on"``; see there).  A non-``"off"`` value also
         joins the checkpoint point keys, since kernel results are not
         bit-equal to engine results for ALIGNED/PUNCTUAL.
+    progress:
+        Optional ``progress(done_points, total_points)`` callback,
+        invoked after every grid point (checkpoint hits included) —
+        drop a :class:`repro.obs.progress.ProgressTracker` in for live
+        rate/ETA heartbeats.  Purely observational.
+    ledger:
+        Optional run-ledger knob (see
+        :func:`repro.obs.ledger.as_ledger`).  One record is appended
+        per :meth:`run` call summarizing the whole grid; the inner
+        ``run_seeds`` calls do *not* record their own entries (one
+        invocation, one line).  ``None`` costs one ``is None`` branch.
     """
 
     def __init__(
@@ -195,6 +207,8 @@ class Sweep:
         checkpoint: Union[None, str, Path] = None,
         telemetry: Optional["Telemetry"] = None,
         fastpath: str = "off",
+        progress: Optional[Callable[[int, int], None]] = None,
+        ledger: Union[None, bool, str, Path, "RunLedger"] = None,
     ) -> None:
         if seeds < 1:
             raise ValueError("seeds must be >= 1")
@@ -211,6 +225,8 @@ class Sweep:
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.telemetry = telemetry
         self.fastpath = fastpath
+        self.progress = progress
+        self.ledger = ledger
 
     def run_point(self, **params: Any) -> SweepPoint:
         """Run one grid point; aggregates across seeds."""
@@ -328,23 +344,86 @@ class Sweep:
         completes — killing and restarting a sweep loses at most the
         point in flight.
         """
+        if self.ledger is None:
+            return self._run_grid(grid)[0]
+        from repro.obs.ledger import as_ledger
+        from repro.sim.engine import ENGINE_VERSION
+
+        led = as_ledger(self.ledger)
+        if led is None:
+            return self._run_grid(grid)[0]
+        grid = {k: list(v) for k, v in grid.items()}
+        config = {
+            "kind": "sweep",
+            "grid": {k: [repr(x) for x in v] for k, v in grid.items()},
+            "seeds": self.seeds,
+            "seed_base": self.seed_base,
+            "processes": self.processes,
+            "fastpath": self.fastpath,
+            "jammer": repr(self.jammer) if self.jammer is not None else None,
+            "faults": repr(self.faults) if self.faults is not None else None,
+        }
+        with led.track("sweep", config=config) as trk:
+            trk.engine_version = ENGINE_VERSION
+            try:
+                trk.config_digest = stable_digest(
+                    (
+                        "sweep",
+                        self.build,
+                        self.protocol,
+                        self.seeds,
+                        self.seed_base,
+                        self.jammer,
+                        self.faults,
+                        self.fastpath,
+                        tuple(sorted((k, tuple(v)) for k, v in grid.items())),
+                    )
+                )
+            except Exception:
+                pass  # unhashable grid values: record without a digest
+            points, resumed = self._run_grid(grid)
+            trk.counters = {
+                "points": len(points),
+                "resumed_points": resumed,
+                "runs": sum(p.n_runs for p in points),
+                "jobs": sum(p.n_jobs * p.n_runs for p in points),
+                "succeeded": sum(p.n_succeeded for p in points),
+            }
+            if self.checkpoint is not None:
+                trk.artifact(self.checkpoint)
+        return points
+
+    def _run_grid(
+        self, grid: Mapping[str, Iterable[Any]]
+    ) -> tuple:
+        """The grid loop; returns ``(points, checkpoint_resumed_count)``."""
         keys = list(grid)
+        values = [list(grid[k]) for k in keys]
+        total = 1
+        for v in values:
+            total *= len(v)
         done = self._load_checkpoint() if self.checkpoint is not None else {}
-        points = []
-        for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        points: List[SweepPoint] = []
+        resumed = 0
+        for combo in itertools.product(*values):
             params = dict(zip(keys, combo))
             if self.checkpoint is not None:
                 pkey = self._point_key(params)
                 hit = done.get(pkey)
                 if hit is not None:
                     points.append(hit)
+                    resumed += 1
+                    if self.progress is not None:
+                        self.progress(len(points), total)
                     continue
                 point = self.run_point(**params)
                 self._append_checkpoint(pkey, point)
             else:
                 point = self.run_point(**params)
             points.append(point)
-        return points
+            if self.progress is not None:
+                self.progress(len(points), total)
+        return points, resumed
 
     @staticmethod
     def table(points: Sequence[SweepPoint], title: str = "") -> str:

@@ -26,6 +26,15 @@ from repro.obs.events import (
     NullSink,
     family_of,
 )
+from repro.obs.expose import MetricsServer, prometheus_text
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    RunRecord,
+    as_ledger,
+    compare_runs,
+    default_ledger_path,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,7 +42,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
 )
-from repro.obs.report import render_report, render_reports
+from repro.obs.progress import (
+    Heartbeat,
+    ProgressTracker,
+    read_heartbeat,
+    scan_heartbeats,
+)
+from repro.obs.report import render_report, render_reports, report_data
 from repro.obs.sketches import QuantileSketch, ReservoirSampler
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA,
@@ -45,23 +60,36 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "EVENT_KINDS",
+    "LEDGER_SCHEMA",
     "TELEMETRY_SCHEMA",
     "Counter",
     "Event",
     "EventLog",
     "EventSink",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "NullSink",
+    "ProgressTracker",
     "QuantileSketch",
     "ReservoirSampler",
+    "RunLedger",
+    "RunRecord",
     "SpanRecord",
     "Telemetry",
     "TelemetryArtifact",
     "Timer",
+    "as_ledger",
+    "compare_runs",
+    "default_ledger_path",
     "family_of",
+    "prometheus_text",
     "read_artifact",
+    "read_heartbeat",
     "render_report",
     "render_reports",
+    "report_data",
+    "scan_heartbeats",
 ]

@@ -1,0 +1,210 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+Anything the telemetry layer counts can be scraped: this module renders
+the registry in the Prometheus text exposition format (version 0.0.4 —
+the plain-text format every scraper and ``promtool`` accepts) and,
+behind an explicit opt-in, serves it from a stdlib ``http.server``
+``/metrics`` endpoint in a daemon thread.
+
+Mapping:
+
+* :class:`~repro.obs.metrics.Counter` → ``counter``;
+* :class:`~repro.obs.metrics.Gauge` → ``gauge``;
+* :class:`~repro.obs.metrics.Histogram` → a ``summary``: one
+  ``{name}{quantile="0.5"}`` series per exported percentile plus
+  ``_count`` (NaN-skipping, like the JSONL artifact);
+* :class:`~repro.obs.metrics.Timer` → ``{name}_seconds_count`` /
+  ``_seconds_sum`` (the conventional cumulative-duration pair).
+
+Metric names are sanitized (dots → underscores, a ``repro_`` prefix)
+so ``engine.slots`` scrapes as ``repro_engine_slots``.  Serving is
+strictly observational — the server thread only ever *reads* the
+registry and a caller-supplied snapshot provider; it draws no
+randomness and cannot perturb simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "MetricsServer",
+    "prometheus_name",
+    "prometheus_text",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitize a registry metric name into a legal Prometheus name."""
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or not cleaned[0].isalpha() and cleaned[0] != "_":
+        cleaned = "_" + cleaned
+    full = prefix + cleaned
+    assert _NAME_OK.match(full), full
+    return full
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: MetricsRegistry,
+    *,
+    prefix: str = "repro_",
+    extra_gauges: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    ``extra_gauges`` lets callers append computed values (a progress
+    fraction, an ETA) without registering them as real metrics.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, samples: List[str]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    for metric in sorted(registry, key=lambda m: m.name):
+        name = prometheus_name(metric.name, prefix)
+        if isinstance(metric, Counter):
+            emit(
+                name + "_total",
+                "counter",
+                [f"{name}_total {_fmt_value(metric.value)}"],
+            )
+        elif isinstance(metric, Gauge):
+            emit(name, "gauge", [f"{name} {_fmt_value(metric.value)}"])
+        elif isinstance(metric, Histogram):
+            samples = [
+                f'{name}{{quantile="{q / 100.0:g}"}} {_fmt_value(v)}'
+                for q, v in metric.percentiles().items()
+            ]
+            samples.append(f"{name}_count {metric.count}")
+            emit(name, "summary", samples)
+        elif isinstance(metric, Timer):
+            emit(
+                name + "_seconds",
+                "summary",
+                [
+                    f"{name}_seconds_count {metric.count}",
+                    f"{name}_seconds_sum {_fmt_value(metric.total_seconds)}",
+                ],
+            )
+    for gname in sorted(extra_gauges or {}):
+        name = prometheus_name(gname, prefix)
+        emit(
+            name,
+            "gauge",
+            [f"{name} {_fmt_value((extra_gauges or {})[gname])}"],
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class MetricsServer:
+    """A stdlib ``/metrics`` endpoint over a registry (opt-in only).
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` to expose.  The server reads it on
+        every scrape; attach the same registry your telemetry uses.
+    port:
+        TCP port; ``0`` picks a free one (see :attr:`port` after
+        :meth:`start`).
+    extra:
+        Optional zero-argument callable returning extra gauge values
+        (e.g. a :meth:`ProgressTracker.snapshot`-derived dict) folded
+        into each scrape.
+
+    ``start()`` binds and serves from a daemon thread; ``stop()`` shuts
+    down.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        extra: Optional[Callable[[], Dict[str, float]]] = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.extra = extra
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def render(self) -> str:
+        extra = self.extra() if self.extra is not None else None
+        return prometheus_text(self.registry, extra_gauges=extra)
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                if self.path.rstrip("/") not in ("", "/metrics".rstrip("/")):
+                    self.send_response(404)
+                    self.end_headers()
+                    return
+                body = server.render().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes must not spam the run's stdout
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

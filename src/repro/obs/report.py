@@ -17,7 +17,7 @@ from repro.analysis.tables import format_table
 from repro.obs.events import family_of
 from repro.obs.telemetry import TelemetryArtifact
 
-__all__ = ["render_report", "render_reports"]
+__all__ = ["render_report", "render_reports", "report_data"]
 
 #: Leader-churn event kinds, in display order.
 _CHURN_KINDS = (
@@ -38,13 +38,50 @@ def _fmt(value: Any) -> Any:
     return value
 
 
+def _num(value: Any) -> float:
+    """Coerce a metric value to float; None/garbage count as 0.
+
+    Artifacts are read tolerantly (truncated lines are skipped, foreign
+    records pass through), so a metric record may carry ``null`` or a
+    non-numeric value — sorting must not crash on it.
+    """
+    try:
+        f = float(value)
+    except (TypeError, ValueError):
+        return 0.0
+    return 0.0 if f != f else f
+
+
+def _float_or_nan(value: Any) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return float("nan")
+
+
+def _jsonable(value: Any) -> Any:
+    """Strict-JSON copy: non-finite floats become ``None``.
+
+    ``json.dumps`` happily emits bare ``NaN`` tokens, which downstream
+    consumers (``jq``, strict parsers) reject — and an all-NaN histogram
+    (every observation skipped) is a legal artifact.
+    """
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else None
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
 def _top_metrics(art: TelemetryArtifact, limit: int = 14) -> str:
     scalars = [
         m for m in art.metrics if m.get("metric") in ("counter", "gauge")
     ]
-    scalars.sort(key=lambda m: (-float(m.get("value", 0)), m["name"]))
+    scalars.sort(key=lambda m: (-_num(m.get("value")), str(m.get("name"))))
     rows = [
-        [m["name"], m["metric"], _fmt(m.get("value", 0))]
+        [m.get("name"), m["metric"], _fmt(m.get("value", 0))]
         for m in scalars[:limit]
     ]
     if not rows:
@@ -105,10 +142,13 @@ def _contention_lines(art: TelemetryArtifact) -> str:
     m = art.metric("contention")
     if m is None or not m.get("count"):
         return "contention: (no protocol reported transmit probabilities)"
-    pct = m.get("percentiles", {})
-    parts = [f"p{q.split('.')[0]}={_fmt(float(v))}" for q, v in pct.items()]
-    parts.append(f"max={_fmt(float(m.get('max', float('nan'))))}")
-    parts.append(f"mean={_fmt(float(m.get('mean', float('nan'))))}")
+    pct = m.get("percentiles") or {}
+    parts = [
+        f"p{str(q).split('.')[0]}={_fmt(_float_or_nan(v))}"
+        for q, v in pct.items()
+    ]
+    parts.append(f"max={_fmt(_float_or_nan(m.get('max')))}")
+    parts.append(f"mean={_fmt(_float_or_nan(m.get('mean')))}")
     return (
         f"contention C(t) over {m['count']} slots: " + ", ".join(parts)
     )
@@ -170,7 +210,13 @@ def render_report(art: TelemetryArtifact) -> str:
 
 
 def render_reports(artifacts: Sequence[TelemetryArtifact]) -> str:
-    """Reports for several artifacts, plus a combined event tally."""
+    """Reports for several artifacts, plus a combined event tally.
+
+    An empty artifact list renders a well-formed one-line report (so
+    scripted callers piping the output never see a zero-byte file).
+    """
+    if not artifacts:
+        return "== telemetry ==\n(no artifacts found)"
     parts = [render_report(a) for a in artifacts]
     if len(artifacts) > 1:
         combined: Dict[str, int] = {}
@@ -186,3 +232,43 @@ def render_reports(artifacts: Sequence[TelemetryArtifact]) -> str:
             )
         )
     return "\n\n".join(parts)
+
+
+def report_data(art: TelemetryArtifact) -> Dict[str, Any]:
+    """A JSON-serializable summary of one artifact (``repro obs --json``).
+
+    The machine-readable twin of :func:`render_report`: manifest,
+    scalar metrics, aggregated span timings, event counts, the
+    contention summary record, and the trailing summary line — enough
+    for CI and the campaign layer to consume without scraping text.
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    for s in art.spans:
+        name = str(s.get("name"))
+        agg = spans.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        secs = _float_or_nan(s.get("seconds"))
+        if secs == secs:
+            agg["count"] += 1
+            agg["total_s"] += secs
+            agg["max_s"] = max(agg["max_s"], secs)
+    scalars = {
+        str(m.get("name")): _jsonable(m.get("value"))
+        for m in art.metrics
+        if m.get("metric") in ("counter", "gauge")
+    }
+    return {
+        "path": str(art.path),
+        "manifest": _jsonable(art.manifest or {}),
+        "truncated": art.summary is None,
+        "metrics": scalars,
+        "histograms": [
+            _jsonable(m)
+            for m in art.metrics
+            if m.get("metric") == "histogram"
+        ],
+        "spans": spans,
+        "events": art.event_counts(),
+        "summary": _jsonable(art.summary),
+    }

@@ -348,6 +348,7 @@ def stream_simulate(
     record_outcomes: bool = False,
     reservoir_capacity: int = 4096,
     sketch_alpha: float = 0.01,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> StreamResult:
     """Run one open-arrival streaming simulation.
 
@@ -384,6 +385,13 @@ def stream_simulate(
         dict — unbounded memory, for equivalence verification only.
     reservoir_capacity / sketch_alpha:
         Telemetry memory/accuracy knobs (see :mod:`repro.obs.sketches`).
+    progress:
+        Optional ``progress(done, total)`` callback invoked on the
+        engine's existing 256-slot housekeeping cadence (and once at
+        the end): finalized jobs against ``max_jobs`` when set,
+        simulated slots against ``max_slots`` otherwise.  Purely
+        observational — it sees counters, never simulation state — so
+        attaching it cannot change results.
 
     Returns
     -------
@@ -834,6 +842,14 @@ def stream_simulate(
 
         if not (t & 0xFF):
             bound.release_before(t)
+            if progress is not None:
+                if max_jobs is not None:
+                    progress(
+                        res.jobs_succeeded + res.jobs_missed + res.jobs_shed,
+                        max_jobs,
+                    )
+                else:
+                    progress(slots_simulated, max_slots)
 
         if wd is not None:
             if delivered_now >= 0:
@@ -891,4 +907,12 @@ def stream_simulate(
 
     res.slots_simulated = slots_simulated
     res.final_slot = t
+    if progress is not None:
+        if max_jobs is not None:
+            progress(
+                res.jobs_succeeded + res.jobs_missed + res.jobs_shed,
+                max_jobs,
+            )
+        else:
+            progress(slots_simulated, max_slots)
     return res

@@ -21,7 +21,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.channel.jamming import Jammer
 from repro.errors import InvalidParameterError
@@ -51,7 +51,10 @@ class StreamShardSpec:
     sketch_alpha: float = 0.01
 
 
-def _run_shard(spec: StreamShardSpec) -> StreamResult:
+def _run_shard(
+    spec: StreamShardSpec,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> StreamResult:
     return stream_simulate(
         spec.process,
         spec.factory,
@@ -64,6 +67,7 @@ def _run_shard(spec: StreamShardSpec) -> StreamResult:
         watchdog=spec.watchdog,
         reservoir_capacity=spec.reservoir_capacity,
         sketch_alpha=spec.sketch_alpha,
+        progress=progress,
     )
 
 
@@ -71,6 +75,7 @@ def run_stream_shards(
     specs: Sequence[StreamShardSpec],
     *,
     processes: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Tuple[StreamResult, List[StreamResult]]:
     """Run every shard and merge the channel statistics.
 
@@ -83,6 +88,11 @@ def run_stream_shards(
         Worker processes.  ``None`` picks ``min(len(specs), cpu_count)``;
         ``0`` or ``1`` runs serially in-process (deterministic, no pool
         overhead — what the tests and CI smoke use).
+    progress:
+        Optional ``progress(done, total)`` aggregated across all shards
+        (each shard's expected work is its ``max_jobs``/``max_slots``).
+        Only honored on the serial path — worker processes cannot call
+        back into this one — and purely observational either way.
 
     Returns
     -------
@@ -97,7 +107,24 @@ def run_stream_shards(
     if processes is None:
         processes = min(len(specs), os.cpu_count() or 1)
     if processes <= 1 or len(specs) == 1:
-        per_shard = [_run_shard(s) for s in specs]
+        if progress is None:
+            per_shard = [_run_shard(s) for s in specs]
+        else:
+            expected = [
+                (s.max_jobs if s.max_jobs is not None else s.max_slots) or 0
+                for s in specs
+            ]
+            grand_total = sum(expected)
+            per_shard = []
+            done_before = 0
+            for s, exp in zip(specs, expected):
+                def shard_cb(
+                    done: int, _total: int, _base: int = done_before
+                ) -> None:
+                    progress(_base + done, grand_total)
+
+                per_shard.append(_run_shard(s, progress=shard_cb))
+                done_before += exp
     else:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=processes

@@ -1,0 +1,104 @@
+"""Prometheus exposition: name sanitizing, rendering, the HTTP endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    MetricsServer,
+    prometheus_name,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("engine.slots").inc(100)
+    reg.gauge("stream.live").set(7)
+    hist = reg.histogram("contention.active")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(v)
+    with reg.timer("phase.run").time():
+        pass
+    return reg
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("engine.slots") == "repro_engine_slots"
+
+    def test_leading_digit_guarded(self):
+        name = prometheus_name("2fast")
+        assert name == "repro__2fast"  # underscore guard before the digit
+
+    def test_custom_prefix(self):
+        assert prometheus_name("x", prefix="sim_") == "sim_x"
+
+
+class TestText:
+    def test_counter_gauge_histogram_timer(self, registry):
+        text = prometheus_text(registry)
+        assert "# TYPE repro_engine_slots_total counter" in text
+        assert "repro_engine_slots_total 100.0" in text
+        assert "# TYPE repro_stream_live gauge" in text
+        assert "repro_stream_live 7.0" in text
+        assert "# TYPE repro_contention_active summary" in text
+        assert 'repro_contention_active{quantile="0.5"}' in text
+        assert "repro_contention_active_count 4" in text
+        assert "repro_phase_run_seconds_count 1" in text
+        assert "repro_phase_run_seconds_sum" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_extra_gauges_appended(self, registry):
+        text = prometheus_text(
+            registry, extra_gauges={"progress.fraction": 0.25}
+        )
+        assert "# TYPE repro_progress_fraction gauge" in text
+        assert "repro_progress_fraction 0.25" in text
+
+
+class TestServer:
+    def test_serves_metrics_over_http(self, registry):
+        with MetricsServer(registry, port=0) as srv:
+            assert srv.port != 0
+            url = f"http://127.0.0.1:{srv.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                body = resp.read().decode()
+            assert "repro_engine_slots_total 100.0" in body
+
+    def test_scrape_reflects_live_updates(self, registry):
+        with MetricsServer(registry, port=0) as srv:
+            registry.counter("engine.slots").inc(11)
+            url = f"http://127.0.0.1:{srv.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                body = resp.read().decode()
+            assert "repro_engine_slots_total 111.0" in body
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry, port=0) as srv:
+            url = f"http://127.0.0.1:{srv.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(url, timeout=5)
+            assert exc.value.code == 404
+            exc.value.close()
+
+    def test_extra_callable_folded_into_scrape(self, registry):
+        srv = MetricsServer(
+            registry, port=0, extra=lambda: {"progress.done": 3.0}
+        )
+        try:
+            srv.start()
+            url = f"http://127.0.0.1:{srv.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                body = resp.read().decode()
+            assert "repro_progress_done 3.0" in body
+        finally:
+            srv.stop()

@@ -1,0 +1,172 @@
+"""The performance observatory: history growth and regression detection."""
+
+import json
+
+import pytest
+
+from repro.obs.perftrack import (
+    MIN_TREND_HISTORY,
+    append_history,
+    detect_regressions,
+    environment_fingerprint,
+    history_samples,
+    load_bench,
+    trend_floor,
+)
+
+HOST = "testhost"
+
+
+def _grow(path, label, means, hostname=HOST):
+    """Append one history entry per mean (3 samples jittered around it)."""
+    for i, m in enumerate(means):
+        samples = {label: [m * 0.99, m, m * 1.01]}
+        entry = append_history(samples, path=path, now=1000.0 + i)
+        entry["env"]["hostname"] = hostname
+    # Rewrite hostnames (append_history stamps the real host).
+    data = load_bench(path)
+    for e in data["history"]:
+        e["env"]["hostname"] = hostname
+    path.write_text(json.dumps(data))
+    return load_bench(path)
+
+
+class TestEnvironment:
+    def test_fingerprint_keys(self):
+        env = environment_fingerprint()
+        assert set(env) >= {
+            "hostname", "platform", "python", "numpy", "cpu_count",
+        }
+        assert env["hostname"]
+
+
+class TestLoadAppend:
+    def test_load_missing_gives_scaffold(self, tmp_path):
+        data = load_bench(tmp_path / "absent.json")
+        assert data["history"] == []
+
+    def test_load_corrupt_gives_scaffold(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{torn")
+        assert load_bench(path)["history"] == []
+
+    def test_append_preserves_foreign_keys(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"families": {"aligned": 1}}))
+        append_history({"kernel/uniform": [100.0]}, path=path, now=5.0)
+        data = load_bench(path)
+        assert data["families"] == {"aligned": 1}
+        assert len(data["history"]) == 1
+        entry = data["history"][0]
+        assert entry["timestamp"] == 5.0
+        assert entry["rates"]["kernel/uniform"]["mean"] == 100.0
+        assert set(entry["env"]) >= {"hostname", "python", "numpy"}
+
+    def test_append_caps_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        for i in range(7):
+            append_history(
+                {"x": [float(i)]}, path=path, now=float(i), max_entries=5
+            )
+        data = load_bench(path)
+        assert len(data["history"]) == 5
+        # Oldest entries dropped, newest kept.
+        assert data["history"][-1]["rates"]["x"]["mean"] == 6.0
+        assert data["history"][0]["rates"]["x"]["mean"] == 2.0
+
+
+class TestHistorySamples:
+    def test_same_host_filter(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "kernel/uniform", [100.0, 110.0])
+        assert history_samples(data, "kernel/uniform", hostname=HOST)
+        assert (
+            history_samples(data, "kernel/uniform", hostname="otherhost")
+            == []
+        )
+
+    def test_window_and_exclude_last(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "x", [1.0, 2.0, 3.0, 4.0])
+        all_samples = history_samples(data, "x", hostname=HOST, window=2)
+        assert len(all_samples) == 6  # 2 entries x 3 samples
+        excl = history_samples(
+            data, "x", hostname=HOST, window=10, exclude_last=True
+        )
+        assert len(excl) == 9
+
+
+class TestDetect:
+    def test_injected_regression_is_flagged(self, tmp_path):
+        """The acceptance check: a synthetic 40% throughput drop trips."""
+        path = tmp_path / "bench.json"
+        data = _grow(path, "kernel/uniform", [1000.0, 1010.0, 990.0, 1005.0])
+        current = {"kernel/uniform": [600.0, 605.0, 598.0]}
+        verdicts = detect_regressions(current, data, hostname=HOST)
+        v = verdicts["kernel/uniform"]
+        assert v["regression"] is True
+        assert "regression" in v["verdict"]
+        assert v["rel_change"] < -0.15
+        assert v["ci_high"] < 0.0
+
+    def test_steady_throughput_is_ok(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "kernel/uniform", [1000.0, 1010.0, 990.0, 1005.0])
+        current = {"kernel/uniform": [1002.0, 998.0, 1004.0]}
+        verdicts = detect_regressions(current, data, hostname=HOST)
+        assert verdicts["kernel/uniform"]["regression"] is False
+        assert verdicts["kernel/uniform"]["verdict"] == "ok"
+
+    def test_small_statistically_real_dip_stays_ok(self, tmp_path):
+        # CI excludes zero but the drop is under the 15% materiality bar.
+        path = tmp_path / "bench.json"
+        data = _grow(path, "x", [1000.0, 1000.0, 1000.0, 1000.0])
+        verdicts = detect_regressions(
+            {"x": [950.0, 951.0, 949.0]}, data, hostname=HOST
+        )
+        v = verdicts["x"]
+        assert v["regression"] is False
+        assert "noise band" in v["verdict"]
+
+    def test_insufficient_history_never_flags(self, tmp_path):
+        # Fewer than MIN_TREND_HISTORY flat samples on this host.
+        path = tmp_path / "bench.json"
+        append_history({"x": [1000.0]}, path=path, now=1.0)
+        data = load_bench(path)
+        for e in data["history"]:
+            e["env"]["hostname"] = HOST
+        assert MIN_TREND_HISTORY > 1
+        verdicts = detect_regressions({"x": [1.0]}, data, hostname=HOST)
+        assert verdicts["x"]["regression"] is False
+        assert verdicts["x"]["verdict"] == "insufficient-history"
+
+    def test_other_hosts_never_gate(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "x", [9999.0] * 5, hostname="burly-buildbox")
+        verdicts = detect_regressions({"x": [10.0]}, data, hostname=HOST)
+        assert verdicts["x"]["verdict"] == "insufficient-history"
+
+    def test_deterministic_given_seed(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "x", [1000.0, 990.0, 1010.0, 1000.0])
+        current = {"x": [900.0, 905.0]}
+        a = detect_regressions(current, data, hostname=HOST, seed=7)
+        b = detect_regressions(current, data, hostname=HOST, seed=7)
+        assert a == b
+
+
+class TestTrendFloor:
+    def test_static_floor_without_history(self, tmp_path):
+        data = load_bench(tmp_path / "absent.json")
+        assert trend_floor(data, "x", 3000.0, hostname=HOST) == 3000.0
+
+    def test_trend_raises_the_floor(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "x", [100_000.0, 101_000.0, 99_000.0, 100_500.0])
+        floor = trend_floor(data, "x", 3000.0, hostname=HOST)
+        assert floor == pytest.approx(0.5 * 100_250.0, rel=0.02)
+
+    def test_trend_never_lowers_the_floor(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = _grow(path, "x", [10.0, 12.0, 11.0, 10.5])
+        assert trend_floor(data, "x", 3000.0, hostname=HOST) == 3000.0

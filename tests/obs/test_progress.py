@@ -1,0 +1,140 @@
+"""Progress tracking: rate/ETA math, heartbeat files, staleness."""
+
+import json
+
+import pytest
+
+from repro.obs.progress import (
+    Heartbeat,
+    ProgressTracker,
+    read_heartbeat,
+    scan_heartbeats,
+)
+
+
+class TestTracker:
+    def test_fraction_and_eta_with_known_total(self):
+        t = ProgressTracker(100)
+        t(25)
+        assert t.done == 25
+        assert t.fraction == pytest.approx(0.25)
+        assert t.rate > 0
+        assert t.eta_seconds is not None and t.eta_seconds >= 0
+
+    def test_unknown_total_has_no_eta(self):
+        t = ProgressTracker()
+        t.add(5)
+        assert t.fraction is None
+        assert t.eta_seconds is None
+        assert t.done == 5
+
+    def test_update_can_override_total(self):
+        t = ProgressTracker()
+        t(10, 40)
+        assert t.total == 40
+        assert t.fraction == pytest.approx(0.25)
+
+    def test_callable_matches_experiment_signature(self):
+        # run_seeds/Sweep call progress(done, total) positionally.
+        t = ProgressTracker()
+        for i in range(1, 4):
+            t(i, 3)
+        assert t.done == 3
+        assert t.fraction == 1.0
+
+    def test_snapshot_is_json_serializable(self):
+        t = ProgressTracker(10, label="repro sweep")
+        t.context["param"] = "n"
+        t(3)
+        snap = json.loads(json.dumps(t.snapshot()))
+        assert snap["label"] == "repro sweep"
+        assert snap["done"] == 3
+        assert snap["total"] == 10
+        assert snap["context"] == {"param": "n"}
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            ProgressTracker(smoothing=0.0)
+        with pytest.raises(ValueError):
+            ProgressTracker(smoothing=1.5)
+
+    def test_non_monotonic_updates_do_not_crash(self):
+        # Multi-rho stream loops reset their done counter per rho.
+        t = ProgressTracker()
+        t(500, 500)
+        t(10, 500)
+        assert t.done == 10
+
+
+class TestHeartbeat:
+    def test_first_offer_always_writes(self, tmp_path):
+        hb = Heartbeat(tmp_path / "x.heartbeat.json", every_seconds=100.0)
+        assert hb.offer({"done": 1}) is True
+        assert hb.offer({"done": 2}) is False  # throttled
+        assert hb.writes == 1
+        assert json.loads(hb.path.read_text())["done"] == 1
+
+    def test_zero_throttle_writes_every_offer(self, tmp_path):
+        hb = Heartbeat(tmp_path / "x.heartbeat.json", every_seconds=0.0)
+        for i in range(3):
+            assert hb.offer({"done": i}) is True
+        assert hb.writes == 3
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        hb = Heartbeat(tmp_path / "x.heartbeat.json")
+        hb.write({"done": 1})
+        hb.write({"done": 2})
+        # No tmp file left behind; final content is the last snapshot.
+        assert list(tmp_path.iterdir()) == [hb.path]
+        assert json.loads(hb.path.read_text())["done"] == 2
+
+    def test_rejects_negative_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            Heartbeat(tmp_path / "x.json", every_seconds=-1.0)
+
+    def test_tracker_finish_stamps_status(self, tmp_path):
+        hb = Heartbeat(tmp_path / "x.heartbeat.json", every_seconds=100.0)
+        t = ProgressTracker(4, heartbeat=hb)
+        t(4)
+        t.finish("done")
+        snap = read_heartbeat(hb.path)
+        assert snap["status"] == "done"
+        assert snap["stale"] is False
+
+
+class TestReadAndScan:
+    def test_read_missing_or_corrupt_is_none(self, tmp_path):
+        assert read_heartbeat(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_heartbeat(bad) is None
+
+    def test_stale_detection(self, tmp_path):
+        path = tmp_path / "old.heartbeat.json"
+        path.write_text(json.dumps({"done": 1, "updated": 1.0}))
+        snap = read_heartbeat(path)
+        assert snap["stale"] is True
+        assert snap["age_s"] > 0
+
+    def test_terminal_status_is_never_stale(self, tmp_path):
+        path = tmp_path / "done.heartbeat.json"
+        path.write_text(
+            json.dumps({"done": 1, "updated": 1.0, "status": "done"})
+        )
+        assert read_heartbeat(path)["stale"] is False
+
+    def test_scan_directory_and_files(self, tmp_path):
+        for name, upd in (("a", 10.0), ("b", 20.0)):
+            (tmp_path / f"{name}.heartbeat.json").write_text(
+                json.dumps({"label": name, "updated": upd})
+            )
+        (tmp_path / "ignored.json").write_text("{}")
+        snaps = scan_heartbeats(tmp_path)
+        assert [s["label"] for s in snaps] == ["a", "b"]  # sorted by updated
+        # Explicit file paths are read as given, suffix or not.
+        snaps = scan_heartbeats([tmp_path / "ignored.json"])
+        assert len(snaps) == 1
+
+    def test_scan_skips_unreadable(self, tmp_path):
+        (tmp_path / "bad.heartbeat.json").write_text("{torn")
+        assert scan_heartbeats(tmp_path) == []

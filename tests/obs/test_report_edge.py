@@ -1,0 +1,99 @@
+"""Report edge cases: empty inputs, all-NaN histograms, strict JSON."""
+
+import json
+import math
+
+from repro.obs import read_artifact, render_reports, report_data
+from repro.obs.telemetry import Telemetry
+
+
+def _artifact_with_nan_histogram(tmp_path):
+    """An artifact whose only histogram holds nothing but NaN samples."""
+    tele = Telemetry(label="edge", context={"command": "test"})
+    hist = tele.metrics.histogram("contention")
+    for _ in range(5):
+        hist.observe(float("nan"))
+    tele.metrics.counter("runs.total").inc(1)
+    path = tmp_path / "edge.jsonl"
+    tele.write_jsonl(path)
+    return read_artifact(path)
+
+
+class TestRenderEdges:
+    def test_empty_artifact_list_renders_placeholder(self):
+        out = render_reports([])
+        assert out == "== telemetry ==\n(no artifacts found)"
+
+    def test_all_nan_histogram_renders_without_crash(self, tmp_path):
+        art = _artifact_with_nan_histogram(tmp_path)
+        out = render_reports([art])
+        assert "top metrics" in out
+        # The histogram has zero valid samples, so the contention line
+        # reports absence rather than printing nan percentiles.
+        assert "no protocol reported transmit probabilities" in out
+
+    def test_null_metric_values_sort_without_crash(self, tmp_path):
+        # A tolerantly-read artifact can carry null metric values.
+        path = tmp_path / "nulls.jsonl"
+        lines = [
+            {"type": "manifest", "schema": 1, "label": "x", "context": {}},
+            {
+                "type": "metric", "metric": "counter",
+                "name": "ok", "value": 3,
+            },
+            {
+                "type": "metric", "metric": "gauge",
+                "name": "broken", "value": None,
+            },
+            {"type": "summary", "events": 0, "metrics": 2, "spans": 0,
+             "event_counts": {}},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        out = render_reports([read_artifact(path)])
+        assert "broken" in out
+
+
+class TestReportData:
+    def test_report_data_shape(self, tmp_path):
+        art = _artifact_with_nan_histogram(tmp_path)
+        data = report_data(art)
+        assert data["truncated"] is False
+        assert data["metrics"]["runs.total"] == 1
+        assert data["manifest"]["label"] == "edge"
+        (hist,) = data["histograms"]
+        assert hist["name"] == "contention"
+        assert hist["count"] == 0
+
+    def test_report_data_is_strict_json(self, tmp_path):
+        """All-NaN percentiles must not leak bare NaN tokens."""
+        art = _artifact_with_nan_histogram(tmp_path)
+        text = json.dumps(report_data(art), allow_nan=False)
+        parsed = json.loads(text)
+        (hist,) = parsed["histograms"]
+        for value in hist["percentiles"].values():
+            assert value is None
+
+    def test_truncated_artifact_flagged(self, tmp_path):
+        # Strip the summary line: the reader marks the artifact truncated.
+        tele = Telemetry(label="cut")
+        tele.metrics.counter("runs.total").inc(2)
+        path = tmp_path / "cut.jsonl"
+        tele.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        data = report_data(read_artifact(path))
+        assert data["truncated"] is True
+        assert data["summary"] is None
+
+    def test_span_aggregation_skips_nan_seconds(self, tmp_path):
+        tele = Telemetry(label="spans")
+        tele.add_span("build", 1.0)
+        tele.add_span("build", float("nan"))
+        tele.add_span("build", 3.0)
+        path = tmp_path / "spans.jsonl"
+        tele.write_jsonl(path)
+        data = report_data(read_artifact(path))
+        agg = data["spans"]["build"]
+        assert agg["count"] == 2
+        assert math.isclose(agg["total_s"], 4.0)
+        assert math.isclose(agg["max_s"], 3.0)

@@ -1,0 +1,377 @@
+"""The run ledger CLI: --ledger wiring, runs list/show/compare, perf, top."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import perftrack
+from repro.obs.ledger import RunLedger
+from repro.obs.perftrack import append_history, load_bench
+from repro.obs.progress import Heartbeat, ProgressTracker
+
+
+@pytest.fixture(scope="module")
+def ledger_path(tmp_path_factory):
+    """One ledger grown by five different entry points (module-scoped:
+    the runs are real simulations, so pay for them once)."""
+    path = tmp_path_factory.mktemp("ledger") / "ledger.jsonl"
+    sim_common = [
+        "simulate",
+        "--workload", "batch",
+        "--n", "4",
+        "--window", "256",
+        "--protocol", "uniform",
+        "--ledger", str(path),
+    ]
+    assert main(sim_common + ["--seed", "0"]) == 0
+    assert main(sim_common + ["--seed", "1"]) == 0
+    assert main([
+        "sweep",
+        "--workload", "batch",
+        "--protocol", "uniform",
+        "--param", "n",
+        "--values", "2,4",
+        "--window", "128",
+        "--seeds", "2",
+        "--ledger", str(path),
+    ]) == 0
+    assert main([
+        "compare",
+        "--workload", "single-class",
+        "--n", "6",
+        "--level", "9",
+        "--seeds", "1",
+        "--ledger", str(path),
+    ]) == 0
+    assert main([
+        "stream",
+        "--rho", "0.2",
+        "--windows", "16,64",
+        "--max-jobs", "200",
+        "--ledger", str(path),
+    ]) == 0
+    assert main([
+        "verify",
+        "--cases", "fastpath-uniform-clean",
+        "--ledger", str(path),
+    ]) == 0
+    return path
+
+
+class TestLedgerWiring:
+    def test_every_entry_point_recorded(self, ledger_path):
+        records = RunLedger(ledger_path).read()
+        kinds = {r.kind for r in records}
+        assert kinds >= {
+            "simulate", "sweep", "run_seeds", "stream", "verify",
+        }
+        assert all(r.status == "ok" for r in records)
+        assert all(r.wall_seconds >= 0.0 for r in records)
+        assert all(r.run_id for r in records)
+
+    def test_simulate_records_carry_outcome_counters(self, ledger_path):
+        records = [
+            r for r in RunLedger(ledger_path).read()
+            if r.kind == "simulate"
+        ]
+        assert len(records) == 2
+        for rec in records:
+            assert rec.counters["jobs"] == 4
+            assert "success_rate" in rec.counters
+            assert rec.engine_version is not None
+            assert rec.config["protocol"] == "uniform"
+        # Different seeds must hash to different config digests.
+        assert records[0].config_digest != records[1].config_digest
+
+    def test_stream_and_verify_counters(self, ledger_path):
+        by_kind = {r.kind: r for r in RunLedger(ledger_path).read()}
+        stream = by_kind["stream"]
+        assert stream.counters["jobs_released"] > 0
+        verify = by_kind["verify"]
+        assert verify.counters["checks"] >= 1
+        assert verify.counters["failures"] == 0
+
+    def test_bare_ledger_flag_uses_env_default(self, tmp_path, monkeypatch):
+        path = tmp_path / "env-ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        rc = main([
+            "simulate",
+            "--workload", "batch",
+            "--n", "2",
+            "--window", "128",
+            "--protocol", "uniform",
+            "--ledger",
+        ])
+        assert rc == 0
+        (rec,) = RunLedger(path).read()
+        assert rec.kind == "simulate"
+
+    def test_ledger_does_not_perturb_cache_keys(self, tmp_path):
+        """--ledger is observational: a cache warmed by a plain run must
+        fully hit from a ledgered one."""
+        cache = tmp_path / "cache"
+        argv = [
+            "sweep",
+            "--workload", "batch",
+            "--protocol", "uniform",
+            "--param", "n",
+            "--values", "2,4",
+            "--window", "128",
+            "--seeds", "2",
+            "--cache", str(cache),
+        ]
+        assert main(argv) == 0  # plain warm-up
+        tele = tmp_path / "warm.jsonl"
+        ledger = tmp_path / "ledger.jsonl"
+        rc = main(
+            argv + ["--telemetry", str(tele), "--ledger", str(ledger)]
+        )
+        assert rc == 0
+        from repro.obs import read_artifact
+
+        art = read_artifact(tele)
+        assert art.counter_value("cache.hits") == 4
+        assert art.counter_value("cache.misses") == 0
+
+
+class TestRunsCommands:
+    def test_list_renders_table(self, ledger_path, capsys):
+        rc = main(["runs", "list", "--ledger", str(ledger_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run ledger:" in out
+        for kind in ("simulate", "sweep", "stream", "verify"):
+            assert kind in out
+
+    def test_list_json(self, ledger_path, capsys):
+        rc = main(["runs", "list", "--ledger", str(ledger_path), "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        records = json.loads(out)
+        assert all(r["type"] == "run" for r in records)
+        assert {"simulate", "stream"} <= {r["kind"] for r in records}
+
+    def test_list_empty_ledger(self, tmp_path, capsys):
+        rc = main([
+            "runs", "list", "--ledger", str(tmp_path / "absent.jsonl"),
+        ])
+        assert rc == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_show_by_prefix(self, ledger_path, capsys):
+        rec = RunLedger(ledger_path).read()[0]
+        rc = main([
+            "runs", "show", rec.run_id[:6], "--ledger", str(ledger_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"run {rec.run_id} ({rec.kind})" in out
+        assert "started:" in out
+        assert "versions: engine=" in out
+
+    def test_show_json_round_trips(self, ledger_path, capsys):
+        rec = RunLedger(ledger_path).read()[0]
+        rc = main([
+            "runs", "show", rec.run_id,
+            "--ledger", str(ledger_path), "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        data = json.loads(out)
+        assert data["run_id"] == rec.run_id
+        assert data["kind"] == rec.kind
+
+    def test_show_unknown_id_exits(self, ledger_path):
+        with pytest.raises(SystemExit):
+            main([
+                "runs", "show", "ffffffffffff",
+                "--ledger", str(ledger_path),
+            ])
+
+    def test_compare_two_simulate_runs(self, ledger_path, capsys):
+        a, b = [
+            r.run_id for r in RunLedger(ledger_path).read()
+            if r.kind == "simulate"
+        ]
+        rc = main([
+            "runs", "compare", a, b, "--ledger", str(ledger_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "config: DIFFERS" in out  # seeds 0 vs 1
+        assert "seed: 0 -> 1" in out
+        assert "wall seconds:" in out
+
+    def test_compare_prints_digests_when_summary_agrees(
+        self, tmp_path, capsys
+    ):
+        # Same summary config dict, different full-content digests
+        # (e.g. runs differing only in workload state the summary
+        # does not carry): the digest pair is the only visible diff.
+        path = tmp_path / "ledger.jsonl"
+        led = RunLedger(path)
+        for run_id, digest in (("a" * 12, "1" * 16), ("b" * 12, "2" * 16)):
+            with led.track("sweep", config={"kind": "sweep"}) as trk:
+                trk.run_id = run_id
+                trk.config_digest = digest
+        rc = main([
+            "runs", "compare", "a" * 12, "b" * 12, "--ledger", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "config: DIFFERS" in out
+        assert f"config digest: {'1' * 12} -> {'2' * 12}" in out
+
+    def test_compare_json(self, ledger_path, capsys):
+        a, b = [
+            r.run_id for r in RunLedger(ledger_path).read()
+            if r.kind == "simulate"
+        ]
+        rc = main([
+            "runs", "compare", a, b,
+            "--ledger", str(ledger_path), "--json",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        diff = json.loads(out)
+        assert diff["a"] == a and diff["b"] == b
+        assert diff["same_config"] is False
+        assert "wall_seconds" in diff
+
+
+class TestPerfCommand:
+    @staticmethod
+    def _fake_smoke(samples):
+        def _measure(repeats=3):
+            return {k: list(v) for k, v in samples.items()}
+
+        return _measure
+
+    def test_perf_appends_history(self, tmp_path, monkeypatch, capsys):
+        bench = tmp_path / "bench.json"
+        monkeypatch.setattr(
+            perftrack, "measure_smoke",
+            self._fake_smoke({"kernel/uniform": [1000.0, 1001.0, 999.0]}),
+        )
+        rc = main(["perf", "--bench", str(bench), "--note", "first"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "perf trajectory" in out
+        assert "appended 1 history entry" in out
+        data = load_bench(bench)
+        assert len(data["history"]) == 1
+        assert data["history"][0]["note"] == "first"
+        assert data["history"][0]["env"]["hostname"]
+
+    def test_perf_flags_injected_regression(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The acceptance check: a synthetic throughput cliff exits 1."""
+        bench = tmp_path / "bench.json"
+        for i in range(4):  # same-host history via the real fingerprint
+            append_history(
+                {"kernel/uniform": [1000.0, 1005.0, 995.0]},
+                path=bench, now=float(i),
+            )
+        monkeypatch.setattr(
+            perftrack, "measure_smoke",
+            self._fake_smoke({"kernel/uniform": [600.0, 602.0, 598.0]}),
+        )
+        rc = main(["perf", "--bench", str(bench)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "PERF REGRESSION: kernel/uniform" in out
+        # The bad measurement still lands in history (forensics).
+        assert len(load_bench(bench)["history"]) == 5
+
+    def test_no_gate_reports_but_passes(self, tmp_path, monkeypatch):
+        bench = tmp_path / "bench.json"
+        for i in range(4):
+            append_history(
+                {"x": [1000.0, 1005.0, 995.0]}, path=bench, now=float(i)
+            )
+        monkeypatch.setattr(
+            perftrack, "measure_smoke",
+            self._fake_smoke({"x": [600.0, 602.0, 598.0]}),
+        )
+        assert main(["perf", "--bench", str(bench), "--no-gate"]) == 0
+
+    def test_no_append_leaves_history_alone(self, tmp_path, monkeypatch):
+        bench = tmp_path / "bench.json"
+        append_history({"x": [1000.0]}, path=bench, now=1.0)
+        monkeypatch.setattr(
+            perftrack, "measure_smoke", self._fake_smoke({"x": [1000.0]})
+        )
+        assert main(["perf", "--bench", str(bench), "--no-append"]) == 0
+        assert len(load_bench(bench)["history"]) == 1
+
+    def test_perf_json(self, tmp_path, monkeypatch, capsys):
+        bench = tmp_path / "bench.json"
+        monkeypatch.setattr(
+            perftrack, "measure_smoke",
+            self._fake_smoke({"x": [500.0, 501.0]}),
+        )
+        rc = main(["perf", "--bench", str(bench), "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        data = json.loads(out)
+        assert data["appended"] is True
+        assert data["regressions"] == []
+        assert data["verdicts"]["x"]["verdict"] == "insufficient-history"
+        assert data["rates"]["x"] == [500.0, 501.0]
+
+
+class TestTopCommand:
+    def _beat(self, directory, label, done, total, status=None):
+        hb = Heartbeat(
+            directory / f"{label}.heartbeat.json", every_seconds=0.0
+        )
+        trk = ProgressTracker(total, label=label, heartbeat=hb)
+        trk.add(done)
+        if status is not None:
+            trk.finish(status)
+
+    def test_top_renders_heartbeats(self, tmp_path, capsys):
+        self._beat(tmp_path, "sweep-a", 3, 10)
+        self._beat(tmp_path, "certify-b", 5, 5, status="done")
+        rc = main(["top", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "heartbeats (2)" in out
+        assert "sweep-a" in out
+        assert "3/10" in out
+        assert "done" in out
+
+    def test_top_json(self, tmp_path, capsys):
+        self._beat(tmp_path, "run-x", 1, 4)
+        rc = main(["top", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        (snap,) = json.loads(out)
+        assert snap["label"] == "run-x"
+        assert snap["done"] == 1
+
+    def test_top_empty_dir(self, tmp_path, capsys):
+        rc = main(["top", str(tmp_path)])
+        assert rc == 0
+        assert "no heartbeat files" in capsys.readouterr().out
+
+    def test_sweep_heartbeat_end_to_end(self, tmp_path, capsys):
+        """--heartbeat on a real sweep leaves a final 'done' snapshot."""
+        hb = tmp_path / "sweep.heartbeat.json"
+        rc = main([
+            "sweep",
+            "--workload", "batch",
+            "--protocol", "uniform",
+            "--param", "n",
+            "--values", "2,4",
+            "--window", "128",
+            "--seeds", "1",
+            "--heartbeat", str(hb),
+            "--heartbeat-every", "0",
+        ])
+        assert rc == 0
+        snap = json.loads(hb.read_text())
+        assert snap["status"] == "done"
+        assert snap["done"] == snap["total"] == 2
