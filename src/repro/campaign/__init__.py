@@ -1,0 +1,81 @@
+"""repro.campaign — declarative, crash-tolerant experiment campaigns.
+
+A campaign is the full measurement grid behind a claim — workloads ×
+protocols × adversaries × seeds — written down once in YAML/JSON and
+driven through a ``plan → evaluate → execute → report`` pipeline:
+
+* :class:`CampaignSpec` parses and validates the spec
+  (:meth:`~CampaignSpec.from_file`) and expands the grid into
+  :class:`CampaignCell` builders;
+* :func:`evaluate` diffs the grid against the campaign state file and
+  the result cache, predicting exactly which seeds would be served from
+  cache (``--dry-run``);
+* :func:`run_campaign` executes the missing cells on a pluggable
+  :class:`~repro.campaign.executor.CellExecutor` with per-cell
+  retry/backoff/timeout, quarantining cells that fail every attempt
+  instead of aborting the grid;
+* every transition is one atomic append to an append-only state file
+  (:class:`~repro.campaign.state.CampaignState`), so a SIGKILL at any
+  byte offset resumes bit-exactly: done cells stay done, quarantined
+  cells stay quarantined, and only the genuinely missing cells run.
+
+The CLI front end is ``repro campaign run|resume|status|manifest``.
+"""
+
+from repro.campaign.executor import (
+    CellExecutor,
+    CellFailure,
+    CellResult,
+    CellTask,
+    LocalPoolExecutor,
+    SerialExecutor,
+    execute_cell,
+)
+from repro.campaign.run import (
+    QUARANTINE_EXIT_CODE,
+    CampaignPlan,
+    CampaignReport,
+    CellPlan,
+    QuarantineEntry,
+    evaluate,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    POISON_WORKLOAD,
+    AdversarySpec,
+    CampaignCell,
+    CampaignSpec,
+    GridProtocol,
+    GridWorkload,
+)
+from repro.campaign.state import (
+    CampaignState,
+    CampaignStateError,
+    StateView,
+)
+
+__all__ = [
+    "QUARANTINE_EXIT_CODE",
+    "POISON_WORKLOAD",
+    "AdversarySpec",
+    "CampaignCell",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignState",
+    "CampaignStateError",
+    "CellExecutor",
+    "CellFailure",
+    "CellPlan",
+    "CellResult",
+    "CellTask",
+    "GridProtocol",
+    "GridWorkload",
+    "LocalPoolExecutor",
+    "QuarantineEntry",
+    "SerialExecutor",
+    "StateView",
+    "evaluate",
+    "execute_cell",
+    "run_campaign",
+]

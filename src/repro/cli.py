@@ -38,6 +38,15 @@ Subcommands
     ``simulate`` / ``sweep`` / ``compare`` / ``certify`` / ``stream`` /
     ``verify``): ``list`` one line per run, ``show`` a full record,
     ``compare`` two runs' configs / versions / counters.
+``campaign``
+    Drives a declarative experiment campaign (YAML/JSON grid of
+    workloads × protocols × adversaries × seeds) through the
+    ``plan → evaluate → execute → report`` pipeline: ``run`` executes
+    the missing cells (resumable after any crash, quarantining cells
+    that fail every retry; exit code 3 flags a degraded-but-complete
+    campaign), ``resume`` continues an interrupted one, ``status``
+    summarizes the durable state, ``manifest`` lists every cell, and
+    ``--dry-run`` predicts cache hits/misses without executing.
 ``top``
     Tails heartbeat files written by ``--heartbeat``: progress, rate,
     ETA, staleness for in-flight runs.
@@ -58,89 +67,33 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from repro import registry
 from repro.analysis.tables import format_table
-from repro.baselines import (
-    beb_factory,
-    edf_factory,
-    sawtooth_factory,
-    urgency_aloha_factory,
-    window_scaled_aloha_factory,
-)
 from repro.channel.jamming import NoJammer, StochasticJammer
-from repro.core.aligned import aligned_factory
-from repro.core.global_trim import trimmed_aligned_factory
-from repro.core.punctual import punctual_factory
-from repro.core.uniform import uniform_factory
-from repro.params import AlignedParams, PunctualParams
+from repro.errors import InvalidParameterError
+from repro.params import AlignedParams
 from repro.sim.engine import simulate
 from repro.sim.feasibility import peak_density
 from repro.sim.instance import Instance
-from repro.workloads import (
-    aligned_random_instance,
-    batch_instance,
-    harmonic_starvation_instance,
-    sensor_network_instance,
-    single_class_instance,
-    staircase_instance,
-)
 
 __all__ = ["main", "build_parser"]
 
 
 def _build_workload(args: argparse.Namespace) -> Instance:
-    rng = np.random.default_rng(args.workload_seed)
-    name = args.workload
-    if name == "batch":
-        return batch_instance(args.n, window=args.window)
-    if name == "single-class":
-        return single_class_instance(args.n, level=args.level)
-    if name == "aligned-random":
-        levels = list(range(args.level, args.level + 3))
-        return aligned_random_instance(
-            rng, args.level + 4, levels, gamma=args.gamma
-        )
-    if name == "harmonic":
-        return harmonic_starvation_instance(args.n, args.gamma)
-    if name == "staircase":
-        return staircase_instance(
-            n_steps=5, jobs_per_step=max(args.n // 5, 1),
-            step=args.window // 4, window=args.window,
-        )
-    if name == "sensors":
-        return sensor_network_instance(
-            rng, n_sensors=args.n, period=2 * args.window,
-            relative_deadline=args.window, n_periods=3,
-        )
-    raise SystemExit(f"unknown workload: {name}")
+    # Name → builder dispatch lives in repro.registry so the campaign
+    # layer and the CLI resolve identical workloads from one name.
+    try:
+        return registry.build_workload(vars(args))
+    except InvalidParameterError as exc:
+        raise SystemExit(str(exc))
 
 
 def _aligned_params(args: argparse.Namespace) -> AlignedParams:
-    return AlignedParams(lam=args.lam, tau=4, min_level=args.min_level)
-
-
-def _punctual_params(args: argparse.Namespace) -> PunctualParams:
-    return PunctualParams(
-        aligned=AlignedParams(lam=1, tau=2, min_level=args.min_level),
-        lam=max(args.lam, 2),
-        pullback_exp=args.pullback_exp,
-        slingshot_exp=args.slingshot_exp,
-    )
+    return registry.aligned_params(vars(args))
 
 
 def _protocol_factories(args, instance: Instance) -> Dict[str, Callable]:
-    factories: Dict[str, Callable] = {
-        "punctual": punctual_factory(_punctual_params(args)),
-        "uniform": uniform_factory(),
-        "beb": beb_factory(),
-        "sawtooth": sawtooth_factory(),
-        "aloha": window_scaled_aloha_factory(8.0),
-        "urgency": urgency_aloha_factory(2.0),
-        "trimmed": trimmed_aligned_factory(_aligned_params(args)),
-        "edf": edf_factory(instance),
-    }
-    if instance.is_aligned:
-        factories["aligned"] = aligned_factory(_aligned_params(args))
-    return factories
+    return registry.protocol_factories(vars(args), instance)
 
 
 def _jammer(args):
@@ -809,6 +762,136 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Plan, run, resume, or inspect a declarative campaign."""
+    import json
+
+    from repro.campaign import (
+        CampaignSpec,
+        CampaignState,
+        CampaignStateError,
+        evaluate,
+        run_campaign,
+    )
+
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+    except InvalidParameterError as exc:
+        raise SystemExit(str(exc))
+
+    cmd = args.campaign_cmd
+    if cmd in ("run", "resume"):
+        if cmd == "resume" and not spec.state_path.exists():
+            raise SystemExit(
+                f"no campaign state at {spec.state_path}; "
+                f"start with 'repro campaign run'"
+            )
+        try:
+            report = run_campaign(spec, dry_run=args.dry_run)
+        except CampaignStateError as exc:
+            raise SystemExit(str(exc))
+        if getattr(args, "json", False):
+            print(json.dumps(report.to_json(), indent=2, allow_nan=False))
+        else:
+            print(report.render())
+        return 0 if args.dry_run else report.exit_code
+
+    view = CampaignState(spec.state_path).load()
+    drift = (
+        view.header is not None
+        and view.header.get("spec_digest") != spec.digest()
+    )
+    plan = evaluate(spec, view=view)
+    if cmd == "status":
+        counts = plan.counts
+        if getattr(args, "json", False):
+            payload = {
+                "name": spec.name,
+                "spec_digest": plan.spec_digest,
+                "state": str(spec.state_path),
+                "state_drift": drift,
+                "counts": counts,
+                "quarantined": [
+                    {
+                        "key": str(rec.get("key", "")),
+                        "label": str(rec.get("label", "")),
+                        "attempts": int(rec.get("attempts", 0)),
+                    }
+                    for rec in view.quarantined.values()
+                ],
+            }
+            print(json.dumps(payload, indent=2, allow_nan=False))
+            return 0
+        print(
+            f"campaign: {spec.name}  (grid {plan.spec_digest[:12]}, "
+            f"state {spec.state_path})"
+        )
+        if drift:
+            print(
+                "  WARNING: state file belongs to a different grid — "
+                "a run would refuse to resume it"
+            )
+        print(
+            f"  cells: {counts['cells']}  done: {counts['done']}  "
+            f"quarantined: {counts['quarantined']}  "
+            f"missing: {counts['missing']}"
+        )
+        print(
+            f"  cache: {counts['cache_hits']} hit(s), "
+            f"{counts['cache_misses']} miss(es) predicted for the "
+            f"missing cells"
+        )
+        for rec in view.quarantined.values():
+            print(
+                f"  quarantined: {rec.get('label', '')} after "
+                f"{rec.get('attempts', 0)} attempt(s)"
+            )
+        return 0
+
+    # manifest: one row per cell
+    if getattr(args, "json", False):
+        payload = {
+            "name": spec.name,
+            "spec_digest": plan.spec_digest,
+            "cells": [
+                {
+                    "index": c.index,
+                    "key": c.key,
+                    "label": c.label,
+                    "status": c.status,
+                    "cache_hits": c.cache_hits,
+                    "cache_misses": c.cache_misses,
+                }
+                for c in plan.cells
+            ],
+        }
+        print(json.dumps(payload, indent=2, allow_nan=False))
+        return 0
+    rows = [
+        [
+            str(c.index),
+            c.status,
+            c.label,
+            f"{c.cache_hits}/{c.cache_hits + c.cache_misses}"
+            if c.status == "missing"
+            else "-",
+            c.key[:12],
+        ]
+        for c in plan.cells
+    ]
+    print(
+        format_table(
+            ["cell", "status", "label", "cached", "key"],
+            rows,
+            title=(
+                f"campaign manifest: {spec.name} "
+                f"(grid {plan.spec_digest[:12]})"
+            ),
+        )
+    )
+    return 0
+
+
 def cmd_feasibility(args: argparse.Namespace) -> int:
     from repro.sim.validate import certify
 
@@ -823,7 +906,7 @@ def cmd_feasibility(args: argparse.Namespace) -> int:
         instance,
         gamma=args.gamma,
         aligned=_aligned_params(args) if instance.is_aligned else None,
-        punctual=_punctual_params(args),
+        punctual=registry.punctual_params(vars(args)),
     )
     print()
     print(cert.render())
@@ -1672,6 +1755,44 @@ def build_parser() -> argparse.ArgumentParser:
     runs_cmp.add_argument("b")
     _runs_common(runs_cmp)
     runs.set_defaults(func=cmd_runs)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns: plan, run, resume, inspect",
+    )
+    camp_sub = camp.add_subparsers(dest="campaign_cmd", required=True)
+
+    def _camp_common(sp):
+        sp.add_argument("spec",
+                        help="campaign spec file (.yaml/.yml or .json)")
+        sp.add_argument("--json", action="store_true",
+                        help="emit strict JSON (non-finite floats "
+                             "become null)")
+
+    camp_run = camp_sub.add_parser(
+        "run", help="execute the missing cells (resumable, idempotent)"
+    )
+    _camp_common(camp_run)
+    camp_run.add_argument("--dry-run", action="store_true",
+                          help="plan only: classify cells and predict "
+                               "cache hits/misses, execute nothing")
+    camp_res = camp_sub.add_parser(
+        "resume",
+        help="continue an interrupted campaign (requires existing state)",
+    )
+    _camp_common(camp_res)
+    camp_res.add_argument("--dry-run", action="store_true",
+                          help="plan only: show what a resume would do")
+    camp_st = camp_sub.add_parser(
+        "status", help="cell counts from the durable state file"
+    )
+    _camp_common(camp_st)
+    camp_man = camp_sub.add_parser(
+        "manifest",
+        help="one row per cell: status, label, predicted cache, key",
+    )
+    _camp_common(camp_man)
+    camp.set_defaults(func=cmd_campaign)
 
     top = sub.add_parser(
         "top", help="show live runs from heartbeat files"

@@ -31,7 +31,6 @@ parallelizing the outer loop):
 
 from __future__ import annotations
 
-import random
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -52,6 +51,7 @@ from typing import (
 from repro.cache import ResultCache, as_cache, run_key, stable_digest
 from repro.channel.jamming import Jammer
 from repro.errors import ReproError
+from repro.retrypolicy import BACKOFF_CAP_SECONDS, RetryPolicy
 from repro.sim.engine import ProtocolFactory, simulate
 from repro.sim.instance import Instance
 from repro.sim.watchdog import REASON_WALL, Watchdog
@@ -82,11 +82,6 @@ FactoryBuilder = Callable[[Instance], ProtocolFactory]
 
 #: Called after each seed completes: ``progress(done, total)``.
 ProgressCallback = Callable[[int, int], None]
-
-#: Upper bound on one retry-backoff sleep, in seconds.  Exponential
-#: growth past this point only delays recovery; transient faults either
-#: clear within seconds or need human attention anyway.
-BACKOFF_CAP_SECONDS = 10.0
 
 
 class SeedExecutionError(ReproError):
@@ -507,8 +502,9 @@ def run_seeds(
     seeds = list(seeds)
     total = len(seeds)
     cache_obj = as_cache(cache)
-    if retries < 0:
-        raise ValueError("retries must be >= 0")
+    # One shared backoff rule (cap + jitter) across every retry layer in
+    # the codebase: see repro.retrypolicy.
+    policy = RetryPolicy(retries=retries, base_backoff=retry_backoff)
     if chunksize is not None and chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     t_started = time.perf_counter()
@@ -635,14 +631,7 @@ def run_seeds(
         attempt += 1
         if telemetry is not None:
             telemetry.metrics.counter("runs.retries").inc()
-        if retry_backoff > 0:
-            # Cap the exponential curve (unbounded growth just delays
-            # recovery) and jitter by 0.5-1.5x so many callers sharing a
-            # recovering resource do not hammer it in synchronized waves.
-            delay = min(
-                retry_backoff * (2 ** (attempt - 1)), BACKOFF_CAP_SECONDS
-            )
-            time.sleep(delay * (0.5 + random.random()))
+        policy.sleep(attempt)
         pending = [(pos, job, key) for pos, job, key, _ in failures]
 
     if telemetry is not None:

@@ -49,10 +49,12 @@ __all__ = [
     "LEDGER_SCHEMA",
     "RunLedger",
     "RunRecord",
+    "append_jsonl_atomic",
     "as_ledger",
     "compare_runs",
     "default_ledger_path",
     "new_run_id",
+    "read_jsonl_tolerant",
 ]
 
 #: Bump when the record layout changes incompatibly.  Readers keep
@@ -75,6 +77,61 @@ def default_ledger_path() -> Path:
 def new_run_id() -> str:
     """A short, collision-resistant run id (12 hex chars)."""
     return os.urandom(6).hex()
+
+
+def append_jsonl_atomic(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append one JSON record to ``path`` as a single atomic write.
+
+    The durability contract shared by the run ledger and the campaign
+    state file (:mod:`repro.campaign.state`): one record is one
+    ``os.write`` on an ``O_APPEND`` descriptor, so concurrent appenders
+    interleave whole lines, never fragments — and when the existing file
+    lacks a trailing newline (a torn tail from a killed writer), the
+    healing newline is folded into the same write so the append stays
+    atomic under concurrency.
+    """
+    path = Path(path)
+    payload = (json.dumps(record) + "\n").encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        size = 0
+    if size > 0:
+        with open(path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                payload = b"\n" + payload
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl_tolerant(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every parseable JSON-object line of ``path``, in file order.
+
+    A missing file reads as empty; a torn final line (or foreign
+    garbage) is skipped, never fatal — the reader half of the
+    :func:`append_jsonl_atomic` contract.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict):
+            records.append(rec)
+    return records
 
 
 @dataclass
@@ -191,25 +248,7 @@ class RunLedger:
             record.hostname = socket.gethostname()
         if not record.pid:
             record.pid = os.getpid()
-        line = json.dumps(record.as_record()) + "\n"
-        payload = line.encode("utf-8")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        try:
-            size = self.path.stat().st_size
-        except OSError:
-            size = 0
-        if size > 0:
-            with open(self.path, "rb") as fh:
-                fh.seek(-1, os.SEEK_END)
-                if fh.read(1) != b"\n":
-                    payload = b"\n" + payload
-        fd = os.open(
-            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-        )
-        try:
-            os.write(fd, payload)
-        finally:
-            os.close(fd)
+        append_jsonl_atomic(self.path, record.as_record())
         return record
 
     @contextmanager
@@ -262,23 +301,11 @@ class RunLedger:
 
     def read(self) -> List[RunRecord]:
         """Every parseable record, in file order (torn tail skipped)."""
-        records: List[RunRecord] = []
-        try:
-            text = self.path.read_text()
-        except OSError:
-            return records
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail or foreign garbage: skip, don't die
-            if not isinstance(rec, dict) or rec.get("type") != "run":
-                continue
-            records.append(RunRecord.from_record(rec))
-        return records
+        return [
+            RunRecord.from_record(rec)
+            for rec in read_jsonl_tolerant(self.path)
+            if rec.get("type") == "run"
+        ]
 
     def find(self, run_id: str) -> RunRecord:
         """The record whose id equals or uniquely starts with ``run_id``."""

@@ -17,7 +17,7 @@ from repro.analysis.tables import format_table
 from repro.obs.events import family_of
 from repro.obs.telemetry import TelemetryArtifact
 
-__all__ = ["render_report", "render_reports", "report_data"]
+__all__ = ["jsonable", "render_report", "render_reports", "report_data"]
 
 #: Leader-churn event kinds, in display order.
 _CHURN_KINDS = (
@@ -59,7 +59,7 @@ def _float_or_nan(value: Any) -> float:
         return float("nan")
 
 
-def _jsonable(value: Any) -> Any:
+def jsonable(value: Any) -> Any:
     """Strict-JSON copy: non-finite floats become ``None``.
 
     ``json.dumps`` happily emits bare ``NaN`` tokens, which downstream
@@ -69,9 +69,9 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, float):
         return value if value == value and abs(value) != float("inf") else None
     if isinstance(value, dict):
-        return {k: _jsonable(v) for k, v in value.items()}
+        return {k: jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [jsonable(v) for v in value]
     return value
 
 
@@ -254,21 +254,21 @@ def report_data(art: TelemetryArtifact) -> Dict[str, Any]:
             agg["total_s"] += secs
             agg["max_s"] = max(agg["max_s"], secs)
     scalars = {
-        str(m.get("name")): _jsonable(m.get("value"))
+        str(m.get("name")): jsonable(m.get("value"))
         for m in art.metrics
         if m.get("metric") in ("counter", "gauge")
     }
     return {
         "path": str(art.path),
-        "manifest": _jsonable(art.manifest or {}),
+        "manifest": jsonable(art.manifest or {}),
         "truncated": art.summary is None,
         "metrics": scalars,
         "histograms": [
-            _jsonable(m)
+            jsonable(m)
             for m in art.metrics
             if m.get("metric") == "histogram"
         ],
         "spans": spans,
         "events": art.event_counts(),
-        "summary": _jsonable(art.summary),
+        "summary": jsonable(art.summary),
     }

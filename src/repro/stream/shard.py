@@ -14,24 +14,59 @@ module-level callable or a :func:`functools.partial` of one (the same
 discipline :mod:`repro.cli` uses for its sweep workers); a lambda or
 local closure will fail to pickle with a clear error before any work
 starts.
+
+Worker crashes are survivable: a shard whose worker dies (an exception,
+an OOM kill, a :class:`~concurrent.futures.process.BrokenProcessPool`)
+is re-run under the shared :class:`repro.retrypolicy.RetryPolicy` —
+completed shards are kept, only the unaccounted ones are resubmitted —
+so one flaky worker costs one backoff, not the whole sharded run.
+Deterministic failures still fail after exhausting retries, raising
+:class:`ShardExecutionError` naming the failing shard's seed.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import traceback
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.channel.jamming import Jammer
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ReproError
 from repro.faults.plan import FaultPlan
+from repro.retrypolicy import RetryPolicy
 from repro.sim.engine import ProtocolFactory
 from repro.sim.watchdog import Watchdog
 from repro.stream.arrivals import ArrivalProcess
 from repro.stream.engine import StreamBudget, StreamResult, stream_simulate
 
-__all__ = ["StreamShardSpec", "run_stream_shards"]
+__all__ = ["ShardExecutionError", "StreamShardSpec", "run_stream_shards"]
+
+
+class ShardExecutionError(ReproError):
+    """A worker failed while running one stream shard.
+
+    Carries the failing shard's seed plus the worker-side traceback, so
+    a crash in a many-shard run points at the one reproducible shard.
+    """
+
+    def __init__(self, seed: int, worker_traceback: str) -> None:
+        super().__init__(
+            f"stream shard seed {seed} failed in a worker:\n"
+            f"{worker_traceback}"
+        )
+        self.seed = seed
+        self.worker_traceback = worker_traceback
+
+
+@dataclass(frozen=True)
+class _ShardFailure:
+    """A captured worker exception (picklable, seed attached)."""
+
+    seed: int
+    formatted: str
 
 
 @dataclass(frozen=True)
@@ -71,11 +106,23 @@ def _run_shard(
     )
 
 
+def _run_shard_safe(
+    spec: StreamShardSpec,
+) -> Union[StreamResult, _ShardFailure]:
+    """Worker entry point: never raises, reports the failing shard."""
+    try:
+        return _run_shard(spec)
+    except Exception:
+        return _ShardFailure(seed=spec.seed, formatted=traceback.format_exc())
+
+
 def run_stream_shards(
     specs: Sequence[StreamShardSpec],
     *,
     processes: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    retries: int = 2,
+    retry_backoff: float = 0.25,
 ) -> Tuple[StreamResult, List[StreamResult]]:
     """Run every shard and merge the channel statistics.
 
@@ -93,6 +140,20 @@ def run_stream_shards(
         (each shard's expected work is its ``max_jobs``/``max_slots``).
         Only honored on the serial path — worker processes cannot call
         back into this one — and purely observational either way.
+    retries:
+        How many times crashed shards may be re-run (with the shared
+        jittered exponential backoff of :class:`repro.retrypolicy.
+        RetryPolicy` between rounds).  Completed shards are kept; only
+        shards whose result never arrived — a worker exception, or a
+        pool broken by a dying worker — are resubmitted.  Shards are
+        deterministic in their spec, so a re-run merges identically.
+        After exhausting retries, :class:`ShardExecutionError` names
+        the failing shard.  Only meaningful on the pool path; the
+        serial path raises immediately (an in-process failure is never
+        a lost worker).
+    retry_backoff:
+        First-retry delay in seconds (see
+        :class:`repro.retrypolicy.RetryPolicy`).
 
     Returns
     -------
@@ -104,6 +165,7 @@ def run_stream_shards(
     """
     if not specs:
         raise InvalidParameterError("run_stream_shards needs at least one spec")
+    policy = RetryPolicy(retries=retries, base_backoff=retry_backoff)
     if processes is None:
         processes = min(len(specs), os.cpu_count() or 1)
     if processes <= 1 or len(specs) == 1:
@@ -126,10 +188,58 @@ def run_stream_shards(
                 per_shard.append(_run_shard(s, progress=shard_cb))
                 done_before += exp
     else:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=processes
-        ) as pool:
-            per_shard = list(pool.map(_run_shard, specs))
+        # Submit one future per shard (not pool.map) so that when a
+        # worker dies hard we know exactly which shards are unaccounted
+        # for, and retry only those — completed results are kept.
+        slots: List[Optional[StreamResult]] = [None] * len(specs)
+        pending = list(range(len(specs)))
+        attempt = 0
+        while pending:
+            failures: List[Tuple[int, _ShardFailure]] = []
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(processes, len(pending))
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_shard_safe, specs[i]): i
+                        for i in pending
+                    }
+                    for fut in concurrent.futures.as_completed(futures):
+                        i = futures[fut]
+                        result = fut.result()
+                        if isinstance(result, _ShardFailure):
+                            failures.append((i, result))
+                        else:
+                            slots[i] = result
+            except BrokenProcessPool:
+                # A worker died hard (signal/OOM): every shard whose
+                # result did not come back is unaccounted for — a shard
+                # that finished but was not yet consumed simply re-runs
+                # (deterministic, so the merge is unchanged).
+                taken = {i for i, _ in failures}
+                failures.extend(
+                    (
+                        i,
+                        _ShardFailure(
+                            seed=specs[i].seed,
+                            formatted=(
+                                "process pool broke before this shard's "
+                                "result was received (worker died)"
+                            ),
+                        ),
+                    )
+                    for i in pending
+                    if slots[i] is None and i not in taken
+                )
+            if not failures:
+                break
+            if attempt >= policy.retries:
+                _, failure = failures[0]
+                raise ShardExecutionError(failure.seed, failure.formatted)
+            attempt += 1
+            policy.sleep(attempt)
+            pending = [i for i, _ in failures]
+        per_shard = [r for r in slots if r is not None]
     merged = per_shard[0]
     for r in per_shard[1:]:
         merged = merged.merge(r)

@@ -1,0 +1,122 @@
+"""Cell execution: outcomes are values, every task is accounted for."""
+
+import os
+from dataclasses import dataclass
+
+from repro.campaign.executor import (
+    CellFailure,
+    CellResult,
+    CellTask,
+    LocalPoolExecutor,
+    SerialExecutor,
+    execute_cell,
+)
+from repro.campaign.spec import CampaignSpec
+
+BASE = {
+    "name": "t",
+    "workloads": ["batch"],
+    "protocols": ["punctual", "beb"],
+    "seeds": 2,
+    "knobs": {"n": 4, "window": 256},
+}
+
+
+def _tasks(raw=None):
+    spec = CampaignSpec.from_dict(raw or BASE)
+    return [CellTask(key=c.key(), cell=c) for c in spec.cells()]
+
+
+@dataclass(frozen=True)
+class HardExitWorkload:
+    """A builder that kills its process outright (no exception to catch)."""
+
+    @property
+    def name(self) -> str:
+        """Registry-style name for labels."""
+        return "hard-exit"
+
+    def __call__(self):
+        os._exit(1)
+
+
+class TestExecuteCell:
+    def test_success_carries_the_aggregate(self):
+        outcome = execute_cell(_tasks()[0])
+        assert isinstance(outcome, CellResult)
+        assert outcome.summary["runs"] == 2
+        assert 0.0 <= outcome.summary["success_rate"] <= 1.0
+        assert "by_window" not in outcome.summary
+        assert outcome.wall_seconds >= 0
+
+    def test_poison_becomes_a_failure_value(self):
+        task = _tasks(
+            {**BASE, "workloads": [{"workload": "poison"}]}
+        )[0]
+        outcome = execute_cell(task)
+        assert isinstance(outcome, CellFailure)
+        assert outcome.kind == "exception"
+        assert "poison" in outcome.error
+        assert outcome.key == task.key
+
+    def test_results_land_in_the_cache(self, tmp_path):
+        cache = str(tmp_path / "cc")
+        task0 = _tasks()[0]
+        task = CellTask(key=task0.key, cell=task0.cell, cache=cache)
+        execute_cell(task)
+        assert os.listdir(cache), "cache directory stayed empty"
+
+
+class TestSerialExecutor:
+    def test_yields_every_outcome_in_order(self):
+        tasks = _tasks()
+        outcomes = list(SerialExecutor().map_unordered(tasks))
+        assert [o.key for o in outcomes] == [t.key for t in tasks]
+
+    def test_pulls_tasks_lazily(self):
+        # The orchestrator records an attempt exactly when a task is
+        # pulled; the serial executor must not pre-drain the iterator.
+        tasks = _tasks()
+        pulled = []
+
+        def feed():
+            for t in tasks:
+                pulled.append(t.key)
+                yield t
+
+        it = SerialExecutor().map_unordered(feed())
+        first = next(it)
+        assert pulled == [first.key], "executor drained tasks eagerly"
+
+
+class TestLocalPoolExecutor:
+    def test_accounts_for_every_task(self):
+        tasks = _tasks()
+        outcomes = list(LocalPoolExecutor(workers=2).map_unordered(tasks))
+        assert sorted(o.key for o in outcomes) == sorted(
+            t.key for t in tasks
+        )
+        assert all(isinstance(o, CellResult) for o in outcomes)
+
+    def test_worker_exception_is_a_failure_not_a_crash(self):
+        tasks = _tasks({**BASE, "workloads": ["batch", {"workload": "poison"}]})
+        outcomes = list(LocalPoolExecutor(workers=2).map_unordered(tasks))
+        kinds = {type(o).__name__ for o in outcomes}
+        assert kinds == {"CellResult", "CellFailure"}
+
+    def test_hard_worker_death_yields_pool_broken_failures(self):
+        ok = _tasks()[0]
+        dead_cell = ok.cell.__class__(
+            index=99,
+            workload=HardExitWorkload(),
+            protocol=ok.cell.protocol,
+            adversary=ok.cell.adversary,
+            seeds=ok.cell.seeds,
+        )
+        tasks = [ok, CellTask(key="deadkey", cell=dead_cell)]
+        outcomes = list(LocalPoolExecutor(workers=1).map_unordered(tasks))
+        assert sorted(o.key for o in outcomes) == sorted(
+            t.key for t in tasks
+        )
+        failures = [o for o in outcomes if isinstance(o, CellFailure)]
+        assert failures and all(o.kind == "pool-broken" for o in failures)

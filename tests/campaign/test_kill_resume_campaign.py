@@ -1,0 +1,130 @@
+"""Mid-campaign crash recovery: SIGKILL, then resume to completion.
+
+A child process runs a real campaign and SIGKILLs itself (via the
+spec's chaos knob) after two cells have been durably recorded — a real
+kill of a real interpreter, mirroring ``tests/stream/test_kill_resume``.
+The parent then proves the acceptance criteria end to end:
+
+* the dry run *after* the kill predicts exactly the missing cells;
+* resume completes the campaign, quarantining the deterministically
+  failing (poison) cell with a distinct exit code;
+* every healthy cell ran **exactly once** across both processes —
+  none lost, none recomputed — verified by counting ``campaign-cell``
+  ledger records per cell key.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import CampaignSpec, QUARANTINE_EXIT_CODE, run_campaign
+from repro.obs.ledger import RunLedger
+
+KILL_AFTER = 2
+
+#: 3 healthy workloads x 2 protocols = 6 healthy cells, plus 2 poison.
+SPEC = {
+    "name": "killdrill",
+    "workloads": ["batch", "single-class", "staircase", {"workload": "poison"}],
+    "protocols": ["punctual", "beb"],
+    "seeds": 2,
+    "knobs": {"n": 4, "window": 256},
+    "executor": "serial",
+    "retries": 1,
+    "retry_backoff": 0.0,
+    "state": "state.jsonl",
+    "ledger": "ledger.jsonl",
+}
+
+_CHILD = """
+import sys
+from repro.campaign import CampaignSpec, run_campaign
+spec = CampaignSpec.from_file(sys.argv[1])
+report = run_campaign(spec)
+print("EXIT", report.exit_code)
+"""
+
+
+def _write_spec(tmp_path, chaos):
+    raw = dict(SPEC)
+    if chaos:
+        raw["chaos"] = {"kill_after_cells": KILL_AFTER}
+    path = tmp_path / ("kill.json" if chaos else "resume.json")
+    path.write_text(json.dumps(raw))
+    return path
+
+
+def _cell_record_counts(ledger_path):
+    counts = {}
+    for rec in RunLedger(ledger_path).read():
+        if rec.kind == "campaign-cell":
+            counts[rec.config_digest] = counts.get(rec.config_digest, 0) + 1
+    return counts
+
+
+@pytest.fixture(scope="module")
+def killed_campaign(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("campaign-kill")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(_write_spec(tmp, chaos=True))],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"child should die by SIGKILL, got rc={proc.returncode}, "
+        f"stderr={proc.stderr[-500:]}"
+    )
+    return tmp
+
+
+class TestKillResumeCampaign:
+    def test_kill_left_exactly_the_recorded_cells(self, killed_campaign):
+        counts = _cell_record_counts(killed_campaign / "ledger.jsonl")
+        assert len(counts) == KILL_AFTER
+        assert all(v == 1 for v in counts.values())
+
+    def test_dry_run_after_kill_predicts_the_missing_cells(
+        self, killed_campaign
+    ):
+        spec = CampaignSpec.from_file(_write_spec(killed_campaign, chaos=False))
+        report = run_campaign(spec, dry_run=True)
+        assert report.counts["cells"] == 8
+        assert report.counts["done"] == KILL_AFTER
+        assert report.counts["missing"] == 8 - KILL_AFTER
+        # No cache configured: every missing seed is a predicted miss.
+        assert report.counts["cache_misses"] == (8 - KILL_AFTER) * 2
+
+    def test_resume_completes_exactly_once_with_quarantine(
+        self, killed_campaign
+    ):
+        spec = CampaignSpec.from_file(_write_spec(killed_campaign, chaos=False))
+        report = run_campaign(spec)
+
+        # The deterministically failing cells are quarantined and
+        # reported with the distinct degraded-campaign exit code.
+        assert report.exit_code == QUARANTINE_EXIT_CODE
+        assert report.counts["done"] == 6
+        assert report.counts["quarantined"] == 2
+        assert report.counts["missing"] == 0
+        assert all("poison" in q.label for q in report.quarantined)
+        assert all(q.attempts == 2 for q in report.quarantined)
+
+        # Exactly-once, ledger-verified: every healthy cell has one
+        # campaign-cell record across the killed run and the resume.
+        counts = _cell_record_counts(killed_campaign / "ledger.jsonl")
+        healthy_keys = {
+            c.key() for c in spec.cells() if c.workload.name != "poison"
+        }
+        assert set(counts) == healthy_keys, "cells lost or invented"
+        assert all(v == 1 for v in counts.values()), "cells recomputed"
+
+    def test_final_state_is_stable(self, killed_campaign):
+        spec = CampaignSpec.from_file(_write_spec(killed_campaign, chaos=False))
+        run_campaign(spec)  # idempotent whether or not a resume ran yet
+        report = run_campaign(spec)
+        assert report.executed == []
+        counts = _cell_record_counts(killed_campaign / "ledger.jsonl")
+        assert all(v == 1 for v in counts.values())

@@ -1,0 +1,102 @@
+"""The campaign state file: durability, replay, and drift refusal."""
+
+import json
+
+import pytest
+
+from repro.campaign.state import (
+    CampaignState,
+    CampaignStateError,
+    STATE_SCHEMA,
+)
+
+
+@pytest.fixture
+def state(tmp_path):
+    return CampaignState(tmp_path / "c.jsonl")
+
+
+class TestHeader:
+    def test_first_open_writes_the_header(self, state):
+        view = state.ensure_header(name="c", spec_digest="abc")
+        assert view.header["spec_digest"] == "abc"
+        assert state.load().header["name"] == "c"
+
+    def test_reopen_with_same_digest_is_fine(self, state):
+        state.ensure_header(name="c", spec_digest="abc")
+        view = state.ensure_header(name="c", spec_digest="abc")
+        assert view.header["spec_digest"] == "abc"
+
+    def test_reopen_with_different_digest_is_refused(self, state):
+        state.ensure_header(name="c", spec_digest="abc")
+        with pytest.raises(CampaignStateError, match="different campaign"):
+            state.ensure_header(name="c", spec_digest="xyz")
+
+    def test_missing_file_is_an_empty_view(self, state):
+        view = state.load()
+        assert view.header is None
+        assert view.done == {} and view.quarantined == {}
+
+
+class TestReplay:
+    def test_attempts_accumulate_per_key(self, state):
+        state.record_attempt("k1", 1)
+        state.record_attempt("k1", 2)
+        state.record_attempt("k2", 1)
+        view = state.load()
+        assert view.attempts == {"k1": 2, "k2": 1}
+
+    def test_done_and_quarantined_are_terminal(self, state):
+        state.record_done(
+            "k1", label="a/b/c", summary={"runs": 3}, wall_seconds=0.1
+        )
+        state.record_quarantined(
+            "k2", label="d/e/f", attempts=2, error="boom"
+        )
+        view = state.load()
+        assert view.is_terminal("k1")
+        assert view.is_terminal("k2")
+        assert not view.is_terminal("k3")
+        assert view.done["k1"]["summary"] == {"runs": 3}
+        assert view.quarantined["k2"]["error"] == "boom"
+
+    def test_records_carry_the_schema_version(self, state):
+        state.record_attempt("k", 1)
+        lines = state.path.read_text().splitlines()
+        assert json.loads(lines[-1])["schema"] == STATE_SCHEMA
+
+
+class TestTornTail:
+    def test_torn_final_record_is_skipped_not_fatal(self, state):
+        state.record_done(
+            "k1", label="l", summary={"runs": 1}, wall_seconds=0.1
+        )
+        state.record_done(
+            "k2", label="l", summary={"runs": 1}, wall_seconds=0.1
+        )
+        # Chop the last record mid-JSON, like a kill mid-write.
+        raw = state.path.read_bytes()
+        state.path.write_bytes(raw[:-20])
+        view = state.load()
+        assert "k1" in view.done
+        assert "k2" not in view.done
+
+    def test_append_after_torn_tail_heals_the_file(self, state):
+        state.record_done(
+            "k1", label="l", summary={"runs": 1}, wall_seconds=0.1
+        )
+        raw = state.path.read_bytes()
+        state.path.write_bytes(raw[:-5])  # no trailing newline now
+        state.record_done(
+            "k2", label="l", summary={"runs": 1}, wall_seconds=0.1
+        )
+        view = state.load()
+        # k1's record was torn (lost), k2's landed on a fresh line.
+        assert "k2" in view.done
+
+    def test_foreign_garbage_lines_are_skipped(self, state):
+        state.record_attempt("k", 1)
+        with open(state.path, "a") as fh:
+            fh.write("not json at all\n")
+        state.record_attempt("k", 2)
+        assert state.load().attempts == {"k": 2}

@@ -33,6 +33,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.obs",
     "repro.verify",
+    "repro.campaign",
 ]
 
 

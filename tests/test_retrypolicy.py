@@ -1,0 +1,109 @@
+"""The shared retry/backoff policy, tested in isolation.
+
+Every retry layer in the codebase — ``run_seeds``'s seed retries, the
+sharded stream runner, the campaign orchestrator — delegates its backoff
+arithmetic to :class:`repro.retrypolicy.RetryPolicy`, so the cap and the
+jitter rule are pinned down here once.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cache import stable_digest
+from repro.retrypolicy import BACKOFF_CAP_SECONDS, RetryPolicy
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries must be >= 0"):
+            RetryPolicy(retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-0.1)
+
+    def test_zero_backoff_disables_sleeping(self):
+        p = RetryPolicy(retries=2, base_backoff=0.0)
+        assert p.delay(1) == 0.0
+        assert p.sleep(1) == 0.0
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_defaults_are_valid(self):
+        p = RetryPolicy()
+        assert p.retries == 0
+        assert p.cap_seconds == BACKOFF_CAP_SECONDS
+
+
+class TestShouldRetry:
+    def test_counts_failures_against_budget(self):
+        # ``attempt`` is 1-based failures so far: with 2 retries the
+        # first and second failures earn another try, the third does not.
+        p = RetryPolicy(retries=2)
+        assert p.should_retry(1)
+        assert p.should_retry(2)
+        assert not p.should_retry(3)
+        assert not p.should_retry(5)
+
+    def test_zero_retries_never_retries(self):
+        assert not RetryPolicy(retries=0).should_retry(1)
+
+
+class TestDelay:
+    def test_exponential_growth(self):
+        p = RetryPolicy(retries=5, base_backoff=0.25, jitter=0.0)
+        assert p.delay(1) == pytest.approx(0.25)
+        assert p.delay(2) == pytest.approx(0.5)
+        assert p.delay(3) == pytest.approx(1.0)
+
+    def test_cap_applies_before_jitter(self):
+        p = RetryPolicy(retries=50, base_backoff=1.0, jitter=0.0)
+        assert p.delay(40) == BACKOFF_CAP_SECONDS
+
+    def test_jitter_spans_half_to_three_halves(self):
+        # The historical rule from experiments.parallel: a uniform
+        # 0.5-1.5x factor so parallel callers do not retry in lockstep.
+        p = RetryPolicy(retries=3, base_backoff=0.25)
+        assert p.delay(1, rand=lambda: 0.0) == pytest.approx(0.125)
+        assert p.delay(1, rand=lambda: 0.5) == pytest.approx(0.25)
+        assert p.delay(1, rand=lambda: 1.0) == pytest.approx(0.375)
+
+    def test_delay_is_positive_for_any_draw(self):
+        p = RetryPolicy(retries=3, base_backoff=0.01)
+        for draw in (0.0, 0.1, 0.9, 1.0):
+            assert p.delay(2, rand=lambda d=draw: d) > 0
+
+
+class TestSleep:
+    def test_sleep_uses_delay(self, monkeypatch):
+        slept = []
+        import repro.retrypolicy as rp
+
+        monkeypatch.setattr(rp.time, "sleep", slept.append)
+        p = RetryPolicy(retries=2, base_backoff=0.25, jitter=0.0)
+        p.sleep(1)
+        assert slept == [pytest.approx(0.25)]
+
+
+class TestValueSemantics:
+    def test_picklable(self):
+        p = RetryPolicy(retries=3, base_backoff=0.5)
+        assert pickle.loads(pickle.dumps(p)) == p
+
+    def test_digest_stable_for_equal_policies(self):
+        a = RetryPolicy(retries=3, base_backoff=0.5)
+        b = RetryPolicy(retries=3, base_backoff=0.5)
+        assert stable_digest(a) == stable_digest(b)
+        assert stable_digest(a) != stable_digest(RetryPolicy(retries=4))
+
+
+class TestSharedAcrossLayers:
+    def test_parallel_reexports_the_shared_cap(self):
+        from repro.experiments.parallel import (
+            BACKOFF_CAP_SECONDS as via_parallel,
+        )
+
+        assert via_parallel is BACKOFF_CAP_SECONDS
