@@ -14,6 +14,11 @@ qualitative ordering on batch workloads:
   directly into miss rates;
 * the fixed window is the control: unbeatable when W ≈ n (it *is* the
   right window), useless when the population is far from W.
+
+The modern zoo (collision-softening, slow-feedback, no-CD — arXiv
+2408.11275, 2302.07751, 2111.06650) rides along in the same face-off,
+and E19 charts the full deadline-miss × channel-access-energy frontier
+across every registered protocol under two identical jamming budgets.
 """
 
 from __future__ import annotations
@@ -26,12 +31,21 @@ from repro.baselines import (
     fibonacci_backoff_factory,
     fixed_window_factory,
     linear_backoff_factory,
+    nocd_factory,
     polynomial_backoff_factory,
+    slowfeedback_factory,
+    softened_factory,
 )
+from repro.experiments.frontier import run_frontier
+from repro.experiments.parallel import ConstantFactory, ConstantInstance
+from repro.registry import protocol_factories
 from repro.sim.engine import simulate
 from repro.workloads import batch_instance
 
 SEEDS = 5
+
+#: E19's paired jamming budgets — every protocol faces both.
+JAM_BUDGETS = (0.0, 0.4)
 
 
 def family():
@@ -41,42 +55,46 @@ def family():
         "linear (4k)": linear_backoff_factory(4),
         "quadratic (2k^2)": polynomial_backoff_factory(2, 2),
         "fibonacci (2F_k)": fibonacci_backoff_factory(2),
+        "softened (MIMD)": softened_factory(),
+        "slow-feedback": slowfeedback_factory(),
+        "no-CD": nocd_factory(),
     }
 
 
 def makespan_and_rate(n, window, factory):
-    spans, ok, tot = [], 0, 0
+    spans, ok, tot, attempts = [], 0, 0, 0
     for s in range(SEEDS):
         inst = batch_instance(n, window=window)
         res = simulate(inst, factory, seed=s)
         ok += res.n_succeeded
         tot += len(res)
+        attempts += res.total_energy
         if res.n_succeeded == n:
             spans.append(max(o.completion_slot for o in res.outcomes) + 1)
     mean_span = float(np.mean(spans)) if spans else float("nan")
-    return mean_span, ok / tot
+    return mean_span, ok / tot, attempts / tot
 
 
 def test_e17_backoff_family(benchmark, emit):
     rows = []
-    data: dict[tuple[str, int], tuple[float, float]] = {}
+    data: dict[tuple[str, int], tuple[float, float, float]] = {}
     for n in (16, 64):
         window = 40 * n  # generous deadline: measure makespan
         for name, factory in family().items():
-            span, rate = makespan_and_rate(n, window, factory)
-            data[(name, n)] = (span, rate)
-            rows.append([n, name, span, rate])
+            span, rate, energy = makespan_and_rate(n, window, factory)
+            data[(name, n)] = (span, rate, energy)
+            rows.append([n, name, span, rate, energy])
     # tight-deadline round
     tight_rows = []
     for name, factory in family().items():
-        _, rate = makespan_and_rate(64, 8 * 64, factory)
-        data[(name, -1)] = (float("nan"), rate)
-        tight_rows.append([64, name + " (tight)", float("nan"), rate])
+        _, rate, energy = makespan_and_rate(64, 8 * 64, factory)
+        data[(name, -1)] = (float("nan"), rate, energy)
+        tight_rows.append([64, name + " (tight)", float("nan"), rate, energy])
 
     emit(
         "E17_backoff_family",
         format_table(
-            ["batch n", "schedule", "mean makespan", "delivery"],
+            ["batch n", "schedule", "mean makespan", "delivery", "energy/job"],
             rows + tight_rows,
             title=(
                 "E17 / related work [13, 91] — windowed-backoff growth "
@@ -95,6 +113,45 @@ def test_e17_backoff_family(benchmark, emit):
         assert data[(name, 64)][0] < beb_span, name
     # the matched fixed window is excellent at its design point
     assert data[("fixed (64)", 64)][1] >= 0.95
+    # the modern zoo delivers batches too — and the slow-feedback
+    # protocol's pre-committed budget caps its spend near BEB's
+    for name in ("softened (MIMD)", "slow-feedback", "no-CD"):
+        assert data[(name, 64)][1] >= 0.95, name
 
     inst = batch_instance(32, window=2048)
     benchmark(lambda: simulate(inst, beb_factory(), seed=0))
+
+
+def test_e19_miss_energy_frontier(emit):
+    """E19 — the deadline-miss × energy frontier (ROADMAP item 3).
+
+    Every registered batch-capable protocol under two *identical*
+    oblivious jamming budgets; each lands as a (miss rate, energy/job)
+    point per budget.  The qualitative frontier: deadline-aware UNIFORM
+    is the energy-minimal point, modern backoff buys jamming robustness
+    with energy, and PUNCTUAL's whp machinery pays an order of magnitude
+    more energy than the energy-aware moderns.
+    """
+    inst = batch_instance(16, window=64)
+    facs = protocol_factories({}, inst)
+    names = (
+        "punctual", "uniform", "beb", "sawtooth", "soft", "slowfb", "nocd",
+    )
+    protocols = {k: ConstantFactory(facs[k]) for k in names}
+    report = run_frontier(
+        ConstantInstance(inst),
+        protocols,
+        budgets=JAM_BUDGETS,
+        seeds=12,
+    )
+    emit("E19_miss_energy_frontier", report.render())
+
+    jammed = JAM_BUDGETS[1]
+    uniform = report.point("uniform", jammed)
+    # deadline-aware vs modern: single-attempt UNIFORM is strictly the
+    # cheapest point on the frontier...
+    for modern in ("soft", "slowfb", "nocd"):
+        assert uniform.mean_energy < report.point(modern, jammed).mean_energy
+    # ...but collision-softening backoff buys a strictly lower miss rate
+    # under jamming with that extra energy
+    assert report.point("soft", jammed).miss_rate < uniform.miss_rate

@@ -63,7 +63,10 @@ from repro.baselines import (
     beb_factory,
     edf_factory,
     edf_schedule,
+    nocd_factory,
     sawtooth_factory,
+    slowfeedback_factory,
+    softened_factory,
     window_scaled_aloha_factory,
 )
 from repro.cache import ResultCache, run_key, stable_digest
@@ -159,7 +162,10 @@ __all__ = [
     "beb_factory",
     "edf_factory",
     "edf_schedule",
+    "nocd_factory",
     "sawtooth_factory",
+    "slowfeedback_factory",
+    "softened_factory",
     "window_scaled_aloha_factory",
     # channel
     "BudgetJammer",

@@ -1,4 +1,5 @@
-"""Baseline strategies: BEB, sawtooth, slotted ALOHA, centralized EDF."""
+"""Baseline strategies: classic backoff (BEB, sawtooth, ALOHA, EDF) and
+the modern zoo (collision-softening, slow-feedback, no-CD)."""
 
 from repro.baselines.aloha import (
     SlottedAloha,
@@ -7,7 +8,16 @@ from repro.baselines.aloha import (
 )
 from repro.baselines.beb import BinaryExponentialBackoff, beb_factory
 from repro.baselines.edf import OracleEdfProtocol, edf_factory, edf_schedule
+from repro.baselines.nocd import NoCollisionDetectionBackoff, nocd_factory
 from repro.baselines.sawtooth import SawtoothBackoff, sawtooth_factory
+from repro.baselines.slowfeedback import (
+    SlowFeedbackBackoff,
+    slowfeedback_factory,
+)
+from repro.baselines.softened import (
+    CollisionSofteningBackoff,
+    softened_factory,
+)
 from repro.baselines.urgency import UrgencyAloha, urgency_aloha_factory
 from repro.baselines.windowed import (
     WindowedBackoff,
@@ -35,4 +45,10 @@ __all__ = [
     "edf_schedule",
     "SawtoothBackoff",
     "sawtooth_factory",
+    "CollisionSofteningBackoff",
+    "softened_factory",
+    "SlowFeedbackBackoff",
+    "slowfeedback_factory",
+    "NoCollisionDetectionBackoff",
+    "nocd_factory",
 ]

@@ -55,7 +55,8 @@ __all__ = [
 
 #: Bump when the stored record layout changes (keys then stop matching).
 #: 2: SeedDigest grew ``watchdog_reason`` (run-watchdog support).
-CACHE_FORMAT = 2
+#: 3: SeedDigest grew ``attempts_sum`` (channel-access energy).
+CACHE_FORMAT = 3
 
 
 # ---------------------------------------------------------------------------

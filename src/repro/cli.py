@@ -608,9 +608,11 @@ def cmd_certify(args: argparse.Namespace) -> int:
         # Nightly CI smoke: the Theorem-14 anchor plus the two sharpest
         # reactive attackers, a coarse bisection, modest replication.
         # Gates: PUNCTUAL's stochastic threshold must not drift below
-        # --min-jam-threshold, and some reactive family must break
-        # strictly earlier.  Tuned to finish in well under a minute.
-        args.protocols = "punctual"
+        # --min-jam-threshold, some reactive family must break it
+        # strictly earlier, and the modern-zoo representative (slowfb)
+        # must have a locatable jam cliff.  Tuned to finish in well
+        # under a minute.
+        args.protocols = "punctual,slowfb"
         args.families = "jam,struct-delivery,banked"
         args.seeds = 12
         args.tol = 0.05
@@ -698,9 +700,60 @@ def cmd_certify(args: argparse.Namespace) -> int:
                 "strictly below the oblivious jam threshold"
             )
             status = 1
+        if "slowfb" in names:
+            cell = report.cell("slowfb", "jam")
+            if cell.threshold is None:
+                print(
+                    "CERTIFY FAILURE: slowfb's stochastic-jamming cliff "
+                    "was not located in [0, 1]"
+                )
+                status = 1
         if status == 0:
             print("\ncertify smoke passed (Theorem 14 boundary in place)")
     return status
+
+
+def cmd_frontier(args: argparse.Namespace) -> int:
+    """Deadline-miss × energy frontier under identical jamming budgets."""
+    from repro.experiments.frontier import run_frontier
+
+    instance = _build_workload(args)
+    factories = _protocol_factories(args, instance)
+    names = [n.strip() for n in args.protocols.split(",") if n.strip()]
+    for name in names:
+        if name not in factories:
+            raise SystemExit(
+                f"protocol {name!r} unavailable for this workload "
+                f"(choices: {sorted(factories)})"
+            )
+    try:
+        budgets = [float(tok) for tok in args.budgets.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(f"--budgets expects numbers, got {args.budgets!r}")
+
+    state = _args_state(args)
+    build = functools.partial(_build_workload_from_state, state)
+    protocols = {
+        name: functools.partial(_protocol_from_state, state, name)
+        for name in names
+    }
+    tele = _telemetry_for(args, "frontier")
+    report = run_frontier(
+        build,
+        protocols,
+        budgets=budgets,
+        seeds=args.seeds,
+        processes=args.processes,
+        cache=_cache_knob(args),
+        retries=args.retries,
+        telemetry=tele,
+    )
+    print(report.render())
+    if args.artifact:
+        n = report.to_jsonl(args.artifact)
+        print(f"\nwrote {n} frontier points to {args.artifact}")
+    _write_telemetry(tele, args)
+    return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -1510,8 +1563,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(sp):
         sp.add_argument("--workload", default="batch",
-                        choices=["batch", "single-class", "aligned-random",
-                                 "harmonic", "staircase", "sensors"])
+                        choices=list(registry.WORKLOADS))
         sp.add_argument("--n", type=int, default=8)
         sp.add_argument("--window", type=int, default=4096)
         sp.add_argument("--level", type=int, default=9)
@@ -1528,8 +1580,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run one protocol on one workload")
     add_common(sim)
     sim.add_argument("--protocol", default="punctual",
-                     choices=["punctual", "aligned", "trimmed", "uniform",
-                              "beb", "sawtooth", "aloha", "urgency", "edf"])
+                     choices=list(registry.PROTOCOLS))
     sim.add_argument("--fault", default="", metavar="FAMILY:SEVERITY",
                      help="inject a fault family at a severity in [0, 1], "
                           "e.g. jam:0.5, clock:0.25, jobs:0.4")
@@ -1553,8 +1604,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(swp)
     swp.add_argument("--protocol", default="punctual",
-                     choices=["punctual", "aligned", "trimmed", "uniform",
-                              "beb", "sawtooth", "aloha", "urgency", "edf"])
+                     choices=list(registry.PROTOCOLS))
     swp.add_argument("--param", default="n",
                      choices=["n", "window", "gamma", "level"])
     swp.add_argument("--values", required=True,
@@ -1638,14 +1688,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(cert)
     cert.set_defaults(func=cmd_certify)
 
+    fro = sub.add_parser(
+        "frontier",
+        help="deadline-miss x energy frontier under identical jam budgets",
+    )
+    add_common(fro)
+    fro.add_argument("--protocols",
+                     default="punctual,uniform,beb,sawtooth,soft,slowfb,nocd",
+                     help="comma-separated protocol names to place on the "
+                          "frontier")
+    fro.add_argument("--budgets", default="0,0.25",
+                     help="comma-separated oblivious jamming rates; every "
+                          "protocol faces each budget with identical seeds")
+    fro.add_argument("--seeds", type=int, default=16,
+                     help="Monte-Carlo replication per (protocol, budget)")
+    fro.add_argument("--retries", type=int, default=0,
+                     help="transient-failure retries per cell")
+    fro.add_argument("--artifact", default="", metavar="PATH",
+                     help="write the frontier points as JSONL here")
+    _add_perf_flags(fro)
+    _add_telemetry_flag(fro)
+    fro.set_defaults(func=cmd_frontier)
+
     stm = sub.add_parser(
         "stream",
         help="open-arrival streaming runs: sustained load, bounded memory",
     )
     add_common(stm)
     stm.add_argument("--protocol", default="sawtooth",
-                     choices=["punctual", "uniform", "beb", "sawtooth",
-                              "aloha", "urgency"],
+                     choices=list(registry.STREAM_PROTOCOLS),
                      help="per-job protocol (instance-level protocols like "
                           "edf need the full workload and cannot stream)")
     stm.add_argument("--arrivals", default="poisson",

@@ -15,6 +15,11 @@ from repro.experiments.certify import (
     run_certification,
 )
 from repro.experiments.compare import ProtocolComparison, compare_protocols
+from repro.experiments.frontier import (
+    FrontierPoint,
+    FrontierReport,
+    run_frontier,
+)
 from repro.experiments.parallel import (
     BoundBuilder,
     ConstantFactory,
@@ -44,6 +49,9 @@ __all__ = [
     "run_certification",
     "ProtocolComparison",
     "compare_protocols",
+    "FrontierPoint",
+    "FrontierReport",
+    "run_frontier",
     "FAULT_FAMILIES",
     "ProfilePoint",
     "RobustnessReport",

@@ -155,6 +155,7 @@ class SeedDigest:
     by_window: Tuple[Tuple[int, int, int], ...]  # (window, ok, total)
     slots_simulated: int
     latency_sum: int = 0  # summed latencies of successful jobs
+    attempts_sum: int = -1  # total send attempts (energy); -1 = not tracked
     watchdog_reason: Optional[str] = None
 
     @property
@@ -171,6 +172,13 @@ class SeedDigest:
         if not self.n_succeeded:
             return float("nan")
         return self.latency_sum / self.n_succeeded
+
+    @property
+    def mean_energy(self) -> float:
+        """Mean send attempts per job; nan when the path did not track it."""
+        if self.attempts_sum < 0 or not self.n_jobs:
+            return float("nan")
+        return self.attempts_sum / self.n_jobs
 
 
 @dataclass(frozen=True)
@@ -262,6 +270,7 @@ def _run_one(
         ),
         slots_simulated=result.slots_simulated,
         latency_sum=int(result.latencies().sum()),
+        attempts_sum=result.total_energy,
         watchdog_reason=(
             result.watchdog.reason if result.watchdog is not None else None
         ),
@@ -649,12 +658,18 @@ def aggregate(digests: Sequence[SeedDigest]) -> Dict[str, object]:
     """Combine per-seed digests into one summary dictionary.
 
     Keys: ``runs``, ``jobs``, ``succeeded``, ``success_rate``,
-    ``by_window`` (``{window: (ok, total)}``), ``slots``,
-    ``watchdog_trips`` (runs cancelled by a watchdog; their partial
-    counts are included in the totals).
+    ``by_window`` (``{window: (ok, total)}``), ``slots``, ``attempts``
+    (total send attempts across runs, -1 when any digest did not track
+    them), ``watchdog_trips`` (runs cancelled by a watchdog; their
+    partial counts are included in the totals).
     """
     jobs = sum(d.n_jobs for d in digests)
     ok = sum(d.n_succeeded for d in digests)
+    attempts = (
+        sum(d.attempts_sum for d in digests)
+        if all(d.attempts_sum >= 0 for d in digests)
+        else -1
+    )
     by_window: Dict[int, List[int]] = {}
     for d in digests:
         for w, s, t in d.by_window:
@@ -668,6 +683,7 @@ def aggregate(digests: Sequence[SeedDigest]) -> Dict[str, object]:
         "success_rate": ok / jobs if jobs else 1.0,
         "by_window": {w: (s, t) for w, (s, t) in sorted(by_window.items())},
         "slots": sum(d.slots_simulated for d in digests),
+        "attempts": attempts,
         "watchdog_trips": sum(
             1 for d in digests if d.watchdog_reason is not None
         ),

@@ -248,8 +248,14 @@ def _uniform_exact(
         if jammed.size:
             success &= ~np.isin(slots, jammed)
     completion = np.where(success, slots, -1)
+    # Single-attempt UNIFORM transmits exactly once per job, jammed or
+    # not — engine-exact energy accounting for free.
     return FullProtocolResult(
-        success, completion, slots, union_active_slots(releases, slots)
+        success,
+        completion,
+        slots,
+        union_active_slots(releases, slots),
+        attempts=np.ones(n, dtype=np.int64),
     )
 
 
@@ -300,6 +306,8 @@ def record_trial(
     m.counter("jobs.total").inc(digest.n_jobs)
     m.counter("jobs.succeeded").inc(digest.n_succeeded)
     m.counter("jobs.gave_up").inc(digest.n_jobs - digest.n_succeeded)
+    if digest.attempts_sum >= 0:
+        m.counter("jobs.energy").inc(digest.attempts_sum)
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ inclusive ``[release, retire]`` intervals).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -34,12 +35,18 @@ class FullProtocolResult:
     the last slot the job was active in the engine's sense (the slot at
     whose end it would have been retired), which both paths need to
     agree on for ``slots_simulated`` to match.
+
+    ``attempts`` is the per-job send-attempt (energy) count, when the
+    kernel models it exactly — the engine-exact UNIFORM replay does;
+    the statistical ALIGNED/PUNCTUAL kernels leave it ``None`` and their
+    digests carry ``attempts_sum=-1`` (not tracked).
     """
 
     success: np.ndarray  # bool, shape (n,)
     completion: np.ndarray  # int64, shape (n,), -1 on failure
     retire: np.ndarray  # int64, shape (n,)
     slots_simulated: int
+    attempts: Optional[np.ndarray] = None  # int64, shape (n,)
 
     @property
     def n_succeeded(self) -> int:
@@ -98,5 +105,8 @@ def digest_for(
         by_window=by_window,
         slots_simulated=result.slots_simulated,
         latency_sum=latency_sum,
+        attempts_sum=(
+            int(result.attempts.sum()) if result.attempts is not None else -1
+        ),
         watchdog_reason=None,
     )

@@ -241,10 +241,16 @@ class Telemetry:
         )
         m.counter("jobs.gave_up").inc(gave_up)
         m.counter("jobs.deadline_missed").inc(n_all - n_ok - gave_up)
+        energy = 0
+        energy_jammed = 0
         lat = m.histogram("latency")
         for o in result.outcomes:
+            energy += o.transmissions
+            energy_jammed += o.jammed_transmissions
             if o.succeeded:
                 lat.observe(o.latency)
+        m.counter("jobs.energy").inc(energy)
+        m.counter("jobs.energy_jammed").inc(energy_jammed)
         seconds = time.perf_counter() - self._run_started_at
         self.add_span("simulate", seconds)
         self.events.emit(

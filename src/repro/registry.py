@@ -21,7 +21,10 @@ import numpy as np
 from repro.baselines import (
     beb_factory,
     edf_factory,
+    nocd_factory,
     sawtooth_factory,
+    slowfeedback_factory,
+    softened_factory,
     urgency_aloha_factory,
     window_scaled_aloha_factory,
 )
@@ -42,8 +45,10 @@ from repro.workloads import (
 )
 
 __all__ = [
+    "INSTANCE_PROTOCOLS",
     "KNOB_DEFAULTS",
     "PROTOCOLS",
+    "STREAM_PROTOCOLS",
     "WORKLOADS",
     "aligned_params",
     "build_workload",
@@ -87,6 +92,21 @@ PROTOCOLS: Tuple[str, ...] = (
     "aloha",
     "urgency",
     "edf",
+    "soft",
+    "slowfb",
+    "nocd",
+)
+
+#: Protocols whose factory needs the *whole* instance up front (EDF's
+#: oracle schedule, trimming's global pass) or an aligned instance —
+#: unavailable to the open-loop streaming engine, which discovers jobs
+#: one arrival at a time.  ``stream``'s CLI choices are ``PROTOCOLS``
+#: minus this set.
+INSTANCE_PROTOCOLS: Tuple[str, ...] = ("aligned", "trimmed", "edf")
+
+#: Protocol names the streaming engine can run (derived, never hand-typed).
+STREAM_PROTOCOLS: Tuple[str, ...] = tuple(
+    p for p in PROTOCOLS if p not in INSTANCE_PROTOCOLS
 )
 
 
@@ -163,6 +183,9 @@ def protocol_factories(
         "urgency": urgency_aloha_factory(2.0),
         "trimmed": trimmed_aligned_factory(aligned_params(params)),
         "edf": edf_factory(instance),
+        "soft": softened_factory(),
+        "slowfb": slowfeedback_factory(),
+        "nocd": nocd_factory(),
     }
     if instance.is_aligned:
         factories["aligned"] = aligned_factory(aligned_params(params))

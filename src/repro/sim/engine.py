@@ -296,6 +296,7 @@ def simulate(
     live_observe: List[Callable[[int, Observation], None]] = []
     live_deadline: List[int] = []
     live_has_p: List[bool] = []
+    live_jammed: List[int] = []  # per-job attempts spent into jammed slots
 
     outcomes: Dict[int, JobOutcome] = {}
     delivered_slot: Dict[int, int] = {}
@@ -303,6 +304,7 @@ def simulate(
     next_job = 0
     t = releases[0] if jobs_sorted else 0
     slots_simulated = 0
+    channel_attempts = 0  # total send attempts the channel saw
 
     # Watchdog limits (see sim/watchdog.py).  All state lives in locals;
     # with no watchdog the per-slot cost is a single ``is None`` guard.
@@ -320,7 +322,7 @@ def simulate(
         )
         wd_progress_mark = 0  # slots_simulated at the last progress sign
 
-    def finalize(job: Job, proto: Protocol) -> None:
+    def finalize(job: Job, proto: Protocol, jammed_tx: int = 0) -> None:
         if job.job_id in delivered_slot:
             status = JobStatus.SUCCEEDED
             comp = delivered_slot[job.job_id]
@@ -347,7 +349,9 @@ def simulate(
                 tele_events.emit("job.gave_up", -1, job.job_id)
             else:
                 tele_events.emit("job.deadline_miss", job.deadline, job.job_id)
-        outcomes[job.job_id] = JobOutcome(job, status, comp, proto.transmissions)
+        outcomes[job.job_id] = JobOutcome(
+            job, status, comp, proto.transmissions, jammed_tx
+        )
 
     while t < end or live_protos:
         if t >= end and not live_protos:
@@ -382,6 +386,7 @@ def simulate(
             live_observe.append(observe_fn)
             live_deadline.append(job.deadline)
             live_has_p.append(hasattr(proto, "last_p"))
+            live_jammed.append(0)
             next_job += 1
         if next_job < n_total and not live_protos:
             # jump over idle gaps between batches
@@ -424,6 +429,7 @@ def simulate(
         outcome: Optional[SlotOutcome] = None
         delivered_now = -1  # consumed only by the invariant checker
         n_tx = len(transmissions)
+        channel_attempts += n_tx
         if n_tx == 0:
             jammed = (not no_jam) and jam.attempt(t, 0, None, ch_rng)
             obs = _OBS_NOISE if jammed else _OBS_SILENCE
@@ -442,6 +448,7 @@ def simulate(
             i0 = tx_idx[0]
             jammed = (not no_jam) and jam.attempt(t, 1, msg0, ch_rng)
             if jammed:
+                live_jammed[i0] += 1
                 if need_outcome:
                     outcome = SlotOutcome(t, _NOISE, None, 1, True)
                 if corrupt is None:
@@ -483,6 +490,9 @@ def simulate(
                         )
         else:
             jammed = (not no_jam) and jam.attempt(t, n_tx, None, ch_rng)
+            if jammed:
+                for i in tx_idx:
+                    live_jammed[i] += 1
             if need_outcome:
                 outcome = SlotOutcome(t, _NOISE, None, n_tx, jammed)
             k = 0
@@ -541,10 +551,11 @@ def simulate(
             keep_observe: List[Callable[[int, Observation], None]] = []
             keep_deadline: List[int] = []
             keep_has_p: List[bool] = []
+            keep_jammed: List[int] = []
             for i in range(n_live):
                 p = live_protos[i]
                 if p.succeeded or p.gave_up or t >= live_deadline[i]:
-                    finalize(live_jobs[i], p)
+                    finalize(live_jobs[i], p, live_jammed[i])
                 else:
                     keep_ids.append(live_ids[i])
                     keep_jobs.append(live_jobs[i])
@@ -553,6 +564,7 @@ def simulate(
                     keep_observe.append(live_observe[i])
                     keep_deadline.append(live_deadline[i])
                     keep_has_p.append(live_has_p[i])
+                    keep_jammed.append(live_jammed[i])
             live_ids = keep_ids
             live_jobs = keep_jobs
             live_protos = keep_protos
@@ -560,6 +572,7 @@ def simulate(
             live_observe = keep_observe
             live_deadline = keep_deadline
             live_has_p = keep_has_p
+            live_jammed = keep_jammed
 
         if wd is not None:
             if delivered_now >= 0:
@@ -604,7 +617,7 @@ def simulate(
         # Graceful cancellation: jobs still live at the cut become failures
         # (exactly the horizon-cut semantics) and the result is partial.
         for i in range(len(live_protos)):
-            finalize(live_jobs[i], live_protos[i])
+            finalize(live_jobs[i], live_protos[i], live_jammed[i])
         if tele_events is not None:
             tele_events.emit(
                 wd_trip.event_kind,
@@ -626,6 +639,7 @@ def simulate(
         slots_simulated=slots_simulated,
         trace=recorder,
         watchdog=wd_trip,
+        channel_attempts=channel_attempts,
     )
     if tele is not None:
         tele.on_run_end(result)

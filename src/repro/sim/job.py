@@ -10,6 +10,13 @@ A job knows its window *size* upon activation but not its absolute release
 time (no global clock); the absolute fields on :class:`Job` are simulator
 bookkeeping, never exposed to protocol logic except where the paper's model
 allows it (the aligned special case).
+
+Energy convention: each slot in which a job transmits anything costs one
+unit of *channel-access energy* — the headline metric of the modern
+backoff literature (arXiv 2302.07751, 2408.11275).  The per-job counter
+lives on :class:`~repro.sim.protocolbase.Protocol` (``transmissions``),
+the engine folds it into :class:`~repro.sim.metrics.JobOutcome`, and the
+aggregate views live on :class:`~repro.sim.metrics.SimulationResult`.
 """
 
 from __future__ import annotations

@@ -37,17 +37,29 @@ class JobOutcome:
         Slot of the successful broadcast, or -1.
     transmissions:
         Number of slots in which the job transmitted anything (control
-        messages included) — the job's channel-access cost.
+        messages included) — the job's channel-access cost.  This is the
+        *energy* metric of the modern backoff literature (each send
+        attempt costs one unit, regardless of outcome).
+    jammed_transmissions:
+        How many of those attempts landed in a jammed slot — energy the
+        adversary burned directly.  Always ``<= transmissions``; 0 in
+        unjammed runs.
     """
 
     job: Job
     status: JobStatus
     completion_slot: int
     transmissions: int
+    jammed_transmissions: int = 0
 
     @property
     def succeeded(self) -> bool:
         return self.status is JobStatus.SUCCEEDED
+
+    @property
+    def energy(self) -> int:
+        """Channel-access energy: one unit per send attempt."""
+        return self.transmissions
 
     @property
     def latency(self) -> int:
@@ -65,6 +77,12 @@ class SimulationResult:
     :class:`~repro.sim.watchdog.WatchdogTrip` marks a run cancelled by
     an attached :class:`~repro.sim.watchdog.Watchdog` — outcomes are
     then *partial*: jobs still live at the cut are recorded as failed.
+
+    ``channel_attempts`` is the channel-side count of send attempts
+    across the run (the sum of per-slot transmitter counts); -1 when the
+    producing path did not track it.  On a fault-free engine run it
+    equals the sum of per-job ``transmissions`` — the conservation law
+    the verify battery checks.
     """
 
     instance: Instance
@@ -72,6 +90,7 @@ class SimulationResult:
     slots_simulated: int
     trace: Optional[TraceRecorder] = None
     watchdog: Optional[WatchdogTrip] = None
+    channel_attempts: int = -1
 
     def __post_init__(self) -> None:
         self._by_id: Dict[int, JobOutcome] = {
@@ -123,6 +142,40 @@ class SimulationResult:
         """Per-job channel-access counts (all jobs)."""
         return np.array([o.transmissions for o in self.outcomes], dtype=np.int64)
 
+    # -- channel-access energy -----------------------------------------------
+
+    @property
+    def total_energy(self) -> int:
+        """Total send attempts across all jobs (one energy unit each)."""
+        return sum(o.transmissions for o in self.outcomes)
+
+    @property
+    def mean_energy(self) -> float:
+        """Mean send attempts per job (nan on an empty instance)."""
+        if not self.outcomes:
+            return float("nan")
+        return self.total_energy / len(self.outcomes)
+
+    @property
+    def jammed_energy(self) -> int:
+        """Send attempts that landed in jammed slots."""
+        return sum(o.jammed_transmissions for o in self.outcomes)
+
+    @property
+    def energy_per_success(self) -> float:
+        """Total energy divided by successes (nan when none succeeded)."""
+        ok = self.n_succeeded
+        if not ok:
+            return float("nan")
+        return self.total_energy / ok
+
+    def energy_by_window(self) -> Mapping[int, float]:
+        """Mean send attempts per job, keyed by window size."""
+        acc: Dict[int, List[int]] = {}
+        for o in self.outcomes:
+            acc.setdefault(o.job.window, []).append(o.transmissions)
+        return {w: float(np.mean(v)) for w, v in sorted(acc.items())}
+
     def normalized_latencies(self) -> np.ndarray:
         """Latency divided by window size, per successful job (in (0, 1])."""
         vals = [
@@ -165,4 +218,9 @@ class SimulationResult:
             lines.append(
                 f"transmissions/job: mean {tx.mean():.2f}, max {tx.max()}"
             )
+            jam = self.jammed_energy
+            line = f"energy: {self.total_energy} attempts"
+            if jam:
+                line += f" ({jam} into jammed slots)"
+            lines.append(line)
         return "\n".join(lines)

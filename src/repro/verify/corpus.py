@@ -21,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.baselines.nocd import nocd_factory
 from repro.baselines.sawtooth import sawtooth_factory
+from repro.baselines.slowfeedback import slowfeedback_factory
+from repro.baselines.softened import softened_factory
 from repro.channel.jamming import Jammer, StochasticJammer
 from repro.core.aligned import aligned_factory
 from repro.core.punctual import punctual_factory
@@ -166,6 +169,18 @@ def _stream_diurnal_process() -> Optional[ArrivalProcess]:
 
 def _sawtooth() -> ProtocolFactory:
     return sawtooth_factory()
+
+
+def _soft() -> ProtocolFactory:
+    return softened_factory()
+
+
+def _slowfb() -> ProtocolFactory:
+    return slowfeedback_factory()
+
+
+def _nocd() -> ProtocolFactory:
+    return nocd_factory()
 
 
 def _no_process() -> Optional[ArrivalProcess]:
@@ -338,6 +353,65 @@ _CASES = (
         protocol=_punctual_follow,
         seeds=tuple(range(20)),
         kind="fastpath-statistical",
+        smoke=False,
+    ),
+    # -- the modern zoo (collision-softening / slow-feedback / no-CD) --
+    #
+    # No vectorized kernel exists for these, so the differential check
+    # is the streaming engine: each protocol gets an engine-only
+    # determinism + metamorphic case and a streaming-equivalence case
+    # comparing the closed engine against the open streaming engine.
+    VerifyCase(
+        name="soft-batch",
+        build=_batch16,
+        protocol=_soft,
+        seeds=(0, 1, 2),
+        kind="engine-only",
+    ),
+    VerifyCase(
+        name="slowfb-jammed",
+        build=_batch_sparse,
+        protocol=_slowfb,
+        make_jammer=_jam30,
+        seeds=(0, 1, 2),
+        kind="engine-only",
+        smoke=False,
+    ),
+    VerifyCase(
+        name="nocd-batch",
+        build=_batch16,
+        protocol=_nocd,
+        seeds=(0, 1, 2),
+        kind="engine-only",
+    ),
+    VerifyCase(
+        name="stream-poisson-soft",
+        build=_stream_poisson_build,
+        protocol=_soft,
+        seeds=(0, 1),
+        kind="streaming-equivalence",
+        make_process=_stream_poisson_process,
+        horizon=_STREAM_POISSON_HORIZON,
+    ),
+    VerifyCase(
+        name="stream-poisson-slowfb",
+        build=_stream_poisson_build,
+        protocol=_slowfb,
+        seeds=(0, 1),
+        kind="streaming-equivalence",
+        make_process=_stream_poisson_process,
+        horizon=_STREAM_POISSON_HORIZON,
+        smoke=False,
+    ),
+    VerifyCase(
+        name="stream-diurnal-nocd",
+        build=_stream_diurnal_build,
+        protocol=_nocd,
+        make_jammer=_jam10,
+        seeds=(0, 1),
+        kind="streaming-equivalence",
+        make_process=_stream_diurnal_process,
+        horizon=_STREAM_DIURNAL_HORIZON,
         smoke=False,
     ),
     VerifyCase(

@@ -1,0 +1,99 @@
+"""Error-path audit for protocol resolution in specs and the registry.
+
+A campaign spec that grids a typo'd or workload-incompatible protocol
+must fail at *parse or build* time with
+:class:`~repro.errors.InvalidParameterError` naming the offender — never
+a bare ``KeyError`` escaping from a dict lookup deep in the registry.
+These are regression tests for that contract, plus an end-to-end run of
+a spec gridding one of the modern baseline protocols.
+"""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, GridProtocol
+from repro.errors import InvalidParameterError
+from repro.registry import protocol_factory
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance, sensor_network_instance
+
+import numpy as np
+
+
+def _spec(protocols, workloads=("batch",), knobs=None):
+    return CampaignSpec.from_dict(
+        {
+            "name": "audit",
+            "workloads": list(workloads),
+            "protocols": list(protocols),
+            "knobs": dict(knobs or {"n": 4, "window": 64}),
+            "seeds": 1,
+        }
+    )
+
+
+class TestUnknownNames:
+    def test_registry_unknown_protocol_names_offender(self):
+        inst = batch_instance(4, window=64)
+        with pytest.raises(InvalidParameterError, match="'bogus'"):
+            protocol_factory("bogus", {}, inst)
+
+    def test_registry_never_leaks_keyerror(self):
+        inst = batch_instance(4, window=64)
+        try:
+            protocol_factory("bogus", {}, inst)
+        except KeyError:  # pragma: no cover - the regression
+            pytest.fail("unknown protocol leaked a KeyError")
+        except InvalidParameterError:
+            pass
+
+    def test_spec_rejects_unknown_protocol_at_parse(self):
+        with pytest.raises(InvalidParameterError, match="bogus"):
+            _spec(["bogus"])
+
+    def test_spec_rejects_unknown_protocol_mapping(self):
+        with pytest.raises(InvalidParameterError, match="bogus"):
+            _spec([{"protocol": "bogus", "lam": 2}])
+
+    def test_spec_mapping_requires_protocol_key(self):
+        with pytest.raises(InvalidParameterError, match="protocol"):
+            _spec([{"lam": 2}])
+
+
+class TestWorkloadMismatch:
+    def test_aligned_on_unaligned_raises_named_error(self):
+        rng = np.random.default_rng(0)
+        inst = sensor_network_instance(
+            rng, n_sensors=3, period=64, relative_deadline=48, n_periods=1
+        )
+        assert not inst.is_aligned
+        with pytest.raises(InvalidParameterError, match="'aligned'"):
+            protocol_factory("aligned", {}, inst)
+
+    def test_grid_protocol_mismatch_raises_not_keyerror(self):
+        rng = np.random.default_rng(0)
+        inst = sensor_network_instance(
+            rng, n_sensors=3, period=64, relative_deadline=48, n_periods=1
+        )
+        grid = GridProtocol(name="aligned", items=())
+        try:
+            grid(inst)
+        except KeyError:  # pragma: no cover - the regression
+            pytest.fail("aligned-on-unaligned leaked a KeyError")
+        except InvalidParameterError as exc:
+            assert "aligned" in str(exc)
+
+
+class TestModernZooEndToEnd:
+    def test_spec_grids_soft_and_runs(self):
+        spec = _spec(["soft", "slowfb", "nocd"])
+        cells = spec.cells()
+        assert [c.protocol.name for c in cells] == ["soft", "slowfb", "nocd"]
+        for cell in cells:
+            instance = cell.workload()
+            factory = cell.protocol(instance)
+            res = simulate(instance, factory, seed=cell.seeds[0])
+            assert res.n_succeeded == len(instance)
+            assert res.total_energy > 0
+
+    def test_spec_digest_distinguishes_modern_protocols(self):
+        assert _spec(["soft"]).digest() != _spec(["nocd"]).digest()

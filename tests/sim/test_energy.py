@@ -1,0 +1,155 @@
+"""Channel-access energy accounting: conservation, invariance, jamming.
+
+Energy is observational — the engine counts send attempts without
+touching any RNG stream or outcome, so turning the ledger's aggregates
+over must leave every pinned semantic exactly where ENGINE_VERSION 3
+put it.  These tests assert the conservation law (channel attempts ==
+sum of per-job transmissions on fault-free runs), agreement between the
+engine and the engine-exact UNIFORM kernel, and that jammed slots still
+spend energy (jamming wastes attempts; it does not refund them).
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    beb_factory,
+    nocd_factory,
+    slowfeedback_factory,
+    softened_factory,
+)
+from repro.channel.jamming import StochasticJammer
+from repro.core.uniform import uniform_factory
+from repro.experiments.parallel import run_seeds
+from repro.fastpath import plan_fastpath, simulate_fastpath
+from repro.sim.engine import simulate
+from repro.workloads import batch_instance
+
+FACTORIES = {
+    "uniform": uniform_factory,
+    "beb": beb_factory,
+    "soft": softened_factory,
+    "slowfb": slowfeedback_factory,
+    "nocd": nocd_factory,
+}
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_clean_channel(self, name):
+        res = simulate(
+            batch_instance(12, window=512), FACTORIES[name](), seed=3
+        )
+        assert res.channel_attempts == res.total_energy
+        assert res.total_energy == sum(o.transmissions for o in res.outcomes)
+        assert res.jammed_energy == 0
+        assert all(o.jammed_transmissions == 0 for o in res.outcomes)
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_jammed_channel(self, name):
+        res = simulate(
+            batch_instance(12, window=512),
+            FACTORIES[name](),
+            seed=3,
+            jammer=StochasticJammer(0.5),
+        )
+        # jamming corrupts slots; it never creates or destroys attempts
+        assert res.channel_attempts == res.total_energy
+        assert 0 <= res.jammed_energy <= res.total_energy
+        for o in res.outcomes:
+            assert 0 <= o.jammed_transmissions <= o.transmissions
+
+    def test_jammed_slots_still_spend(self):
+        # at p=0.5 a multi-attempt protocol must land some attempts in
+        # jammed slots — the energy meter keeps running under attack
+        res = simulate(
+            batch_instance(12, window=512),
+            beb_factory(),
+            seed=3,
+            jammer=StochasticJammer(0.5),
+        )
+        assert res.jammed_energy > 0
+
+
+class TestObservational:
+    """Accounting must not perturb the simulation it measures."""
+
+    def test_uniform_pin_unchanged(self):
+        # the ENGINE_VERSION 3 pin from test_engine_reference, restated:
+        # adding the energy ledger changed no outcome, slot, or stream
+        res = simulate(
+            batch_instance(16, window=64), uniform_factory(), seed=1
+        )
+        assert res.n_succeeded == 12
+        assert res.slots_simulated == 62
+        # single-attempt UNIFORM: exactly one attempt per job
+        assert res.channel_attempts == 16
+        assert all(o.transmissions == 1 for o in res.outcomes)
+
+    def test_energy_alias(self):
+        res = simulate(batch_instance(4, window=64), uniform_factory(), seed=0)
+        for o in res.outcomes:
+            assert o.energy == o.transmissions
+
+
+class TestFastpathParity:
+    def test_uniform_kernel_attempts_exact(self):
+        inst = batch_instance(16, window=64)
+        plan, reason = plan_fastpath(inst, uniform_factory())
+        assert plan is not None, reason
+        for seed in (0, 1, 5):
+            kernel = simulate_fastpath(plan, seed)
+            engine = simulate(inst, uniform_factory(), seed=seed)
+            assert kernel.attempts_sum == engine.total_energy == 16
+
+    def test_uniform_kernel_attempts_exact_jammed(self):
+        inst = batch_instance(16, window=64)
+        jammer = StochasticJammer(0.3)
+        plan, reason = plan_fastpath(inst, uniform_factory(), jammer=jammer)
+        assert plan is not None, reason
+        kernel = simulate_fastpath(plan, 7)
+        engine = simulate(
+            inst, uniform_factory(), seed=7, jammer=StochasticJammer(0.3)
+        )
+        assert kernel.attempts_sum == engine.total_energy
+
+
+class TestAggregates:
+    def test_digest_and_pool(self):
+        digests = run_seeds(
+            lambda: batch_instance(4, window=256), _beb, seeds=range(3)
+        )
+        for d in digests:
+            assert d.attempts_sum > 0
+            assert d.mean_energy == d.attempts_sum / d.n_jobs
+        from repro.experiments.parallel import aggregate
+
+        agg = aggregate(digests)
+        assert agg["attempts"] == sum(d.attempts_sum for d in digests)
+
+    def test_untracked_sentinel(self):
+        from repro.experiments.parallel import SeedDigest
+
+        d = SeedDigest(
+            seed=0,
+            n_jobs=4,
+            n_succeeded=4,
+            by_window=((256, 4, 4),),
+            slots_simulated=10,
+            latency_sum=12,
+        )
+        assert d.attempts_sum == -1
+        assert math.isnan(d.mean_energy)
+
+    def test_result_summary_mentions_energy(self):
+        res = simulate(batch_instance(4, window=64), uniform_factory(), seed=0)
+        assert "energy" in res.summary()
+        assert res.mean_energy == res.total_energy / len(res)
+        assert res.energy_per_success >= 1.0
+        by_window = res.energy_by_window()
+        assert set(by_window) == {64}
+
+
+def _beb(instance):
+    return beb_factory()

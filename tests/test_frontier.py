@@ -1,0 +1,137 @@
+"""The deadline-miss × energy frontier (ROADMAP item 3).
+
+The headline comparison: deadline-aware protocols vs. the modern
+energy-aware backoff zoo under identical oblivious jamming budgets.
+Beyond the report plumbing, these tests pin the qualitative orderings
+the experiment exists to show — single-attempt UNIFORM is strictly the
+cheapest point in energy, and collision-softening backoff converts its
+extra energy into a strictly lower miss rate under jamming.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.frontier import FrontierPoint, run_frontier
+from repro.experiments.parallel import ConstantFactory, ConstantInstance
+from repro.registry import protocol_factories
+from repro.workloads import batch_instance
+
+SEEDS = 12
+BUDGETS = (0.0, 0.4)
+
+
+@pytest.fixture(scope="module")
+def report():
+    inst = batch_instance(16, window=64)
+    facs = protocol_factories({}, inst)
+    names = ("punctual", "uniform", "soft", "slowfb", "nocd")
+    protocols = {k: ConstantFactory(facs[k]) for k in names}
+    return run_frontier(
+        ConstantInstance(inst), protocols, budgets=BUDGETS, seeds=SEEDS
+    )
+
+
+class TestOrderings:
+    """Deadline-aware vs. modern backoff, asserted per the frontier."""
+
+    def test_uniform_is_energy_minimal(self, report):
+        # deadline-aware UNIFORM transmits exactly once per job: no
+        # modern backoff can match its energy at any budget
+        for budget in BUDGETS:
+            uniform = report.point("uniform", budget)
+            assert uniform.mean_energy == 1.0
+            for modern in ("soft", "slowfb", "nocd"):
+                point = report.point(modern, budget)
+                assert uniform.mean_energy < point.mean_energy
+
+    def test_softened_buys_misses_with_energy(self, report):
+        # under jamming, collision-softening backoff's retries buy a
+        # strictly lower miss rate than single-attempt UNIFORM
+        jammed = BUDGETS[1]
+        soft = report.point("soft", jammed)
+        uniform = report.point("uniform", jammed)
+        assert soft.miss_rate < uniform.miss_rate
+        assert soft.mean_energy > uniform.mean_energy
+
+    def test_jamming_hurts_uniform(self, report):
+        assert (
+            report.point("uniform", BUDGETS[1]).miss_rate
+            > report.point("uniform", BUDGETS[0]).miss_rate
+        )
+
+    def test_uniform_on_pareto_frontier(self, report):
+        # the cheapest point can never be dominated
+        for budget in BUDGETS:
+            assert "uniform" in report.dominators(budget)
+
+
+class TestReportShape:
+    def test_every_cell_present(self, report):
+        assert set(report.protocols()) == {
+            "punctual", "uniform", "soft", "slowfb", "nocd",
+        }
+        assert len(report.points) == 5 * len(BUDGETS)
+        for p in report.points:
+            assert p.n_jobs == 16 * SEEDS
+            assert 0 <= p.n_missed <= p.n_jobs
+            assert p.attempts >= 0
+
+    def test_unknown_point_raises(self, report):
+        with pytest.raises(KeyError):
+            report.point("uniform", 0.99)
+        with pytest.raises(KeyError):
+            report.point("bogus", BUDGETS[0])
+
+    def test_render_reports_both_metrics_per_budget(self, report):
+        text = report.render()
+        assert text.count("miss rate") == len(BUDGETS)
+        assert text.count("energy/job") == len(BUDGETS)
+        for budget in BUDGETS:
+            assert f"p={budget:g}" in text
+
+    def test_jsonl_roundtrip(self, report, tmp_path):
+        path = tmp_path / "frontier.jsonl"
+        n = report.to_jsonl(str(path))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert n == len(records) == len(report.points)
+        assert {r["protocol"] for r in records} == set(report.protocols())
+
+
+class TestValidation:
+    def test_empty_protocols_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_frontier(ConstantInstance(batch_instance(2, window=8)), {})
+
+    def test_bad_budget_rejected(self):
+        inst = batch_instance(2, window=8)
+        facs = protocol_factories({}, inst)
+        protocols = {"uniform": ConstantFactory(facs["uniform"])}
+        with pytest.raises(InvalidParameterError):
+            run_frontier(
+                ConstantInstance(inst), protocols, budgets=(1.0,)
+            )
+        with pytest.raises(InvalidParameterError):
+            run_frontier(
+                ConstantInstance(inst), protocols, budgets=(-0.1,)
+            )
+
+
+class TestPoint:
+    def test_rates(self):
+        p = FrontierPoint(
+            protocol="x", budget=0.1, n_jobs=10, n_missed=2, attempts=30
+        )
+        assert p.miss_rate == 0.2
+        assert p.mean_energy == 3.0
+        assert p.energy_per_success == 30 / 8
+        assert p.as_record()["miss_rate"] == 0.2
+
+    def test_all_missed(self):
+        p = FrontierPoint(
+            protocol="x", budget=0.1, n_jobs=4, n_missed=4, attempts=9
+        )
+        assert p.energy_per_success == float("inf")

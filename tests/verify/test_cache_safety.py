@@ -68,6 +68,7 @@ class TestTelemetryNeverReachesKeys:
             "by_window",
             "slots_simulated",
             "latency_sum",
+            "attempts_sum",
             "watchdog_reason",
         }, (
             "SeedDigest grew a field; if it is time-dependent it must "
